@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks of the checkers over realistic corpus sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dup_checker::{check_corpus, check_sources, generate, java_corpus, CorpusSpec};
+use dup_idl::SyntaxKind;
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+
+    // The largest Table-6 system: Impala, 342 errors + 96 warnings.
+    let impala = generate(&CorpusSpec {
+        system: "Impala",
+        syntax: SyntaxKind::Thrift,
+        errors: 342,
+        warnings: 96,
+        stable_messages: 50,
+    });
+    group.bench_function("check_corpus_impala_sized", |b| {
+        b.iter(|| check_corpus(&impala).expect("checks"))
+    });
+
+    let small = generate(&CorpusSpec {
+        system: "Mesos",
+        syntax: SyntaxKind::Proto2,
+        errors: 8,
+        warnings: 12,
+        stable_messages: 16,
+    });
+    group.bench_function("check_corpus_mesos_sized", |b| {
+        b.iter(|| check_corpus(&small).expect("checks"))
+    });
+
+    let corpus = java_corpus();
+    group.bench_function("enum_checker_full_corpus", |b| {
+        b.iter(|| {
+            let mut findings = 0;
+            for (_, old, new) in &corpus {
+                findings += check_sources(old, new).expect("checks").len();
+            }
+            findings
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

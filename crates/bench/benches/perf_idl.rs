@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks of the IDL parsers and the Java-subset parser.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dup_idl::{parse_proto, parse_thrift};
+use dup_srcmodel::parse_java;
+
+fn proto_source(messages: usize) -> String {
+    let mut s = String::from("syntax = \"proto2\";\npackage bench.pb;\n");
+    for i in 0..messages {
+        s.push_str(&format!(
+            "message Msg{i} {{\n  required uint64 id = 1;\n  optional string name = 2;\n  \
+             repeated uint64 children = 3;\n  optional Kind{i} kind = 4;\n}}\n\
+             enum Kind{i} {{ A = 0; B = 1; C = 2; }}\n"
+        ));
+    }
+    s
+}
+
+fn thrift_source(structs: usize) -> String {
+    let mut s = String::from("namespace java bench\n");
+    for i in 0..structs {
+        s.push_str(&format!(
+            "struct S{i} {{\n  1: required i64 id,\n  2: optional string name,\n  \
+             3: list<i64> children\n}}\nenum E{i} {{ A = 0, B, C }}\n"
+        ));
+    }
+    s
+}
+
+fn java_source(classes: usize) -> String {
+    let mut s = String::from("package bench;\n");
+    for i in 0..classes {
+        s.push_str(&format!(
+            "public class C{i} {{\n  public enum K{i} {{ X, Y, Z }}\n  \
+             public void write(DataOutput out, K{i} k) {{\n    int v = k.ordinal();\n    \
+             out.writeInt(v);\n  }}\n}}\n"
+        ));
+    }
+    s
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let proto = proto_source(50);
+    let thrift = thrift_source(50);
+    let java = java_source(50);
+
+    let mut group = c.benchmark_group("idl");
+    group.throughput(Throughput::Bytes(proto.len() as u64));
+    group.bench_function("parse_proto_50msgs", |b| {
+        b.iter(|| parse_proto(&proto).expect("parses"))
+    });
+    group.throughput(Throughput::Bytes(thrift.len() as u64));
+    group.bench_function("parse_thrift_50structs", |b| {
+        b.iter(|| parse_thrift(&thrift).expect("parses"))
+    });
+    group.throughput(Throughput::Bytes(java.len() as u64));
+    group.bench_function("parse_java_50classes", |b| {
+        b.iter(|| parse_java(&java).expect("parses"))
+    });
+    group.bench_function("lower_50msgs", |b| {
+        let file = parse_proto(&proto).expect("parses");
+        b.iter(|| dup_idl::lower(&file).expect("lowers"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parsers);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the simulator and one end-to-end test case —
+//! the cost DUPTester pays per campaign entry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dup_core::VersionId;
+use dup_simnet::{Ctx, Endpoint, Process, Sim, SimDuration, StepResult};
+use dup_tester::{run_case, Scenario, TestCase, WorkloadSource};
+
+struct Pinger {
+    peer: u32,
+    remaining: u32,
+}
+
+impl Process for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+        ctx.send(
+            Endpoint::Node(self.peer),
+            bytes::Bytes::from_static(b"ping"),
+        );
+        Ok(())
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, _p: &[u8]) -> StepResult {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(from, bytes::Bytes::from_static(b"ping"));
+        }
+        Ok(())
+    }
+    fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) -> StepResult {
+        Ok(())
+    }
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet");
+
+    group.bench_function("ping_pong_10k_messages", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let a = sim.add_node(
+                "a",
+                "v",
+                Box::new(Pinger {
+                    peer: 1,
+                    remaining: 5000,
+                }),
+            );
+            let bn = sim.add_node(
+                "b",
+                "v",
+                Box::new(Pinger {
+                    peer: 0,
+                    remaining: 5000,
+                }),
+            );
+            sim.start_node(a).expect("starts");
+            sim.start_node(bn).expect("starts");
+            sim.run_for(SimDuration::from_secs(60));
+            sim.messages_delivered()
+        })
+    });
+
+    group.sample_size(10);
+    group.bench_function("duptester_case_kvstore_fullstop", |b| {
+        let case = TestCase {
+            from: "2.1.0".parse::<VersionId>().expect("parses"),
+            to: "3.0.0".parse().expect("parses"),
+            scenario: Scenario::FullStop,
+            workload: WorkloadSource::Stress,
+            seed: 1,
+        };
+        b.iter(|| run_case(&dup_kvstore::KvStoreSystem, &case))
+    });
+    group.bench_function("duptester_case_dfs_rolling", |b| {
+        let case = TestCase {
+            from: "2.0.0".parse::<VersionId>().expect("parses"),
+            to: "2.6.0".parse().expect("parses"),
+            scenario: Scenario::Rolling,
+            workload: WorkloadSource::Stress,
+            seed: 1,
+        };
+        b.iter(|| run_case(&dup_dfs::DfsSystem, &case))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simnet);
+criterion_main!(benches);

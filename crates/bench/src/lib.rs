@@ -1,0 +1,14 @@
+//! # dup-bench — benchmark and reproduction harnesses
+//!
+//! - `repro_tables` — regenerates Tables 1–4 and Findings 1–13 (study).
+//! - `repro_duptester` — runs the full DUPTester campaign over the four
+//!   mini systems and prints the Table-5 analog plus seeded-bug recall.
+//! - `repro_dupchecker` — regenerates Table 6 (700 errors + 178 warnings
+//!   over 7 systems) and the enum-checker yield (2 bugs + 6 vulns).
+//! - `repro_figures` — replays Figure 1 (HDFS-11856 timeline) and Figure 2
+//!   (the ReplicationLoadSink diff).
+//! - `perf_*` — criterion microbenchmarks of the substrates.
+//!
+//! Run everything with `cargo bench`.
+
+#![forbid(unsafe_code)]

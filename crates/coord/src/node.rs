@@ -1,0 +1,555 @@
+//! The versioned coordination-service node (ZooKeeper-like).
+//!
+//! Three releases:
+//!
+//! - **3.4.0** — baseline; election votes carry `peerEpoch = currentEpoch`.
+//! - **3.5.0** — votes carry a *proposed* epoch (`currentEpoch + 1`), and the
+//!   election tally gained a strict epoch-consistency check. The combination
+//!   is the ZOOKEEPER-1805 shape: a node restarting mid-rolling-upgrade
+//!   receives different `peerEpoch` values from a 3.4 peer and a 3.5 peer
+//!   and wedges in leader election. It takes all **three** nodes to trigger
+//!   — the only 3-node case in the study (Finding 10).
+//! - **3.6.0** — tolerant tally (the fix), but the snapshot gains a
+//!   `required checkpoint_id` field, so checkpoints written by 3.5 fail to
+//!   load (the MESOS-3834 mechanism transplanted).
+
+use dup_core::{NodeSetup, VersionId};
+use dup_simnet::{Ctx, Endpoint, Fatal, Process, SimDuration, SimTime, StepResult};
+use dup_wire::{
+    proto, FieldDescriptor, FieldType, Frame, MessageDescriptor, MessageValue, Schema, Value,
+};
+use std::collections::BTreeMap;
+
+const TOKEN_ELECTION: u64 = 1;
+const TOKEN_LEADER_PING: u64 = 2;
+const TOKEN_PING_CHECK: u64 = 3;
+const ELECTION_TICK: SimDuration = SimDuration::from_millis(500);
+const PING_INTERVAL: SimDuration = SimDuration::from_millis(500);
+const PING_TIMEOUT: SimDuration = SimDuration::from_secs(2);
+
+fn vote_schema() -> Schema {
+    Schema::new().with_message(
+        MessageDescriptor::new("Vote")
+            .with(FieldDescriptor::required(1, "node", FieldType::Uint32))
+            .with(FieldDescriptor::required(
+                2,
+                "peer_epoch",
+                FieldType::Uint64,
+            ))
+            .with(FieldDescriptor::required(3, "zxid", FieldType::Uint64)),
+    )
+}
+
+/// Snapshot schema: 3.6 adds `required checkpoint_id` (the MESOS-3834 shape).
+fn snapshot_schema(v: VersionId) -> Schema {
+    let mut m = MessageDescriptor::new("Snapshot")
+        .with(FieldDescriptor::required(1, "epoch", FieldType::Uint64))
+        .with(FieldDescriptor::required(2, "zxid", FieldType::Uint64))
+        .with(FieldDescriptor::repeated(
+            3,
+            "entries",
+            FieldType::Message("Entry".into()),
+        ));
+    if v >= VersionId::new(3, 6, 0) {
+        m = m.with(FieldDescriptor::required(
+            4,
+            "checkpoint_id",
+            FieldType::Uint64,
+        ));
+    }
+    Schema::new().with_message(m).with_message(
+        MessageDescriptor::new("Entry")
+            .with(FieldDescriptor::required(1, "key", FieldType::Str))
+            .with(FieldDescriptor::required(2, "value", FieldType::Str)),
+    )
+}
+
+fn sends_proposed_epoch(v: VersionId) -> bool {
+    v >= VersionId::new(3, 5, 0)
+}
+
+/// The strict epoch-consistency tally exists only in 3.5.0.
+fn strict_epoch_check(v: VersionId) -> bool {
+    v.major == 3 && v.minor == 5
+}
+
+/// A coordination-service node.
+pub struct CoordNode {
+    version: VersionId,
+    setup: NodeSetup,
+    epoch: u64,
+    zxid: u64,
+    data: BTreeMap<String, String>,
+    leader: Option<u32>,
+    in_election: bool,
+    wedged: Option<String>,
+    peer_votes: BTreeMap<u32, (u64, u64, u32)>,
+    /// This node's vote, fixed at the start of the current election round.
+    round_vote: (u64, u64, u32),
+    last_leader_ping: SimTime,
+}
+
+impl CoordNode {
+    /// Creates a node of `version`.
+    pub fn new(version: VersionId, setup: NodeSetup) -> Self {
+        CoordNode {
+            version,
+            setup,
+            epoch: 1,
+            zxid: 0,
+            data: BTreeMap::new(),
+            leader: None,
+            in_election: false,
+            wedged: None,
+            peer_votes: BTreeMap::new(),
+            round_vote: (0, 0, 0),
+            last_leader_ping: SimTime::ZERO,
+        }
+    }
+
+    fn my_vote(&self) -> (u64, u64, u32) {
+        let peer_epoch = if sends_proposed_epoch(self.version) {
+            self.epoch + 1
+        } else {
+            self.epoch
+        };
+        (peer_epoch, self.zxid, self.setup.index)
+    }
+
+    fn vote_bytes(&self) -> Vec<u8> {
+        // While electing, a node campaigns with its round vote; settled (or
+        // wedged) nodes echo their current view.
+        let (e, z, n) = if self.in_election {
+            self.round_vote
+        } else {
+            self.my_vote()
+        };
+        let v = MessageValue::new("Vote")
+            .set("node", Value::U32(n))
+            .set("peer_epoch", Value::U64(e))
+            .set("zxid", Value::U64(z));
+        proto::encode(&vote_schema(), &v).expect("own vote always encodes")
+    }
+
+    fn start_election(&mut self, ctx: &mut Ctx<'_>) {
+        self.in_election = true;
+        self.leader = None;
+        self.peer_votes.clear();
+        self.round_vote = self.my_vote();
+        let bytes = self.vote_bytes();
+        for peer in self.setup.peers() {
+            ctx.send(
+                Endpoint::Node(peer),
+                Frame::new(1, "vote", bytes.clone()).encode(),
+            );
+        }
+        ctx.set_timer(ELECTION_TICK, TOKEN_ELECTION);
+    }
+
+    fn evaluate_election(&mut self, ctx: &mut Ctx<'_>) {
+        if strict_epoch_check(self.version) && self.peer_votes.len() >= 2 {
+            // ZOOKEEPER-1805: two peers proposed different epochs (a 3.4
+            // peer and a 3.5 peer); the strict check can never succeed.
+            let mut epochs: Vec<u64> = self.peer_votes.values().map(|v| v.0).collect();
+            epochs.sort_unstable();
+            epochs.dedup();
+            if epochs.len() > 1 {
+                let reason = format!("inconsistent peerEpoch values {epochs:?} in leader election");
+                ctx.error(format!("leader election failed: {reason}"));
+                self.wedged = Some(reason);
+                self.peer_votes.clear();
+                return;
+            }
+        }
+        let mut best = self.round_vote;
+        for v in self.peer_votes.values() {
+            if (v.0, v.1, v.2) > best {
+                best = *v;
+            }
+        }
+        let leader = best.2;
+        self.leader = Some(leader);
+        self.in_election = false;
+        ctx.info(format!(
+            "elected node-{leader} as leader (epoch {})",
+            self.epoch
+        ));
+        self.last_leader_ping = ctx.now();
+        if leader == self.setup.index {
+            ctx.set_timer(PING_INTERVAL, TOKEN_LEADER_PING);
+        } else {
+            ctx.set_timer(PING_TIMEOUT, TOKEN_PING_CHECK);
+        }
+    }
+
+    fn snapshot(&self, ctx: &mut Ctx<'_>) -> Result<(), Fatal> {
+        let schema = snapshot_schema(self.version);
+        let mut snap = MessageValue::new("Snapshot")
+            .set("epoch", Value::U64(self.epoch))
+            .set("zxid", Value::U64(self.zxid));
+        if self.version >= VersionId::new(3, 6, 0) {
+            snap.put("checkpoint_id", Value::U64(self.zxid + 1));
+        }
+        for (k, v) in &self.data {
+            snap.push_mut(
+                "entries",
+                Value::Msg(
+                    MessageValue::new("Entry")
+                        .set("key", Value::Str(k.clone()))
+                        .set("value", Value::Str(v.clone())),
+                ),
+            );
+        }
+        let body = proto::encode(&schema, &snap)
+            .map_err(|e| Fatal::new(format!("cannot write snapshot: {e}")))?;
+        ctx.storage().write(
+            "snapshot",
+            Frame::new(1, "snapshot", body).encode().to_vec(),
+        );
+        Ok(())
+    }
+
+    fn load_snapshot(&mut self, ctx: &mut Ctx<'_>) -> Result<(), Fatal> {
+        let Some(bytes) = ctx.storage_ref().read("snapshot").map(<[u8]>::to_vec) else {
+            return Ok(());
+        };
+        let frame = Frame::decode(&bytes)
+            .map_err(|e| Fatal::new(format!("corrupt snapshot container: {e}")))?;
+        let schema = snapshot_schema(self.version);
+        // MESOS-3834 shape: the new version assumes every checkpoint has the
+        // id field; old checkpoints do not.
+        let snap = proto::decode(&schema, "Snapshot", &frame.body)
+            .map_err(|e| Fatal::new(format!("cannot load checkpoint: {e}")))?;
+        self.epoch = snap
+            .get_u64("epoch")
+            .map_err(|e| Fatal::new(e.to_string()))?;
+        self.zxid = snap
+            .get_u64("zxid")
+            .map_err(|e| Fatal::new(e.to_string()))?;
+        for e in snap.get_all("entries") {
+            if let Value::Msg(e) = e {
+                if let (Ok(k), Ok(v)) = (e.get_str("key"), e.get_str("value")) {
+                    self.data.insert(k.to_string(), v.to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_client(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, text: &str) {
+        let reply = if let Some(reason) = &self.wedged {
+            format!("ERR leader election failed: {reason}")
+        } else {
+            let parts: Vec<&str> = text.split_whitespace().collect();
+            match parts.as_slice() {
+                ["HEALTH"] => match self.leader {
+                    Some(_) => "OK healthy".to_string(),
+                    None => "ERR no leader elected".to_string(),
+                },
+                ["STAT"] => format!(
+                    "OK leader={} epoch={} zxid={}",
+                    self.leader
+                        .map(|l| l.to_string())
+                        .unwrap_or_else(|| "none".into()),
+                    self.epoch,
+                    self.zxid
+                ),
+                ["SET", k, v] => {
+                    if self.leader.is_none() {
+                        "ERR no leader elected".to_string()
+                    } else {
+                        self.zxid += 1;
+                        self.data.insert(k.to_string(), v.to_string());
+                        "OK".to_string()
+                    }
+                }
+                ["GET", k] => match self.data.get(*k) {
+                    Some(v) => format!("OK {v}"),
+                    None => "ERR not found".to_string(),
+                },
+                _ => format!("ERR unknown command '{text}'"),
+            }
+        };
+        ctx.send(from, reply.into_bytes().into());
+    }
+}
+
+impl Process for CoordNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+        self.load_snapshot(ctx)?;
+        ctx.info(format!(
+            "coord node {} started (epoch {})",
+            self.version, self.epoch
+        ));
+        self.start_election(ctx);
+        Ok(())
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, payload: &[u8]) -> StepResult {
+        match from {
+            Endpoint::Client(_) => {
+                let text = String::from_utf8_lossy(payload).into_owned();
+                self.handle_client(ctx, from, &text);
+                Ok(())
+            }
+            Endpoint::Node(n) => {
+                let frame = match Frame::decode(payload) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        ctx.warn(format!("unparseable frame from node-{n}: {e}"));
+                        return Ok(());
+                    }
+                };
+                match frame.kind.as_str() {
+                    "vote" => {
+                        let Ok(vote) = proto::decode(&vote_schema(), "Vote", &frame.body) else {
+                            ctx.warn(format!("malformed vote from node-{n}"));
+                            return Ok(());
+                        };
+                        let v = (
+                            vote.get_u64("peer_epoch").unwrap_or(0),
+                            vote.get_u64("zxid").unwrap_or(0),
+                            vote.get_u64("node").unwrap_or(0) as u32,
+                        );
+                        if self.in_election && self.wedged.is_none() {
+                            self.peer_votes.insert(n, v);
+                            if self.peer_votes.len() >= self.setup.peers().len() {
+                                self.evaluate_election(ctx);
+                            }
+                        } else {
+                            // Settled (or wedged) nodes echo their vote so a
+                            // restarting peer can tally.
+                            ctx.send(
+                                Endpoint::Node(n),
+                                Frame::new(1, "vote", self.vote_bytes()).encode(),
+                            );
+                        }
+                        Ok(())
+                    }
+                    "ping" => {
+                        self.last_leader_ping = ctx.now();
+                        Ok(())
+                    }
+                    other => {
+                        ctx.warn(format!("unknown message kind '{other}' from node-{n}"));
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) -> StepResult {
+        match token {
+            TOKEN_ELECTION => {
+                if let Some(reason) = self.wedged.clone() {
+                    ctx.error(format!("leader election still failing: {reason}"));
+                    // Keep retrying — and keep failing while the cluster is
+                    // mixed-version, like the real bug. Once every peer runs
+                    // the same release the echoes agree and the retry
+                    // finally succeeds.
+                    self.wedged = None;
+                    self.start_election(ctx);
+                } else if self.in_election {
+                    if !self.peer_votes.is_empty() {
+                        self.evaluate_election(ctx);
+                        if self.in_election || self.wedged.is_some() {
+                            ctx.set_timer(ELECTION_TICK, TOKEN_ELECTION);
+                        }
+                    } else {
+                        let bytes = self.vote_bytes();
+                        for peer in self.setup.peers() {
+                            ctx.send(
+                                Endpoint::Node(peer),
+                                Frame::new(1, "vote", bytes.clone()).encode(),
+                            );
+                        }
+                        ctx.set_timer(ELECTION_TICK, TOKEN_ELECTION);
+                    }
+                }
+            }
+            TOKEN_LEADER_PING => {
+                if self.leader == Some(self.setup.index) {
+                    for peer in self.setup.peers() {
+                        ctx.send(
+                            Endpoint::Node(peer),
+                            Frame::new(1, "ping", Vec::new()).encode(),
+                        );
+                    }
+                    ctx.set_timer(PING_INTERVAL, TOKEN_LEADER_PING);
+                }
+            }
+            TOKEN_PING_CHECK => {
+                if let Some(leader) = self.leader {
+                    if leader != self.setup.index
+                        && ctx.now().since(self.last_leader_ping) > PING_TIMEOUT
+                    {
+                        ctx.warn(format!("leader node-{leader} unreachable; re-electing"));
+                        self.start_election(ctx);
+                        return Ok(());
+                    }
+                    ctx.set_timer(PING_TIMEOUT, TOKEN_PING_CHECK);
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn on_shutdown(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+        self.snapshot(ctx)?;
+        ctx.info("coord node snapshotted and shut down");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dup_simnet::Sim;
+
+    fn v(s: &str) -> VersionId {
+        s.parse().unwrap()
+    }
+
+    fn boot(sim: &mut Sim, version: VersionId, n: u32) -> Vec<u32> {
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let id = sim.add_node(
+                &format!("coord-host-{i}"),
+                &version.to_string(),
+                Box::new(CoordNode::new(version, NodeSetup::new(i, n))),
+            );
+            sim.start_node(id).unwrap();
+            ids.push(id);
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        ids
+    }
+
+    fn cmd(sim: &mut Sim, node: u32, text: &str) -> String {
+        sim.rpc(
+            node,
+            text.as_bytes().to_vec().into(),
+            SimDuration::from_secs(2),
+        )
+        .map(|b| String::from_utf8_lossy(&b).into_owned())
+        .unwrap_or_else(|| "TIMEOUT".to_string())
+    }
+
+    fn upgrade(sim: &mut Sim, idx: u32, to: &str, n: u32) {
+        sim.stop_node(idx).unwrap();
+        sim.install(
+            idx,
+            to,
+            Box::new(CoordNode::new(v(to), NodeSetup::new(idx, n))),
+        )
+        .unwrap();
+        sim.start_node(idx).unwrap();
+    }
+
+    #[test]
+    fn cluster_elects_a_leader_and_serves() {
+        let mut sim = Sim::new(1);
+        let ids = boot(&mut sim, v("3.4.0"), 3);
+        assert_eq!(cmd(&mut sim, ids[0], "HEALTH"), "OK healthy");
+        assert_eq!(cmd(&mut sim, ids[1], "SET k v"), "OK");
+        assert_eq!(cmd(&mut sim, ids[1], "GET k"), "OK v");
+        // All nodes agree on the same leader.
+        let stat0 = cmd(&mut sim, ids[0], "STAT");
+        let stat2 = cmd(&mut sim, ids[2], "STAT");
+        assert_eq!(
+            stat0.split_whitespace().nth(1),
+            stat2.split_whitespace().nth(1),
+            "{stat0} vs {stat2}"
+        );
+    }
+
+    #[test]
+    fn zookeeper_1805_mid_upgrade_node_wedges_on_mixed_epochs() {
+        let mut sim = Sim::new(2);
+        let ids = boot(&mut sim, v("3.4.0"), 3);
+        // Rolling upgrade: node 0 first — it tallies echoes from two 3.4
+        // peers (consistent) and settles.
+        upgrade(&mut sim, ids[0], "3.5.0", 3);
+        sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(cmd(&mut sim, ids[0], "HEALTH"), "OK healthy");
+        // Node 1 next: it receives peerEpoch e+1 from node 0 (3.5) and
+        // peerEpoch e from node 2 (3.4) — the strict check wedges it.
+        upgrade(&mut sim, ids[1], "3.5.0", 3);
+        sim.run_for(SimDuration::from_secs(3));
+        // The node oscillates between "wedged" and "retrying the election";
+        // either way it cannot serve.
+        let resp = cmd(&mut sim, ids[1], "HEALTH");
+        assert!(resp.starts_with("ERR"), "got {resp}");
+        assert!(sim.logs().matching("inconsistent peerEpoch").count() >= 1);
+        // Finishing the rolling upgrade heals the cluster: once node 2 runs
+        // 3.5 too, the wedged node's retry sees consistent peerEpochs.
+        upgrade(&mut sim, ids[2], "3.5.0", 3);
+        sim.run_for(SimDuration::from_secs(4));
+        assert_eq!(cmd(&mut sim, ids[1], "HEALTH"), "OK healthy");
+    }
+
+    #[test]
+    fn full_stop_3_4_to_3_5_is_clean() {
+        let mut sim = Sim::new(3);
+        let ids = boot(&mut sim, v("3.4.0"), 3);
+        cmd(&mut sim, ids[0], "SET a 1");
+        for &id in &ids {
+            sim.stop_node(id).unwrap();
+        }
+        for &id in &ids {
+            upgrade(&mut sim, id, "3.5.0", 3);
+        }
+        sim.run_for(SimDuration::from_secs(3));
+        for &id in &ids {
+            assert_eq!(cmd(&mut sim, id, "HEALTH"), "OK healthy");
+        }
+        assert_eq!(cmd(&mut sim, ids[0], "GET a"), "OK 1");
+    }
+
+    #[test]
+    fn mesos_3834_shape_checkpoint_missing_id_crashes_3_6() {
+        let mut sim = Sim::new(4);
+        let ids = boot(&mut sim, v("3.5.0"), 3);
+        cmd(&mut sim, ids[0], "SET a 1");
+        for &id in &ids {
+            sim.stop_node(id).unwrap();
+        }
+        for &id in &ids {
+            upgrade(&mut sim, id, "3.6.0", 3);
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        // Every node crashes: the checkpoint has no checkpoint_id.
+        assert_eq!(sim.crashed_nodes().len(), 3);
+        assert!(sim.crash_reason(ids[0]).unwrap().contains("checkpoint_id"));
+    }
+
+    #[test]
+    fn fresh_3_6_cluster_is_fine() {
+        let mut sim = Sim::new(5);
+        let ids = boot(&mut sim, v("3.6.0"), 3);
+        assert_eq!(cmd(&mut sim, ids[0], "HEALTH"), "OK healthy");
+        // And a 3.6 restart reads its own checkpoint fine.
+        upgrade(&mut sim, ids[0], "3.6.0", 3);
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(cmd(&mut sim, ids[0], "HEALTH"), "OK healthy");
+    }
+
+    #[test]
+    fn leader_failover_after_kill() {
+        let mut sim = Sim::new(6);
+        let ids = boot(&mut sim, v("3.6.0"), 3);
+        let stat = cmd(&mut sim, ids[0], "STAT");
+        let leader: u32 = stat
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.strip_prefix("leader="))
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        sim.kill_node(leader).unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        let other = ids.iter().copied().find(|&i| i != leader).unwrap();
+        assert_eq!(cmd(&mut sim, other, "HEALTH"), "OK healthy");
+    }
+}

@@ -1,0 +1,113 @@
+//! The [`SystemUnderTest`] implementation for the mini coordination service.
+
+use crate::node::CoordNode;
+use dup_core::{
+    ClientOp, NodeSetup, SystemUnderTest, TranslationTable, UnitStatement, UnitTest, VersionId,
+    WorkloadPhase,
+};
+use dup_simnet::Process;
+
+/// The mini ZooKeeper-like service as a DUPTester subject.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CoordSystem;
+
+impl CoordSystem {
+    /// The release history, oldest first.
+    pub fn release_history() -> Vec<VersionId> {
+        ["3.4.0", "3.5.0", "3.6.0"]
+            .iter()
+            .map(|s| s.parse().expect("static versions parse"))
+            .collect()
+    }
+}
+
+impl SystemUnderTest for CoordSystem {
+    fn name(&self) -> &'static str {
+        "zookeeper-mini"
+    }
+
+    fn versions(&self) -> Vec<VersionId> {
+        Self::release_history()
+    }
+
+    fn cluster_size(&self) -> u32 {
+        3 // ZOOKEEPER-1805 needs all three (Finding 10's one 3-node case).
+    }
+
+    fn spawn(&self, version: VersionId, setup: &NodeSetup) -> Box<dyn Process> {
+        Box::new(CoordNode::new(version, setup.clone()))
+    }
+
+    fn stress_workload(
+        &self,
+        _seed: u64,
+        phase: WorkloadPhase,
+        _client_version: VersionId,
+    ) -> Vec<ClientOp> {
+        let mut ops = Vec::new();
+        match phase {
+            WorkloadPhase::BeforeUpgrade => {
+                for i in 0..5 {
+                    ops.push(ClientOp::new(i % 3, format!("SET key{i} val{i}")));
+                }
+            }
+            WorkloadPhase::DuringUpgrade => {
+                for i in 0..6 {
+                    ops.push(ClientOp::new(i % 3, "STAT".to_string()));
+                }
+            }
+            WorkloadPhase::AfterUpgrade => {
+                for node in 0..3 {
+                    ops.push(ClientOp::new(node, "HEALTH"));
+                    ops.push(ClientOp::new(node, format!("GET key{node}")));
+                }
+                ops.push(ClientOp::new(0, "SET post done"));
+            }
+        }
+        ops
+    }
+
+    fn unit_tests(&self) -> Vec<UnitTest> {
+        vec![UnitTest::new(
+            "testQuorumWrites",
+            vec![
+                UnitStatement::call("setData", &["unit_key", "unit_val"]),
+                UnitStatement::call("getData", &["unit_key"]),
+            ],
+        )]
+    }
+
+    fn translation(&self) -> TranslationTable {
+        TranslationTable::new()
+            .rule("setData", "SET {0} {1}")
+            .rule("getData", "GET {0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_nodes_always() {
+        assert_eq!(CoordSystem.cluster_size(), 3);
+        assert_eq!(CoordSystem::release_history().len(), 3);
+    }
+
+    #[test]
+    fn workload_reads_back_what_it_wrote() {
+        let s = CoordSystem;
+        let v = VersionId::new(3, 4, 0);
+        let before = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, v);
+        let after = s.stress_workload(1, WorkloadPhase::AfterUpgrade, v);
+        // key0..key2 are written to nodes 0..2 and read back from the same.
+        for n in 0..3u32 {
+            assert!(before
+                .iter()
+                .any(|op| op.node == n && op.command == format!("SET key{n} val{n}")));
+            assert!(after
+                .iter()
+                .any(|op| op.node == n && op.command == format!("GET key{n}")));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # dup-dfs — a miniature versioned HDFS
+//!
+//! A master/worker distributed filesystem (node 0 = NameNode, others =
+//! DataNodes) built as a DUPTester subject. Nine releases (0.20.0 → 3.3.0)
+//! re-create the studied HDFS upgrade failures:
+//!
+//! | Seeded bug | Pair | Mechanism |
+//! |---|---|---|
+//! | HDFS-1936  | 0.20 → 1.0 | LayoutVersion bumped to a compression-implying value without implementing compression |
+//! | HDFS-5988  | 1.0 → 2.0 | fsimage loaded without populating the inode map; the re-checkpointed image is unreadable — all files lost |
+//! | HDFS-8676  | 2.6 → 2.7 | synchronous trash purge at upgrade finalization stalls heartbeats past the dead timeout |
+//! | HDFS-11856 | 2.7 → 2.8 rolling | a DataNode restarting longer than the tolerance window is marked bad *permanently* (Figure 1 of the paper) |
+//! | HDFS-14726 | 3.1 → 3.2 rolling | `required committedTxnId` added to the heartbeat; the upgraded NameNode crashes on old heartbeats |
+//! | HDFS-15624 | 3.2 → 3.3 rolling | `NVDIMM` inserted mid-enum shifts `ARCHIVE`; old reports are read as NVDIMM and the DataNodes get excluded |
+//!
+//! Clean pairs (2.0 → 2.6 and 2.8 → 3.1) are controls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod node;
+mod sut;
+
+pub use crate::node::{
+    DataNode, NameNode, DEAD_TIMEOUT, HEARTBEAT_INTERVAL, RESTART_TOLERANCE, TRASH_PURGE_PER_BLOCK,
+};
+pub use crate::sut::DfsSystem;

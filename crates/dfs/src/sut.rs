@@ -1,0 +1,161 @@
+//! The [`SystemUnderTest`] implementation for the mini HDFS.
+
+use crate::node::{DataNode, NameNode};
+use dup_core::{
+    ClientOp, NodeSetup, SystemUnderTest, TranslationTable, UnitStatement, UnitTest, VersionId,
+    WorkloadPhase,
+};
+use dup_simnet::Process;
+
+/// The mini HDFS as a DUPTester subject (node 0 = NameNode).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DfsSystem;
+
+impl DfsSystem {
+    /// The release history, oldest first.
+    pub fn release_history() -> Vec<VersionId> {
+        [
+            "0.20.0", "1.0.0", "2.0.0", "2.6.0", "2.7.0", "2.8.0", "3.1.0", "3.2.0", "3.3.0",
+        ]
+        .iter()
+        .map(|s| s.parse().expect("static version strings parse"))
+        .collect()
+    }
+}
+
+impl SystemUnderTest for DfsSystem {
+    fn name(&self) -> &'static str {
+        "hdfs-mini"
+    }
+
+    fn versions(&self) -> Vec<VersionId> {
+        Self::release_history()
+    }
+
+    fn cluster_size(&self) -> u32 {
+        3
+    }
+
+    fn spawn(&self, version: VersionId, setup: &NodeSetup) -> Box<dyn Process> {
+        if setup.index == 0 {
+            Box::new(NameNode::new(version, setup.clone()))
+        } else {
+            Box::new(DataNode::new(version, setup.clone()))
+        }
+    }
+
+    fn stress_workload(
+        &self,
+        _seed: u64,
+        phase: WorkloadPhase,
+        _client_version: VersionId,
+    ) -> Vec<ClientOp> {
+        let mut ops = Vec::new();
+        match phase {
+            WorkloadPhase::BeforeUpgrade => {
+                for i in 0..8 {
+                    ops.push(ClientOp::new(0, format!("WRITE /data/f{i} payload{i}")));
+                }
+                // Deletes fill the DataNode trash — the HDFS-8676 trigger.
+                for i in 0..6 {
+                    ops.push(ClientOp::new(0, format!("WRITE /tmp/t{i} temp{i}")));
+                }
+                for i in 0..6 {
+                    ops.push(ClientOp::new(0, format!("DELETE /tmp/t{i}")));
+                }
+            }
+            WorkloadPhase::DuringUpgrade => {
+                for i in 0..6 {
+                    ops.push(ClientOp::new(0, format!("WRITE /mid/m{i} mid{i}")));
+                    ops.push(ClientOp::new(0, format!("READ /data/f{}", i % 8)));
+                }
+            }
+            WorkloadPhase::AfterUpgrade => {
+                for i in 0..8 {
+                    ops.push(ClientOp::new(0, format!("READ /data/f{i}")));
+                }
+                for i in 0..6 {
+                    ops.push(ClientOp::new(0, format!("CHECK /mid/m{i}")));
+                }
+                ops.push(ClientOp::new(0, "HEALTH"));
+            }
+        }
+        ops
+    }
+
+    fn unit_tests(&self) -> Vec<UnitTest> {
+        vec![
+            UnitTest::new(
+                "testFileSystemOps",
+                vec![
+                    UnitStatement::bind("f", "writeFile", &["/unit/u1", "alpha"]),
+                    UnitStatement::call("readFile", &["$f"]),
+                    UnitStatement::call("deleteFile", &["$f"]),
+                ],
+            ),
+            UnitTest::new(
+                "testEditLogInternal",
+                vec![
+                    UnitStatement::bind("log", "openEditLog", &["/edits"]),
+                    UnitStatement::call("appendEdit", &["$log", "op1"]),
+                ],
+            ),
+        ]
+    }
+
+    fn translation(&self) -> TranslationTable {
+        TranslationTable::new()
+            .rule("writeFile", "WRITE {0} {1}")
+            .rule("readFile", "READ {0}")
+            .rule("deleteFile", "DELETE {0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_is_sorted() {
+        let vs = DfsSystem::release_history();
+        let mut sorted = vs.clone();
+        sorted.sort();
+        assert_eq!(vs, sorted);
+        assert_eq!(vs.len(), 9);
+    }
+
+    #[test]
+    fn stress_targets_the_namenode_only() {
+        let s = DfsSystem;
+        for phase in [
+            WorkloadPhase::BeforeUpgrade,
+            WorkloadPhase::DuringUpgrade,
+            WorkloadPhase::AfterUpgrade,
+        ] {
+            for op in s.stress_workload(1, phase, VersionId::new(3, 3, 0)) {
+                assert_eq!(op.node, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn before_phase_fills_the_trash() {
+        let s = DfsSystem;
+        let before = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, VersionId::new(2, 6, 0));
+        assert!(
+            before
+                .iter()
+                .filter(|op| op.command.starts_with("DELETE"))
+                .count()
+                >= 6
+        );
+    }
+
+    #[test]
+    fn edit_log_test_is_untranslatable() {
+        let s = DfsSystem;
+        let table = s.translation();
+        assert!(table.template("openEditLog").is_none());
+        assert!(table.template("writeFile").is_some());
+    }
+}

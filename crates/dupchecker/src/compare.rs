@@ -1,0 +1,410 @@
+//! The type-1 checker: cross-version schema comparison for serialization
+//! libraries (paper §6.2).
+//!
+//! Four rules, straight from the paper:
+//!
+//! 1. the tag number (position of the member in the serialized data) is
+//!    changed — **error** (a changed declared type is the same class of
+//!    break and reported under this rule);
+//! 2. a `required` data member is added or removed — **error**;
+//! 3. the `required` qualifier is changed to non-required — **warning**
+//!    (new writers may omit data old readers still require);
+//! 4. an enum that gains or loses a member should have a 0 value —
+//!    **warning** (and renumbering an existing member is an **error**).
+
+use dup_idl::{FieldLabel, IdlFile};
+use std::fmt;
+
+/// Severity of a violation: Table 6's ERR vs WARN split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Guaranteed to break cross-version (de)serialization.
+    Error,
+    /// May break, depending on which fields are populated.
+    Warning,
+}
+
+/// One cross-version incompatibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Rule 1: a field's tag number changed.
+    TagChanged {
+        /// Message name.
+        message: String,
+        /// Field name.
+        field: String,
+        /// Old tag.
+        old_tag: u32,
+        /// New tag.
+        new_tag: u32,
+    },
+    /// Rule 1 (type form): a field's declared type changed.
+    TypeChanged {
+        /// Message name.
+        message: String,
+        /// Field name.
+        field: String,
+        /// Old type.
+        old_type: String,
+        /// New type.
+        new_type: String,
+    },
+    /// Rule 2: a `required` member was added.
+    RequiredAdded {
+        /// Message name.
+        message: String,
+        /// Field name.
+        field: String,
+    },
+    /// Rule 2: a `required` member was removed.
+    RequiredRemoved {
+        /// Message name.
+        message: String,
+        /// Field name.
+        field: String,
+    },
+    /// Rule 3: `required` was downgraded to optional/repeated.
+    RequiredDowngraded {
+        /// Message name.
+        message: String,
+        /// Field name.
+        field: String,
+    },
+    /// Rule 4: the enum changed membership but declares no 0 value.
+    EnumMissingZero {
+        /// Enum name.
+        enum_name: String,
+    },
+    /// Rule 4 (hard form): an existing member's number changed.
+    EnumMemberRenumbered {
+        /// Enum name.
+        enum_name: String,
+        /// Member name.
+        member: String,
+        /// Old number.
+        old_number: i32,
+        /// New number.
+        new_number: i32,
+    },
+}
+
+impl Violation {
+    /// The severity of this violation.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Violation::TagChanged { .. }
+            | Violation::TypeChanged { .. }
+            | Violation::RequiredAdded { .. }
+            | Violation::RequiredRemoved { .. }
+            | Violation::EnumMemberRenumbered { .. } => Severity::Error,
+            Violation::RequiredDowngraded { .. } | Violation::EnumMissingZero { .. } => {
+                Severity::Warning
+            }
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TagChanged {
+                message,
+                field,
+                old_tag,
+                new_tag,
+            } => write!(
+                f,
+                "ERROR {message}.{field}: tag changed {old_tag} -> {new_tag}"
+            ),
+            Violation::TypeChanged {
+                message,
+                field,
+                old_type,
+                new_type,
+            } => write!(
+                f,
+                "ERROR {message}.{field}: type changed {old_type} -> {new_type}"
+            ),
+            Violation::RequiredAdded { message, field } => {
+                write!(f, "ERROR {message}.{field}: required member added")
+            }
+            Violation::RequiredRemoved { message, field } => {
+                write!(f, "ERROR {message}.{field}: required member removed")
+            }
+            Violation::RequiredDowngraded { message, field } => {
+                write!(
+                    f,
+                    "WARN  {message}.{field}: required changed to non-required"
+                )
+            }
+            Violation::EnumMissingZero { enum_name } => {
+                write!(
+                    f,
+                    "WARN  enum {enum_name}: membership changed without a 0 value"
+                )
+            }
+            Violation::EnumMemberRenumbered {
+                enum_name,
+                member,
+                old_number,
+                new_number,
+            } => {
+                write!(
+                    f,
+                    "ERROR enum {enum_name}.{member}: number changed {old_number} -> {new_number}"
+                )
+            }
+        }
+    }
+}
+
+/// Compares two versions of one protocol file and returns all violations.
+pub fn compare_files(old: &IdlFile, new: &IdlFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for old_msg in &old.messages {
+        let Some(new_msg) = new.message(&old_msg.name) else {
+            continue; // Removed messages are not comparable.
+        };
+        for old_field in &old_msg.fields {
+            match new_msg.field(&old_field.name) {
+                Some(new_field) => {
+                    if new_field.tag != old_field.tag {
+                        out.push(Violation::TagChanged {
+                            message: old_msg.name.clone(),
+                            field: old_field.name.clone(),
+                            old_tag: old_field.tag,
+                            new_tag: new_field.tag,
+                        });
+                    }
+                    if new_field.type_name != old_field.type_name {
+                        out.push(Violation::TypeChanged {
+                            message: old_msg.name.clone(),
+                            field: old_field.name.clone(),
+                            old_type: old_field.type_name.clone(),
+                            new_type: new_field.type_name.clone(),
+                        });
+                    }
+                    match (old_field.label, new_field.label) {
+                        (FieldLabel::Required, FieldLabel::Required) => {}
+                        (FieldLabel::Required, _) => {
+                            out.push(Violation::RequiredDowngraded {
+                                message: old_msg.name.clone(),
+                                field: old_field.name.clone(),
+                            });
+                        }
+                        (_, FieldLabel::Required) => {
+                            // An existing member becoming required breaks old
+                            // writers exactly like a new required member.
+                            out.push(Violation::RequiredAdded {
+                                message: old_msg.name.clone(),
+                                field: old_field.name.clone(),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                None => {
+                    if old_field.label == FieldLabel::Required {
+                        out.push(Violation::RequiredRemoved {
+                            message: old_msg.name.clone(),
+                            field: old_field.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        for new_field in &new_msg.fields {
+            if old_msg.field(&new_field.name).is_none() && new_field.label == FieldLabel::Required {
+                out.push(Violation::RequiredAdded {
+                    message: old_msg.name.clone(),
+                    field: new_field.name.clone(),
+                });
+            }
+        }
+    }
+    for old_enum in &old.enums {
+        let Some(new_enum) = new.enum_decl(&old_enum.name) else {
+            continue;
+        };
+        let mut membership_changed = false;
+        for old_val in &old_enum.values {
+            match new_enum.value(&old_val.name) {
+                Some(new_val) => {
+                    if new_val.number != old_val.number {
+                        out.push(Violation::EnumMemberRenumbered {
+                            enum_name: old_enum.name.clone(),
+                            member: old_val.name.clone(),
+                            old_number: old_val.number,
+                            new_number: new_val.number,
+                        });
+                    }
+                }
+                None => membership_changed = true,
+            }
+        }
+        if new_enum
+            .values
+            .iter()
+            .any(|v| old_enum.value(&v.name).is_none())
+        {
+            membership_changed = true;
+        }
+        if membership_changed && !new_enum.has_zero() {
+            out.push(Violation::EnumMissingZero {
+                enum_name: old_enum.name.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dup_idl::parse_proto;
+
+    fn check(old: &str, new: &str) -> Vec<Violation> {
+        compare_files(&parse_proto(old).unwrap(), &parse_proto(new).unwrap())
+    }
+
+    #[test]
+    fn detects_hbase_25238_figure_2() {
+        // The paper's Figure 2, verbatim.
+        let old = r#"
+            message ReplicationLoadSink {
+                required uint64 ageOfLastAppliedOp = 1;
+            }
+        "#;
+        let new = r#"
+            message ReplicationLoadSink {
+                required uint64 ageOfLastAppliedOp = 1;
+                required uint64 timestampStarted = 3;
+            }
+        "#;
+        let vs = check(old, new);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(
+            vs[0],
+            Violation::RequiredAdded {
+                message: "ReplicationLoadSink".into(),
+                field: "timestampStarted".into()
+            }
+        );
+        assert_eq!(vs[0].severity(), Severity::Error);
+    }
+
+    #[test]
+    fn detects_tag_and_type_changes() {
+        let old = "message M { optional uint64 a = 1; optional uint64 b = 2; }";
+        let new = "message M { optional uint64 a = 5; optional string b = 2; }";
+        let vs = check(old, new);
+        assert!(vs.contains(&Violation::TagChanged {
+            message: "M".into(),
+            field: "a".into(),
+            old_tag: 1,
+            new_tag: 5
+        }));
+        assert!(vs.contains(&Violation::TypeChanged {
+            message: "M".into(),
+            field: "b".into(),
+            old_type: "uint64".into(),
+            new_type: "string".into()
+        }));
+    }
+
+    #[test]
+    fn detects_required_removed_and_downgraded() {
+        let old = "message M { required uint64 gone = 1; required uint64 soft = 2; }";
+        let new = "message M { optional uint64 soft = 2; }";
+        let vs = check(old, new);
+        assert!(vs.contains(&Violation::RequiredRemoved {
+            message: "M".into(),
+            field: "gone".into()
+        }));
+        assert!(vs.contains(&Violation::RequiredDowngraded {
+            message: "M".into(),
+            field: "soft".into()
+        }));
+        assert_eq!(
+            vs.iter()
+                .filter(|v| v.severity() == Severity::Error)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn upgrading_optional_to_required_is_an_error() {
+        let old = "message M { optional uint64 f = 1; }";
+        let new = "message M { required uint64 f = 1; }";
+        let vs = check(old, new);
+        assert_eq!(
+            vs,
+            vec![Violation::RequiredAdded {
+                message: "M".into(),
+                field: "f".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn enum_rules() {
+        // HDFS-15624's shape: NVDIMM inserted, ARCHIVE renumbered.
+        let old = "enum StorageType { DISK = 0; SSD = 1; ARCHIVE = 2; }";
+        let new = "enum StorageType { DISK = 0; SSD = 1; NVDIMM = 2; ARCHIVE = 3; }";
+        let vs = check(old, new);
+        assert!(vs.contains(&Violation::EnumMemberRenumbered {
+            enum_name: "StorageType".into(),
+            member: "ARCHIVE".into(),
+            old_number: 2,
+            new_number: 3
+        }));
+
+        // No zero value + membership change → warning.
+        let old = "enum E { A = 1; B = 2; }";
+        let new = "enum E { A = 1; B = 2; C = 3; }";
+        let vs = check(old, new);
+        assert_eq!(
+            vs,
+            vec![Violation::EnumMissingZero {
+                enum_name: "E".into()
+            }]
+        );
+        assert_eq!(vs[0].severity(), Severity::Warning);
+
+        // With a zero value the same change is clean.
+        let old = "enum E { Z = 0; A = 1; }";
+        let new = "enum E { Z = 0; A = 1; B = 2; }";
+        assert!(check(old, new).is_empty());
+    }
+
+    #[test]
+    fn compatible_changes_are_clean() {
+        let old = "message M { required uint64 a = 1; }";
+        let new = r#"
+            message M {
+                required uint64 a = 1;
+                optional string note = 2;
+                repeated uint64 extras = 3;
+            }
+            message Brand { required bool fresh = 1; }
+        "#;
+        assert!(check(old, new).is_empty());
+    }
+
+    #[test]
+    fn works_on_thrift_too() {
+        let old = dup_idl::parse_thrift("struct S { 1: required i64 id }").unwrap();
+        let new =
+            dup_idl::parse_thrift("struct S { 1: required i64 id, 2: required string token }")
+                .unwrap();
+        let vs = compare_files(&old, &new);
+        assert_eq!(
+            vs,
+            vec![Violation::RequiredAdded {
+                message: "S".into(),
+                field: "token".into()
+            }]
+        );
+    }
+}

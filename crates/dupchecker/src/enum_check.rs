@@ -1,0 +1,357 @@
+//! The type-2 checker: enum-ordinal serialization across versions
+//! (paper §6.2, second half).
+//!
+//! Combines `dup-srcmodel`'s dataflow (which enums have their index written
+//! to a `DataOutput`) with a cross-version membership diff:
+//!
+//! - a serialized enum whose existing members' *positions* changed between
+//!   versions is a **bug** — old and new sides disagree about what each
+//!   index means (HDFS-15624);
+//! - a serialized enum that did *not* change is a **vulnerability** — the
+//!   paper's tool asks developers to add padding or an order-preserving
+//!   comment and an index range check.
+
+use dup_srcmodel::{find_serialized_enum_uses, parse_java, CompilationUnit, JavaParseError};
+use std::fmt;
+
+/// A finding of the enum checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumFinding {
+    /// The serialized enum's member positions changed: a real bug.
+    Bug {
+        /// Enum name.
+        enum_name: String,
+        /// The first member whose ordinal changed.
+        member: String,
+        /// Its old ordinal.
+        old_ordinal: usize,
+        /// Its new ordinal (`None` if the member was removed).
+        new_ordinal: Option<usize>,
+        /// Where the ordinal is serialized (`Class.method`).
+        site: String,
+    },
+    /// The serialized enum is unchanged but unprotected: a vulnerability.
+    Vulnerability {
+        /// Enum name.
+        enum_name: String,
+        /// Where the ordinal is serialized.
+        site: String,
+    },
+}
+
+impl EnumFinding {
+    /// `true` for [`EnumFinding::Bug`].
+    pub fn is_bug(&self) -> bool {
+        matches!(self, EnumFinding::Bug { .. })
+    }
+
+    /// The enum this finding concerns.
+    pub fn enum_name(&self) -> &str {
+        match self {
+            EnumFinding::Bug { enum_name, .. } | EnumFinding::Vulnerability { enum_name, .. } => {
+                enum_name
+            }
+        }
+    }
+}
+
+impl fmt::Display for EnumFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumFinding::Bug {
+                enum_name,
+                member,
+                old_ordinal,
+                new_ordinal,
+                site,
+            } => {
+                write!(
+                f,
+                "BUG  enum {enum_name}: member {member} moved from ordinal {old_ordinal} to {} \
+                 while serialized at {site}",
+                new_ordinal.map(|n| n.to_string()).unwrap_or_else(|| "(removed)".to_string())
+            )
+            }
+            EnumFinding::Vulnerability { enum_name, site } => write!(
+                f,
+                "VULN enum {enum_name}: ordinal serialized at {site}; preserve member order and \
+                 add an index range check"
+            ),
+        }
+    }
+}
+
+/// Checks two versions of a parsed source tree.
+pub fn check_units(old: &CompilationUnit, new: &CompilationUnit) -> Vec<EnumFinding> {
+    let mut uses = find_serialized_enum_uses(new);
+    uses.extend(find_serialized_enum_uses(old));
+    uses.sort_by(|a, b| a.enum_name.cmp(&b.enum_name));
+    uses.dedup_by(|a, b| a.enum_name == b.enum_name);
+
+    let mut out = Vec::new();
+    for u in uses {
+        let site = format!("{}.{}", u.class_name, u.method_name);
+        let (Some(old_enum), Some(new_enum)) =
+            (old.enum_model(&u.enum_name), new.enum_model(&u.enum_name))
+        else {
+            continue;
+        };
+        let mut changed = None;
+        for (old_ord, member) in old_enum.members.iter().enumerate() {
+            let new_ord = new_enum.ordinal_of(member);
+            if new_ord != Some(old_ord) {
+                changed = Some((member.clone(), old_ord, new_ord));
+                break;
+            }
+        }
+        match changed {
+            Some((member, old_ordinal, new_ordinal)) => out.push(EnumFinding::Bug {
+                enum_name: u.enum_name.clone(),
+                member,
+                old_ordinal,
+                new_ordinal,
+                site,
+            }),
+            None => out.push(EnumFinding::Vulnerability {
+                enum_name: u.enum_name.clone(),
+                site,
+            }),
+        }
+    }
+    out
+}
+
+/// Parses and checks two versions of a set of source files.
+pub fn check_sources(
+    old_files: &[(String, String)],
+    new_files: &[(String, String)],
+) -> Result<Vec<EnumFinding>, JavaParseError> {
+    let old = parse_all(old_files)?;
+    let new = parse_all(new_files)?;
+    Ok(check_units(&old, &new))
+}
+
+fn parse_all(files: &[(String, String)]) -> Result<CompilationUnit, JavaParseError> {
+    let mut merged = CompilationUnit::default();
+    for (_, source) in files {
+        let unit = parse_java(source)?;
+        merged.classes.extend(unit.classes);
+        merged.enums.extend(unit.enums);
+        if merged.package.is_none() {
+            merged.package = unit.package;
+        }
+    }
+    Ok(merged)
+}
+
+/// A bundled Java-subset corpus with the paper's §6.2 enum-checker yield:
+/// 2 bugs and 6 vulnerabilities across the scanned systems.
+pub fn java_corpus() -> Vec<(&'static str, Vec<(String, String)>, Vec<(String, String)>)> {
+    fn f(name: &str, src: &str) -> (String, String) {
+        (name.to_string(), src.to_string())
+    }
+    let mut out = Vec::new();
+
+    // Bug 1 — the HDFS-15624 shape: NVDIMM inserted mid-enum.
+    out.push((
+        "HDFS",
+        vec![f(
+            "StorageReport.java",
+            r#"
+            public class StorageReport {
+                public enum StorageType { DISK, SSD, ARCHIVE, PROVIDED }
+                public void write(DataOutput out, StorageType t) {
+                    out.writeInt(t.ordinal());
+                }
+            }
+            "#,
+        )],
+        vec![f(
+            "StorageReport.java",
+            r#"
+            public class StorageReport {
+                public enum StorageType { DISK, SSD, NVDIMM, ARCHIVE, PROVIDED }
+                public void write(DataOutput out, StorageType t) {
+                    out.writeInt(t.ordinal());
+                }
+            }
+            "#,
+        )],
+    ));
+
+    // Bug 2 — a member deleted from a serialized enum.
+    out.push((
+        "HBase",
+        vec![f(
+            "CompactionState.java",
+            r#"
+            public class CompactionTracker {
+                public enum CompactionState { NONE, MINOR, MAJOR, MAJOR_AND_MINOR }
+                private DataOutput meta;
+                public void persist(CompactionState s) {
+                    int v = s.ordinal();
+                    meta.writeByte(v);
+                }
+            }
+            "#,
+        )],
+        vec![f(
+            "CompactionState.java",
+            r#"
+            public class CompactionTracker {
+                public enum CompactionState { NONE, MAJOR, MAJOR_AND_MINOR }
+                private DataOutput meta;
+                public void persist(CompactionState s) {
+                    int v = s.ordinal();
+                    meta.writeByte(v);
+                }
+            }
+            "#,
+        )],
+    ));
+
+    // Six vulnerabilities: serialized but (so far) unchanged enums.
+    let vuln_systems: [(&str, &str, &str); 6] = [
+        ("HDFS", "ChecksumKind", "ChecksumWriter"),
+        ("HBase", "KeepDeletedCells", "CellWriter"),
+        ("Mesos", "TaskState", "TaskSerializer"),
+        ("YARN", "ContainerState", "ContainerWriter"),
+        ("Accumulo", "TabletState", "TabletWriter"),
+        ("Impala", "PlanNodeKind", "PlanSerializer"),
+    ];
+    for (system, enum_name, class_name) in vuln_systems {
+        let src = format!(
+            r#"
+            public class {class_name} {{
+                public enum {enum_name} {{ FIRST, SECOND, THIRD }}
+                public void save(DataOutputStream out, {enum_name} value) {{
+                    out.writeInt(value.ordinal());
+                }}
+            }}
+            "#
+        );
+        out.push((system, vec![f("V.java", &src)], vec![f("V.java", &src)]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_member_on_serialized_enum_is_a_bug() {
+        let corpus = java_corpus();
+        let (system, old, new) = &corpus[0];
+        assert_eq!(*system, "HDFS");
+        let findings = check_sources(old, new).unwrap();
+        assert_eq!(findings.len(), 1);
+        match &findings[0] {
+            EnumFinding::Bug {
+                enum_name,
+                member,
+                old_ordinal,
+                new_ordinal,
+                ..
+            } => {
+                assert_eq!(enum_name, "StorageType");
+                assert_eq!(member, "ARCHIVE");
+                assert_eq!(*old_ordinal, 2);
+                assert_eq!(*new_ordinal, Some(3));
+            }
+            other => panic!("expected bug, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deleted_member_on_serialized_enum_is_a_bug() {
+        let corpus = java_corpus();
+        let (_, old, new) = &corpus[1];
+        let findings = check_sources(old, new).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].is_bug());
+        assert_eq!(findings[0].enum_name(), "CompactionState");
+    }
+
+    #[test]
+    fn unchanged_serialized_enum_is_a_vulnerability() {
+        let corpus = java_corpus();
+        let (_, old, new) = &corpus[2];
+        let findings = check_sources(old, new).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].is_bug());
+        assert!(findings[0].to_string().contains("VULN"));
+    }
+
+    #[test]
+    fn corpus_yield_matches_the_paper() {
+        // §6.2: "found 2 new bugs ... and 6 vulnerabilities".
+        let mut bugs = 0;
+        let mut vulns = 0;
+        for (_, old, new) in &java_corpus() {
+            for finding in check_sources(old, new).unwrap() {
+                if finding.is_bug() {
+                    bugs += 1;
+                } else {
+                    vulns += 1;
+                }
+            }
+        }
+        assert_eq!(bugs, 2);
+        assert_eq!(vulns, 6);
+    }
+
+    #[test]
+    fn unserialized_enum_changes_are_not_flagged() {
+        let old = vec![(
+            "A.java".to_string(),
+            r#"
+            class A {
+                enum Quiet { X, Y }
+                void m(DataOutput out) { out.writeLong(7); }
+            }
+            "#
+            .to_string(),
+        )];
+        let new = vec![(
+            "A.java".to_string(),
+            r#"
+            class A {
+                enum Quiet { X, MIDDLE, Y }
+                void m(DataOutput out) { out.writeLong(7); }
+            }
+            "#
+            .to_string(),
+        )];
+        assert!(check_sources(&old, &new).unwrap().is_empty());
+    }
+
+    #[test]
+    fn appended_member_is_not_a_bug_but_still_vulnerable() {
+        // Appending at the end preserves existing ordinals: not a bug, but
+        // the enum is serialized and unprotected → vulnerability.
+        let old = vec![(
+            "A.java".to_string(),
+            r#"
+            class A {
+                enum K { X, Y }
+                void m(DataOutput out, K k) { out.writeInt(k.ordinal()); }
+            }
+            "#
+            .to_string(),
+        )];
+        let new = vec![(
+            "A.java".to_string(),
+            r#"
+            class A {
+                enum K { X, Y, Z }
+                void m(DataOutput out, K k) { out.writeInt(k.ordinal()); }
+            }
+            "#
+            .to_string(),
+        )];
+        let findings = check_sources(&old, &new).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].is_bug());
+    }
+}

@@ -1,0 +1,43 @@
+//! # dup-checker — DUPChecker, the static upgrade-bug detectors (paper §6.2)
+//!
+//! Two checkers, as in the paper:
+//!
+//! - **Type-1** ([`compare_files`]): cross-version comparison of
+//!   serialization-library schemas (Protocol-Buffers-like and Thrift-like,
+//!   parsed by `dup-idl`). Four rules — tag changed, required added/removed,
+//!   required downgraded, enum-membership change without a 0 value — split
+//!   into errors and warnings exactly as Table 6 reports them.
+//!   [`check_corpus`] walks a versioned corpus; [`generate`] +
+//!   [`table6_specs`] rebuild corpora with the paper's per-system counts
+//!   (700 errors + 178 warnings over 7 systems).
+//! - **Type-2** ([`check_sources`]): enum-ordinal serialization, via the
+//!   `dup-srcmodel` dataflow. A serialized enum whose member positions
+//!   changed is a bug (HDFS-15624); one that is merely serialized without
+//!   protection is a vulnerability. [`java_corpus`] reproduces the paper's
+//!   yield of 2 bugs + 6 vulnerabilities.
+//!
+//! # Examples
+//!
+//! ```
+//! use dup_checker::{compare_files, Severity};
+//! let old = dup_idl::parse_proto("message M { required uint64 id = 1; }").unwrap();
+//! let new = dup_idl::parse_proto(
+//!     "message M { required uint64 id = 1; required uint64 extra = 2; }").unwrap();
+//! let violations = compare_files(&old, &new);
+//! assert_eq!(violations.len(), 1);
+//! assert_eq!(violations[0].severity(), Severity::Error);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compare;
+mod corpus;
+mod enum_check;
+
+pub use crate::compare::{compare_files, Severity, Violation};
+pub use crate::corpus::{
+    check_corpus, generate, parse_version, table6_specs, Corpus, CorpusReport, CorpusSpec,
+    CorpusVersion, PairReport,
+};
+pub use crate::enum_check::{check_sources, check_units, java_corpus, EnumFinding};

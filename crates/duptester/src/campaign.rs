@@ -1,0 +1,228 @@
+//! Campaigns: systematic sweeps over version pairs × scenarios × workloads,
+//! with deduplicated failure reports — the machinery behind Table 5.
+
+use crate::harness::{run_case, CaseOutcome, TestCase};
+use crate::oracle::Observation;
+use crate::scenario::{Scenario, WorkloadSource};
+use dup_core::{upgrade_pairs, SystemUnderTest, VersionId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seeds to try per case (Finding 11: ~89% of bugs need only one; the
+    /// timing-dependent rest benefit from a few).
+    pub seeds: Vec<u64>,
+    /// Also test version pairs at distance two (Finding 9's extra 9%).
+    pub include_gap_two: bool,
+    /// Scenarios to run.
+    pub scenarios: Vec<Scenario>,
+    /// Include unit-test-derived workloads.
+    pub use_unit_tests: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seeds: vec![1, 2, 3],
+            include_gap_two: false,
+            scenarios: Scenario::ALL.to_vec(),
+            use_unit_tests: true,
+        }
+    }
+}
+
+/// One deduplicated failure found by a campaign.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// System name.
+    pub system: String,
+    /// Version upgraded from.
+    pub from: VersionId,
+    /// Version upgraded to.
+    pub to: VersionId,
+    /// The scenario that first exposed it.
+    pub scenario: Scenario,
+    /// The workload that first exposed it.
+    pub workload: WorkloadSource,
+    /// Seed of the first exposing run.
+    pub seed: u64,
+    /// Dedup signature.
+    pub signature: String,
+    /// Heuristic root-cause label (Table 5 vocabulary).
+    pub cause: &'static str,
+    /// The evidence.
+    pub observations: Vec<Observation>,
+    /// How many (scenario, workload, seed) combinations reproduced it.
+    pub reproductions: usize,
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} -> {} [{} / {}] {}: {}",
+            self.system,
+            self.from,
+            self.to,
+            self.scenario,
+            self.workload,
+            self.cause,
+            self.observations
+                .first()
+                .map(|o| o.to_string())
+                .unwrap_or_default()
+        )
+    }
+}
+
+/// The full outcome of a campaign over one system.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// System name.
+    pub system: String,
+    /// Deduplicated failures, in discovery order.
+    pub failures: Vec<FailureReport>,
+    /// Total cases executed.
+    pub cases_run: usize,
+    /// Cases that passed.
+    pub cases_passed: usize,
+    /// Cases skipped as invalid workloads.
+    pub cases_invalid: usize,
+}
+
+impl CampaignReport {
+    /// Failures on the given version pair.
+    pub fn failures_on(&self, from: VersionId, to: VersionId) -> Vec<&FailureReport> {
+        self.failures
+            .iter()
+            .filter(|f| f.from == from && f.to == to)
+            .collect()
+    }
+
+    /// Renders a Table-5-style listing.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:<14} {:<28} {}\n",
+            "System", "From", "To", "Scenario", "Workload", "Cause"
+        ));
+        for f in &self.failures {
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>8} {:<14} {:<28} {}\n",
+                f.system,
+                f.from.to_string(),
+                f.to.to_string(),
+                f.scenario.to_string(),
+                f.workload.to_string(),
+                f.cause
+            ));
+        }
+        out.push_str(&format!(
+            "-- {} distinct failures / {} cases ({} passed, {} invalid workloads)\n",
+            self.failures.len(),
+            self.cases_run,
+            self.cases_passed,
+            self.cases_invalid
+        ));
+        out
+    }
+}
+
+/// Runs a full campaign over `sut`.
+pub fn run_campaign(sut: &dyn SystemUnderTest, config: &CampaignConfig) -> CampaignReport {
+    let versions = sut.versions();
+    let pairs = upgrade_pairs(&versions, config.include_gap_two);
+    let mut report = CampaignReport {
+        system: sut.name().to_string(),
+        ..Default::default()
+    };
+    // signature key -> index into report.failures
+    let mut seen: BTreeMap<(VersionId, VersionId, String), usize> = BTreeMap::new();
+
+    let mut workloads: Vec<WorkloadSource> = vec![WorkloadSource::Stress];
+    if config.use_unit_tests {
+        for test in sut.unit_tests() {
+            workloads.push(WorkloadSource::TranslatedUnit(test.name.clone()));
+            workloads.push(WorkloadSource::UnitStateHandoff(test.name.clone()));
+        }
+    }
+
+    for (from, to) in pairs {
+        for scenario in &config.scenarios {
+            for workload in &workloads {
+                for &seed in &config.seeds {
+                    let case = TestCase {
+                        from,
+                        to,
+                        scenario: *scenario,
+                        workload: workload.clone(),
+                        seed,
+                    };
+                    report.cases_run += 1;
+                    match run_case(sut, &case) {
+                        CaseOutcome::Pass => report.cases_passed += 1,
+                        CaseOutcome::InvalidWorkload(_) => report.cases_invalid += 1,
+                        CaseOutcome::Fail(observations) => {
+                            let signature = observations
+                                .first()
+                                .map(|o| o.signature())
+                                .unwrap_or_default();
+                            let key = (from, to, signature.clone());
+                            if let Some(&idx) = seen.get(&key) {
+                                report.failures[idx].reproductions += 1;
+                            } else {
+                                let cause = observations
+                                    .iter()
+                                    .map(|o| o.classify())
+                                    .find(|c| *c != "Unclassified")
+                                    .unwrap_or("Unclassified");
+                                seen.insert(key, report.failures.len());
+                                report.failures.push(FailureReport {
+                                    system: sut.name().to_string(),
+                                    from,
+                                    to,
+                                    scenario: *scenario,
+                                    workload: workload.clone(),
+                                    seed,
+                                    signature,
+                                    cause,
+                                    observations,
+                                    reproductions: 1,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = CampaignConfig::default();
+        assert_eq!(c.scenarios.len(), 3);
+        assert!(!c.seeds.is_empty());
+        assert!(c.use_unit_tests);
+    }
+
+    #[test]
+    fn report_table_renders_counts() {
+        let report = CampaignReport {
+            system: "x".into(),
+            failures: vec![],
+            cases_run: 10,
+            cases_passed: 9,
+            cases_invalid: 1,
+        };
+        let table = report.render_table();
+        assert!(table.contains("0 distinct failures / 10 cases"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The test-case runner: boots a cluster of the old version in the
+//! simulator, drives the workload through one of the three upgrade
+//! scenarios, and hands the evidence to the oracle.
+
+use crate::oracle::{self, Observation, OpResult};
+use crate::scenario::{Scenario, WorkloadSource};
+use crate::translator::translate;
+use dup_core::{ClientOp, NodeSetup, SystemUnderTest, UnitTest, VersionId, WorkloadPhase};
+use dup_simnet::{Sim, SimDuration};
+
+/// One test case: a version pair, a scenario, a workload, a seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCase {
+    /// The version upgraded *from*.
+    pub from: VersionId,
+    /// The version upgraded *to*.
+    pub to: VersionId,
+    /// Upgrade scenario.
+    pub scenario: Scenario,
+    /// Workload source.
+    pub workload: WorkloadSource,
+    /// Simulation seed (only matters for the ~11% timing-dependent bugs).
+    pub seed: u64,
+}
+
+/// The outcome of one test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The upgrade went through cleanly.
+    Pass,
+    /// The oracle collected evidence of an upgrade failure.
+    Fail(Vec<Observation>),
+    /// The workload could not be set up (untranslatable unit test, invalid
+    /// persistent state, …); the case says nothing about the upgrade.
+    InvalidWorkload(String),
+}
+
+impl CaseOutcome {
+    /// `true` for [`CaseOutcome::Fail`].
+    pub fn is_failure(&self) -> bool {
+        matches!(self, CaseOutcome::Fail(_))
+    }
+}
+
+const SETTLE: SimDuration = SimDuration::from_secs(2);
+/// Downtime of a node during one rolling-upgrade step. Longer than the
+/// pipeline-restart tolerance (3 s) — as real upgrades are (paper Fig. 1) —
+/// but far shorter than the 60 s dead timeout.
+const ROLLING_DOWNTIME: SimDuration = SimDuration::from_millis(3600);
+/// Post-upgrade quiesce. Long enough for slow-burn symptoms (trash-purge
+/// heartbeat stalls, storms) to surface.
+const QUIESCE: SimDuration = SimDuration::from_secs(75);
+const OP_TIMEOUT: SimDuration = SimDuration::from_secs(3);
+
+/// Runs one test case against `sut`.
+pub fn run_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
+    let mut sim = Sim::new(case.seed);
+    let n = sut.cluster_size();
+    let mut config = sut.default_config();
+
+    // Workload-specific setup.
+    let before_ops: Vec<ClientOp>;
+    let mut during_ops: Vec<ClientOp> = Vec::new();
+    let after_ops: Vec<ClientOp>;
+    match &case.workload {
+        WorkloadSource::Stress => {
+            before_ops = sut.stress_workload(case.seed, WorkloadPhase::BeforeUpgrade, case.from);
+            during_ops = sut.stress_workload(case.seed, WorkloadPhase::DuringUpgrade, case.from);
+            after_ops = sut.stress_workload(case.seed, WorkloadPhase::AfterUpgrade, case.from);
+        }
+        WorkloadSource::TranslatedUnit(name) => {
+            let Some(test) = find_unit_test(sut, name) else {
+                return CaseOutcome::InvalidWorkload(format!("no unit test named {name}"));
+            };
+            let translation = translate(&test, &sut.translation(), 0);
+            if !translation.is_usable() {
+                return CaseOutcome::InvalidWorkload(format!(
+                    "unit test {name} is fully untranslatable"
+                ));
+            }
+            for (k, v) in &test.config {
+                config.insert(k.clone(), v.clone());
+            }
+            before_ops = translation.ops;
+            // Post-upgrade, re-check health everywhere.
+            after_ops = (0..n).map(|i| ClientOp::new(i, "HEALTH")).collect();
+        }
+        WorkloadSource::UnitStateHandoff(name) => {
+            let Some(test) = find_unit_test(sut, name) else {
+                return CaseOutcome::InvalidWorkload(format!("no unit test named {name}"));
+            };
+            for (k, v) in &test.config {
+                config.insert(k.clone(), v.clone());
+            }
+            // Execute the unit test in place against node 0's storage, as
+            // the original in-JVM test would.
+            let storage = sim.host_storage(&host(0));
+            for stmt in &test.statements {
+                if let Err(e) = sut.run_unit_statement(case.from, stmt, storage) {
+                    return CaseOutcome::InvalidWorkload(format!(
+                        "unit test {name} cannot run in place: {e}"
+                    ));
+                }
+            }
+            before_ops = Vec::new();
+            after_ops = (0..n).map(|i| ClientOp::new(i, "HEALTH")).collect();
+        }
+    }
+
+    // Boot the old-version cluster.
+    for i in 0..n {
+        let mut setup = NodeSetup::new(i, n);
+        setup.config = config.clone();
+        let id = sim.add_node(
+            &host(i),
+            &case.from.to_string(),
+            sut.spawn(case.from, &setup),
+        );
+        if sim.start_node(id).is_err() {
+            return CaseOutcome::InvalidWorkload("node failed to start".to_string());
+        }
+    }
+    sim.run_for(SETTLE);
+    if let WorkloadSource::UnitStateHandoff(name) = &case.workload {
+        // Validity check: the old version itself must be able to start from
+        // the unit test's persistent state (paper §6.1.2).
+        if !sim.crashed_nodes().is_empty() {
+            return CaseOutcome::InvalidWorkload(format!(
+                "state left by {name} does not boot the old version"
+            ));
+        }
+    }
+
+    let mut ops: Vec<OpResult> = Vec::new();
+    run_ops(&mut sim, &before_ops, false, false, &mut ops);
+    sim.run_for(SETTLE);
+
+    // If the *old* version already fails under this workload/config, the
+    // case says nothing about upgrades (e.g. a config that breaks every
+    // release from some point on, not just the upgraded one).
+    if !sim.crashed_nodes().is_empty() {
+        return CaseOutcome::InvalidWorkload(
+            "workload or configuration crashes the old version too".to_string(),
+        );
+    }
+
+    // ----- the upgrade itself -------------------------------------------
+    let log_mark = sim.logs().len();
+    let upgrade_started = sim.now();
+    let msgs_before_window = sim.messages_delivered();
+
+    match case.scenario {
+        Scenario::FullStop => {
+            for i in (0..n).rev() {
+                let _ = sim.stop_node(i);
+            }
+            sim.run_for(SimDuration::from_millis(200));
+            for i in 0..n {
+                let mut setup = NodeSetup::new(i, n);
+                setup.config = config.clone();
+                if sim
+                    .install(i, &case.to.to_string(), sut.spawn(case.to, &setup))
+                    .is_ok()
+                {
+                    let _ = sim.start_node(i);
+                }
+            }
+            sim.run_for(SETTLE);
+            run_ops(&mut sim, &during_ops, true, false, &mut ops);
+        }
+        Scenario::Rolling => {
+            // Split the during-workload across the rolling steps: half of
+            // each node's chunk runs while the node is down (past the
+            // restart tolerance — the HDFS-11856 window), the other half
+            // right after it restarts (the mixed-version live window where
+            // cross-version messages actually flow).
+            let chunks = chunk_ops(&during_ops, 2 * n as usize);
+            for i in 0..n {
+                let _ = sim.stop_node(i);
+                sim.run_for(ROLLING_DOWNTIME);
+                run_ops(&mut sim, &chunks[2 * i as usize], true, false, &mut ops);
+                let mut setup = NodeSetup::new(i, n);
+                setup.config = config.clone();
+                if sim
+                    .install(i, &case.to.to_string(), sut.spawn(case.to, &setup))
+                    .is_ok()
+                {
+                    let _ = sim.start_node(i);
+                }
+                sim.run_for(SETTLE);
+                run_ops(&mut sim, &chunks[2 * i as usize + 1], true, false, &mut ops);
+            }
+        }
+        Scenario::NewNodeJoin => {
+            let joined = n;
+            let mut setup = NodeSetup::new(joined, n + 1);
+            setup.config = config.clone();
+            let id = sim.add_node(
+                &host(joined),
+                &case.to.to_string(),
+                sut.spawn(case.to, &setup),
+            );
+            let _ = sim.start_node(id);
+            sim.run_for(SETTLE);
+            run_ops(&mut sim, &during_ops, true, false, &mut ops);
+            let probe = vec![ClientOp::new(joined, "HEALTH")];
+            run_ops(&mut sim, &probe, true, false, &mut ops);
+        }
+    }
+
+    sim.run_for(QUIESCE);
+    run_ops(&mut sim, &after_ops, true, true, &mut ops);
+    sim.run_for(SETTLE);
+
+    // Message-rate comparison over equal-length windows.
+    let window_msgs = sim.messages_delivered() - msgs_before_window;
+    let window_len = sim.now().since(upgrade_started).as_millis().max(1);
+    let baseline_rate_per_ms =
+        msgs_before_window as f64 / upgrade_started.as_millis().max(1) as f64;
+    let baseline_msgs = (baseline_rate_per_ms * window_len as f64) as u64;
+
+    let observations = oracle::evaluate(&sim, log_mark, baseline_msgs, window_msgs, &ops);
+    if observations.is_empty() {
+        CaseOutcome::Pass
+    } else {
+        CaseOutcome::Fail(observations)
+    }
+}
+
+fn host(i: u32) -> String {
+    format!("host-{i}")
+}
+
+fn find_unit_test(sut: &dyn SystemUnderTest, name: &str) -> Option<UnitTest> {
+    sut.unit_tests().into_iter().find(|t| t.name == name)
+}
+
+fn chunk_ops(ops: &[ClientOp], chunks: usize) -> Vec<Vec<ClientOp>> {
+    let mut out = vec![Vec::new(); chunks.max(1)];
+    for (i, op) in ops.iter().enumerate() {
+        out[i % chunks.max(1)].push(op.clone());
+    }
+    out
+}
+
+fn run_ops(
+    sim: &mut Sim,
+    batch: &[ClientOp],
+    after_upgrade_started: bool,
+    in_after_phase: bool,
+    out: &mut Vec<OpResult>,
+) {
+    for op in batch {
+        let response = sim
+            .rpc(op.node, op.command.clone().into_bytes().into(), OP_TIMEOUT)
+            .map(|b| String::from_utf8_lossy(&b).into_owned());
+        out.push(OpResult {
+            command: op.command.clone(),
+            node: op.node,
+            response,
+            after_upgrade_started,
+            in_after_phase,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_round_robins() {
+        let ops: Vec<ClientOp> = (0..7).map(|i| ClientOp::new(0, format!("OP{i}"))).collect();
+        let chunks = chunk_ops(&ops, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 3);
+        assert_eq!(chunks[1].len(), 2);
+        assert_eq!(chunks[2].len(), 2);
+        assert!(chunk_ops(&ops, 0).len() == 1);
+    }
+}

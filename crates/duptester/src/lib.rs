@@ -1,0 +1,35 @@
+//! # dup-tester — DUPTester, the upgrade testing framework (paper §6.1)
+//!
+//! DUPTester systematically tests a [`dup_core::SystemUnderTest`] across:
+//!
+//! - **version pairs**: consecutive releases, optionally distance-2 pairs
+//!   (Finding 9 — this covers ~90% of studied failures with O(N) pairs);
+//! - **scenarios** ([`Scenario`]): full-stop, rolling, and new-node-join;
+//! - **workloads** ([`WorkloadSource`]): the system's stress operations,
+//!   unit tests *translated* into client commands ([`translate`], §6.1.3),
+//!   and unit tests executed in place whose persistent state the upgraded
+//!   cluster must boot from (§6.1.2).
+//!
+//! The failure [`oracle`] keys on crashes, fatal/error logs, failed or
+//! unanswered client operations, and message storms — the observable
+//! symptoms Finding 3 says cover 70% of real upgrade failures.
+//!
+//! [`run_campaign`] sweeps everything and produces a deduplicated,
+//! Table-5-style [`CampaignReport`]; [`catalog`] holds the ground-truth
+//! seeded-bug list so recall can be measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+pub mod catalog;
+mod harness;
+mod oracle;
+mod scenario;
+mod translator;
+
+pub use crate::campaign::{run_campaign, CampaignConfig, CampaignReport, FailureReport};
+pub use crate::harness::{run_case, CaseOutcome, TestCase};
+pub use crate::oracle::{evaluate, Observation, OpResult};
+pub use crate::scenario::{Scenario, WorkloadSource};
+pub use crate::translator::{translate, Translation};

@@ -1,0 +1,359 @@
+//! The failure oracle (paper §6.1.1).
+//!
+//! "DUPTester treats error log messages, exceptions, and crashes as
+//! indication for upgrade failures." The oracle also watches for message
+//! storms (the CASSANDRA-13441 class, which crashes nothing) and for
+//! unresponsive nodes after the upgrade.
+
+use dup_simnet::{LogLevel, NodeStatus, Sim};
+use std::fmt;
+
+/// One piece of evidence that the upgrade failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// A node crashed (fatal error or panic).
+    NodeCrash {
+        /// The crashed node.
+        node: u32,
+        /// Its version label at crash time.
+        version: String,
+        /// The crash reason.
+        reason: String,
+    },
+    /// ERROR/FATAL records were logged during or after the upgrade.
+    ErrorLogs {
+        /// How many.
+        count: usize,
+        /// A representative message.
+        sample: String,
+    },
+    /// A client operation received an error response.
+    FailedOp {
+        /// The command.
+        command: String,
+        /// The error response.
+        response: String,
+    },
+    /// A client operation after the upgrade received no response at all.
+    Unresponsive {
+        /// The command.
+        command: String,
+    },
+    /// Cluster traffic exploded relative to the pre-upgrade baseline.
+    MessageStorm {
+        /// Messages observed in the upgrade window.
+        messages: u64,
+        /// Messages observed in an equally long pre-upgrade window.
+        baseline: u64,
+    },
+}
+
+impl Observation {
+    /// A short, version-number-free signature used for deduplication.
+    pub fn signature(&self) -> String {
+        let raw = match self {
+            Observation::NodeCrash { reason, .. } => format!("crash:{reason}"),
+            Observation::ErrorLogs { sample, .. } => format!("errlog:{sample}"),
+            Observation::FailedOp { command, response } => {
+                let verb = command.split_whitespace().next().unwrap_or("");
+                format!("op:{verb}:{response}")
+            }
+            Observation::Unresponsive { command } => {
+                let verb = command.split_whitespace().next().unwrap_or("");
+                format!("timeout:{verb}")
+            }
+            Observation::MessageStorm { .. } => "storm".to_string(),
+        };
+        // Strip digits so differing ids/epochs/offsets collapse together.
+        let cleaned: String = raw
+            .chars()
+            .filter(|c| !c.is_ascii_digit())
+            .take(72)
+            .collect();
+        cleaned
+    }
+
+    /// Heuristic root-cause label in Table 5's vocabulary, keyed on the
+    /// diagnostic text the mini systems (like the real ones) emit.
+    pub fn classify(&self) -> &'static str {
+        let text = match self {
+            Observation::NodeCrash { reason, .. } => reason.as_str(),
+            Observation::ErrorLogs { sample, .. } => sample.as_str(),
+            Observation::FailedOp { response, .. } => response.as_str(),
+            Observation::Unresponsive { .. } => return "Node Unresponsive",
+            Observation::MessageStorm { .. } => return "Perf. Degradation",
+        };
+        let syntax_markers = [
+            "deserialize",
+            "missing required",
+            "InvalidProtocolBuffer",
+            "cannot load",
+            "corrupt",
+            "unknown format",
+            "must be compressed",
+            "parse",
+            "tombstone",
+            "no inode",
+            "Compact Tables",
+        ];
+        // Checked first: a semantics bug often *surfaces* as a parse error
+        // downstream (KAFKA-7403's required-expiry encode failure,
+        // CASSANDRA-6678's unparseable pulled schema), so the more specific
+        // semantic context wins over generic parse-failure text.
+        let semantics_markers = [
+            "NVDIMM",
+            "offset commit",
+            "expire",
+            "peerEpoch",
+            "replication strategy",
+            "cannot apply schema",
+            "no leader",
+            "election",
+        ];
+        let upgrade_op_markers = [
+            "bad permanently",
+            "marked dead",
+            "under-replicated",
+            "trash",
+        ];
+        let config_markers = ["message.version", "configuration"];
+        let lower = text.to_lowercase();
+        if config_markers
+            .iter()
+            .any(|m| lower.contains(&m.to_lowercase()))
+        {
+            return "Misconfiguration";
+        }
+        if upgrade_op_markers
+            .iter()
+            .any(|m| lower.contains(&m.to_lowercase()))
+        {
+            return "Broken Upgrade Op.";
+        }
+        if semantics_markers
+            .iter()
+            .any(|m| lower.contains(&m.to_lowercase()))
+        {
+            return "Data-semantics Incomp.";
+        }
+        if syntax_markers
+            .iter()
+            .any(|m| lower.contains(&m.to_lowercase()))
+        {
+            return "Data-syntax Incomp.";
+        }
+        "Unclassified"
+    }
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Observation::NodeCrash {
+                node,
+                version,
+                reason,
+            } => {
+                write!(f, "node {node} (v{version}) crashed: {reason}")
+            }
+            Observation::ErrorLogs { count, sample } => {
+                write!(f, "{count} error/fatal log records, e.g. \"{sample}\"")
+            }
+            Observation::FailedOp { command, response } => {
+                write!(f, "operation '{command}' failed: {response}")
+            }
+            Observation::Unresponsive { command } => {
+                write!(f, "operation '{command}' got no response after the upgrade")
+            }
+            Observation::MessageStorm { messages, baseline } => {
+                write!(
+                    f,
+                    "message storm: {messages} messages vs {baseline} baseline"
+                )
+            }
+        }
+    }
+}
+
+/// The result of one client operation, as recorded by the harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpResult {
+    /// The command issued.
+    pub command: String,
+    /// The target node.
+    pub node: u32,
+    /// `None` on timeout.
+    pub response: Option<String>,
+    /// Whether the op ran before, during, or after the upgrade.
+    pub after_upgrade_started: bool,
+    /// Whether the op ran in the post-upgrade verification phase.
+    pub in_after_phase: bool,
+}
+
+/// Responses that signal a *miss*, not a malfunction. Workload gaps are
+/// expected when some operations timed out against a node that was down for
+/// its upgrade step; the paper's oracle likewise keys on crashes, exceptions
+/// and error logs rather than semantic result checking (§6.1.1, Finding 3).
+fn is_benign_miss(response: &str) -> bool {
+    ["ERR not found", "ERR no record", "ERR no committed offset"]
+        .iter()
+        .any(|b| response.starts_with(b))
+}
+
+/// Storm thresholds: the window must both exceed an absolute floor and be a
+/// large multiple of the pre-upgrade baseline.
+const STORM_FLOOR: u64 = 2_000;
+const STORM_FACTOR: u64 = 10;
+
+/// Evaluates everything the harness recorded and returns the observations.
+///
+/// `log_mark` is the log index at upgrade start; `baseline_msgs` and
+/// `window_msgs` are message counts for equal-length windows before and
+/// after that point. `harness_killed` nodes are excluded from crash checks.
+pub fn evaluate(
+    sim: &Sim,
+    log_mark: usize,
+    baseline_msgs: u64,
+    window_msgs: u64,
+    ops: &[OpResult],
+) -> Vec<Observation> {
+    let mut out = Vec::new();
+    for node in sim.crashed_nodes() {
+        let reason = sim.crash_reason(node).unwrap_or("unknown").to_string();
+        if reason == "killed by harness" {
+            continue;
+        }
+        out.push(Observation::NodeCrash {
+            node,
+            version: sim.node_version(node).to_string(),
+            reason,
+        });
+    }
+    // Group error records by digit-stripped prefix so every *distinct*
+    // failure pattern surfaces as its own observation (a run often has a
+    // cascade: the root error plus its knock-on effects).
+    let mut groups: Vec<(String, usize, String)> = Vec::new();
+    for r in sim.logs().records().iter().skip(log_mark) {
+        if r.level < LogLevel::Error {
+            continue;
+        }
+        let key: String = r
+            .message
+            .chars()
+            .filter(|c| !c.is_ascii_digit())
+            .take(48)
+            .collect();
+        match groups.iter_mut().find(|(k, _, _)| *k == key) {
+            Some((_, count, _)) => *count += 1,
+            None => groups.push((key, 1, r.message.clone())),
+        }
+    }
+    for (_, count, sample) in groups.into_iter().take(10) {
+        out.push(Observation::ErrorLogs { count, sample });
+    }
+    for op in ops {
+        if !op.after_upgrade_started {
+            continue;
+        }
+        match &op.response {
+            Some(resp) if resp.starts_with("ERR") && !is_benign_miss(resp) => {
+                out.push(Observation::FailedOp {
+                    command: op.command.clone(),
+                    response: resp.clone(),
+                });
+            }
+            None if op.in_after_phase => {
+                // Mid-rolling timeouts are expected (the target is down);
+                // post-upgrade timeouts are not.
+                let target_running = sim.node_status(op.node) == NodeStatus::Running;
+                if target_running {
+                    out.push(Observation::Unresponsive {
+                        command: op.command.clone(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    if window_msgs > STORM_FLOOR && window_msgs > baseline_msgs.saturating_mul(STORM_FACTOR) {
+        out.push(Observation::MessageStorm {
+            messages: window_msgs,
+            baseline: baseline_msgs,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_strip_numbers() {
+        let a = Observation::NodeCrash {
+            node: 1,
+            version: "4.0.0".into(),
+            reason: "cannot replay commit log segment seg-b3: unknown format 40".into(),
+        };
+        let b = Observation::NodeCrash {
+            node: 2,
+            version: "4.0.0".into(),
+            reason: "cannot replay commit log segment seg-b7: unknown format 40".into(),
+        };
+        assert_eq!(a.signature(), b.signature());
+        assert!(!a.signature().contains('4'));
+    }
+
+    #[test]
+    fn classification_keywords() {
+        let crash = |reason: &str| Observation::NodeCrash {
+            node: 0,
+            version: String::new(),
+            reason: reason.to_string(),
+        };
+        assert_eq!(
+            crash("InvalidProtocolBufferException: x").classify(),
+            "Data-syntax Incomp."
+        );
+        assert_eq!(
+            crash("message.version 0.11.0 is not compatible").classify(),
+            "Misconfiguration"
+        );
+        assert_eq!(
+            crash("unable to find replication strategy class 'X'").classify(),
+            "Data-semantics Incomp."
+        );
+        let log = Observation::ErrorLogs {
+            count: 3,
+            sample: "marking DataNode dn-1 bad permanently".into(),
+        };
+        assert_eq!(log.classify(), "Broken Upgrade Op.");
+        let storm = Observation::MessageStorm {
+            messages: 9000,
+            baseline: 10,
+        };
+        assert_eq!(storm.classify(), "Perf. Degradation");
+    }
+
+    #[test]
+    fn failed_op_signature_uses_verb_and_response() {
+        let a = Observation::FailedOp {
+            command: "GET stress.standard1 key3".into(),
+            response: "ERR corrupt sstable row: input truncated".into(),
+        };
+        let b = Observation::FailedOp {
+            command: "GET stress.standard1 key7".into(),
+            response: "ERR corrupt sstable row: input truncated".into(),
+        };
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let o = Observation::MessageStorm {
+            messages: 5000,
+            baseline: 12,
+        };
+        assert!(o.to_string().contains("5000"));
+    }
+}

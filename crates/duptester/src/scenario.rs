@@ -1,0 +1,79 @@
+//! Upgrade scenarios and workload sources (paper §6.1.1–§6.1.2).
+
+use std::fmt;
+
+/// The three upgrade scenarios DUPTester tests systematically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Old cluster runs the workload, shuts down gracefully, restarts with
+    /// every node on the new version.
+    FullStop,
+    /// Nodes take turns going down and coming back on the new version while
+    /// the workload keeps running.
+    Rolling,
+    /// Nodes running the new version join a cluster of old-version nodes
+    /// while the workload runs.
+    NewNodeJoin,
+}
+
+impl Scenario {
+    /// All three scenarios, in the order the paper lists them.
+    pub const ALL: [Scenario; 3] = [Scenario::FullStop, Scenario::Rolling, Scenario::NewNodeJoin];
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scenario::FullStop => "full-stop",
+            Scenario::Rolling => "rolling",
+            Scenario::NewNodeJoin => "new-node-join",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where the testing workload comes from (§6.1.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WorkloadSource {
+    /// The system's stress-testing operations with default configuration.
+    Stress,
+    /// A unit test translated into client commands by the translator
+    /// (§6.1.3); the string is the unit-test name.
+    TranslatedUnit(String),
+    /// A unit test executed in place against the old version's storage; the
+    /// cluster then starts from the persistent state it left (§6.1.2,
+    /// second scheme).
+    UnitStateHandoff(String),
+}
+
+impl fmt::Display for WorkloadSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSource::Stress => write!(f, "stress"),
+            WorkloadSource::TranslatedUnit(name) => write!(f, "unit:{name}"),
+            WorkloadSource::UnitStateHandoff(name) => write!(f, "state:{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Scenario::FullStop.to_string(), "full-stop");
+        assert_eq!(Scenario::Rolling.to_string(), "rolling");
+        assert_eq!(Scenario::NewNodeJoin.to_string(), "new-node-join");
+        assert_eq!(WorkloadSource::Stress.to_string(), "stress");
+        assert_eq!(
+            WorkloadSource::TranslatedUnit("t".into()).to_string(),
+            "unit:t"
+        );
+        assert_eq!(
+            WorkloadSource::UnitStateHandoff("t".into()).to_string(),
+            "state:t"
+        );
+        assert_eq!(Scenario::ALL.len(), 3);
+    }
+}

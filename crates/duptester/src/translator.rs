@@ -1,0 +1,160 @@
+//! The unit-test translator (paper §6.1.3).
+//!
+//! Translates a unit test written against internal APIs into a sequence of
+//! client commands, using the system's [`TranslationTable`]. Statements with
+//! no translation rule are omitted, **along with every statement that
+//! depends on them** — exactly the prototype behaviour the paper describes
+//! (and the source of its false negatives, which we reproduce too).
+
+use dup_core::{ClientOp, TranslationTable, UnitTest};
+use std::collections::BTreeMap;
+
+/// The result of translating one unit test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Translation {
+    /// Client commands, in statement order.
+    pub ops: Vec<ClientOp>,
+    /// Calls that were dropped (no rule, or dependent on a dropped call).
+    pub dropped: Vec<String>,
+}
+
+impl Translation {
+    /// `true` if at least one statement translated.
+    pub fn is_usable(&self) -> bool {
+        !self.ops.is_empty()
+    }
+}
+
+/// Translates `test` into client commands addressed to `target_node`.
+///
+/// Variable references (`$name`) resolve to the *value* of the binding
+/// statement, which by convention is its first resolved argument (e.g.
+/// `ks1 = createKeyspace("ks1")` has value `"ks1"`).
+pub fn translate(test: &UnitTest, table: &TranslationTable, target_node: u32) -> Translation {
+    let mut ops = Vec::new();
+    let mut dropped = Vec::new();
+    // Values of variables bound by successfully translated statements.
+    let mut values: BTreeMap<String, String> = BTreeMap::new();
+
+    'stmt: for stmt in &test.statements {
+        let Some(template) = table.template(&stmt.call) else {
+            dropped.push(stmt.call.clone());
+            continue;
+        };
+        // Resolve arguments; a reference to a dropped binding poisons this
+        // statement too.
+        let mut resolved = Vec::with_capacity(stmt.args.len());
+        for arg in &stmt.args {
+            if let Some(var) = arg.strip_prefix('$') {
+                match values.get(var) {
+                    Some(v) => resolved.push(v.clone()),
+                    None => {
+                        dropped.push(stmt.call.clone());
+                        continue 'stmt;
+                    }
+                }
+            } else {
+                resolved.push(arg.clone());
+            }
+        }
+        let mut command = template.to_string();
+        for (i, value) in resolved.iter().enumerate() {
+            command = command.replace(&format!("{{{i}}}"), value);
+        }
+        ops.push(ClientOp::new(target_node, command));
+        if let Some(var) = &stmt.var {
+            let value = resolved
+                .first()
+                .cloned()
+                .unwrap_or_else(|| stmt.call.clone());
+            values.insert(var.clone(), value);
+        }
+    }
+    Translation { ops, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dup_core::UnitStatement;
+
+    fn table() -> TranslationTable {
+        TranslationTable::new()
+            .rule("createKeyspace", "CREATE_KS {0}")
+            .rule("createTable", "CREATE_TABLE {0}.{1}")
+            .rule("dropKeyspace", "DROP_KS {0}")
+    }
+
+    #[test]
+    fn translates_straight_line_tests() {
+        let test = UnitTest::new(
+            "t",
+            vec![
+                UnitStatement::bind("ks", "createKeyspace", &["ks1"]),
+                UnitStatement::call("createTable", &["$ks", "t1"]),
+            ],
+        );
+        let tr = translate(&test, &table(), 0);
+        assert!(tr.is_usable());
+        assert_eq!(tr.ops[0].command, "CREATE_KS ks1");
+        assert_eq!(tr.ops[1].command, "CREATE_TABLE ks1.t1");
+        assert!(tr.dropped.is_empty());
+    }
+
+    #[test]
+    fn drops_untranslatable_statements_and_their_dependents() {
+        // Mirrors testCachedPreparedStatements: prepareInternal has no rule;
+        // executePrepared depends on its binding and is dropped too — but
+        // the later dropKeyspace survives.
+        let test = UnitTest::new(
+            "t",
+            vec![
+                UnitStatement::bind("ks2", "createKeyspace", &["ks2"]),
+                UnitStatement::bind("stmt", "prepareInternal", &["SELECT"]),
+                UnitStatement::call("executePrepared", &["$stmt"]),
+                UnitStatement::call("dropKeyspace", &["$ks2"]),
+            ],
+        );
+        let table = table().rule("executePrepared", "EXEC {0}");
+        let tr = translate(&test, &table, 2);
+        assert_eq!(
+            tr.dropped,
+            vec!["prepareInternal".to_string(), "executePrepared".to_string()]
+        );
+        assert_eq!(tr.ops.len(), 2);
+        assert_eq!(tr.ops[1].command, "DROP_KS ks2");
+        assert_eq!(tr.ops[1].node, 2);
+    }
+
+    #[test]
+    fn transitive_dependencies_are_dropped() {
+        let test = UnitTest::new(
+            "t",
+            vec![
+                UnitStatement::bind("a", "noRule", &["x"]),
+                UnitStatement::bind("b", "createKeyspace", &["$a"]),
+                UnitStatement::call("createTable", &["$b", "t"]),
+            ],
+        );
+        let tr = translate(&test, &table(), 0);
+        assert!(!tr.is_usable());
+        assert_eq!(tr.dropped.len(), 3);
+    }
+
+    #[test]
+    fn empty_test_is_unusable() {
+        let tr = translate(&UnitTest::new("t", vec![]), &table(), 0);
+        assert!(!tr.is_usable());
+    }
+
+    #[test]
+    fn multi_placeholder_templates() {
+        let table = TranslationTable::new().rule("put", "PUT {0}.{1} {2} {3}");
+        let test = UnitTest::new(
+            "t",
+            vec![UnitStatement::call("put", &["ks", "cf", "k", "v"])],
+        );
+        let tr = translate(&test, &table, 1);
+        assert_eq!(tr.ops[0].command, "PUT ks.cf k v");
+    }
+}

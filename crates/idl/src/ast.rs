@@ -1,0 +1,192 @@
+//! Abstract syntax shared by the proto2 and thrift grammars.
+//!
+//! DUPChecker compares these ASTs across versions, so they preserve details
+//! the runtime schema does not need: declaration order of enum members,
+//! `reserved` statements, and source spans for error reporting.
+
+use crate::lexer::Span;
+
+/// Which grammar produced the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntaxKind {
+    /// Protocol Buffers (proto2 subset).
+    Proto2,
+    /// Apache Thrift (subset).
+    Thrift,
+}
+
+/// Presence discipline of a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldLabel {
+    /// `required` — must appear exactly once.
+    Required,
+    /// `optional` — may appear at most once (also thrift's default).
+    Optional,
+    /// `repeated` (proto) / `list<...>` (thrift).
+    Repeated,
+}
+
+impl FieldLabel {
+    /// The proto keyword for the label.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            FieldLabel::Required => "required",
+            FieldLabel::Optional => "optional",
+            FieldLabel::Repeated => "repeated",
+        }
+    }
+}
+
+/// One declared field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Presence discipline.
+    pub label: FieldLabel,
+    /// Declared type, as written (`uint64`, `string`, `StorageTypeProto`, …).
+    pub type_name: String,
+    /// Field name.
+    pub name: String,
+    /// Wire tag (proto) or field id (thrift).
+    pub tag: u32,
+    /// `[default = …]` text, if present.
+    pub default: Option<String>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One declared message (proto `message` / thrift `struct`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageDecl {
+    /// Fully qualified name (nested messages are `Outer.Inner`).
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDecl>,
+    /// Tags reserved with `reserved N, M to K;`.
+    pub reserved_tags: Vec<u32>,
+    /// Names reserved with `reserved "old";`.
+    pub reserved_names: Vec<String>,
+    /// Source position.
+    pub span: Span,
+}
+
+impl MessageDecl {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDecl> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a field by tag.
+    pub fn field_by_tag(&self, tag: u32) -> Option<&FieldDecl> {
+        self.fields.iter().find(|f| f.tag == tag)
+    }
+}
+
+/// One enum member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumValueDecl {
+    /// Member name.
+    pub name: String,
+    /// Member number (explicit, or auto-assigned in thrift).
+    pub number: i32,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One declared enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumDecl {
+    /// Fully qualified name.
+    pub name: String,
+    /// Members in declaration order.
+    pub values: Vec<EnumValueDecl>,
+    /// Source position.
+    pub span: Span,
+}
+
+impl EnumDecl {
+    /// Looks up a member by name.
+    pub fn value(&self, name: &str) -> Option<&EnumValueDecl> {
+        self.values.iter().find(|v| v.name == name)
+    }
+
+    /// Returns `true` if any member has number 0.
+    pub fn has_zero(&self) -> bool {
+        self.values.iter().any(|v| v.number == 0)
+    }
+}
+
+/// One parsed IDL file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlFile {
+    /// Which grammar this came from.
+    pub syntax: SyntaxKind,
+    /// `package`/`namespace`, if declared.
+    pub package: Option<String>,
+    /// Messages (nested ones flattened to `Outer.Inner`).
+    pub messages: Vec<MessageDecl>,
+    /// Enums (including those nested in messages).
+    pub enums: Vec<EnumDecl>,
+}
+
+impl IdlFile {
+    /// Looks up a message by fully qualified name.
+    pub fn message(&self, name: &str) -> Option<&MessageDecl> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up an enum by fully qualified name.
+    pub fn enum_decl(&self, name: &str) -> Option<&EnumDecl> {
+        self.enums.iter().find(|e| e.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_helpers() {
+        let file = IdlFile {
+            syntax: SyntaxKind::Proto2,
+            package: Some("hbase.pb".into()),
+            messages: vec![MessageDecl {
+                name: "Sink".into(),
+                fields: vec![FieldDecl {
+                    label: FieldLabel::Required,
+                    type_name: "uint64".into(),
+                    name: "age".into(),
+                    tag: 1,
+                    default: None,
+                    span: Span::default(),
+                }],
+                reserved_tags: vec![5],
+                reserved_names: vec!["legacy".into()],
+                span: Span::default(),
+            }],
+            enums: vec![EnumDecl {
+                name: "Kind".into(),
+                values: vec![EnumValueDecl {
+                    name: "A".into(),
+                    number: 0,
+                    span: Span::default(),
+                }],
+                span: Span::default(),
+            }],
+        };
+        assert!(file.message("Sink").is_some());
+        assert!(file.message("Nope").is_none());
+        let m = file.message("Sink").unwrap();
+        assert_eq!(m.field("age").unwrap().tag, 1);
+        assert!(m.field_by_tag(1).is_some());
+        assert!(m.field_by_tag(2).is_none());
+        let e = file.enum_decl("Kind").unwrap();
+        assert!(e.has_zero());
+        assert_eq!(e.value("A").unwrap().number, 0);
+    }
+
+    #[test]
+    fn label_keywords() {
+        assert_eq!(FieldLabel::Required.keyword(), "required");
+        assert_eq!(FieldLabel::Repeated.keyword(), "repeated");
+    }
+}

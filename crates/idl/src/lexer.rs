@@ -1,0 +1,301 @@
+//! Tokenizer shared by the proto and thrift grammars.
+
+use std::fmt;
+
+/// A source position, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Line number (1-based).
+    pub line: u32,
+    /// Column number (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`message`, `required`, `uint64`, names, …).
+    /// Dotted identifiers (`foo.Bar`) are a single token.
+    Ident(String),
+    /// Integer literal (possibly negative).
+    Int(i64),
+    /// Quoted string literal (content, without quotes).
+    Str(String),
+    /// Single punctuation character: `{ } = ; , < > ( ) [ ] :`.
+    Punct(char),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Punct(c) => write!(f, "'{c}'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// A lexing or parsing error with a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the problem is.
+    pub span: Span,
+    /// What the problem is.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        ParseError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenizes `input`, skipping whitespace, `//` line comments, `#` line
+/// comments (thrift), and `/* */` block comments.
+pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let span = Span { line, col };
+        match c {
+            c if c.is_whitespace() => bump!(),
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::new(span, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '"' | '\'' => {
+                let quote = bytes[i];
+                bump!();
+                let start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    if bytes[i] == b'\n' {
+                        return Err(ParseError::new(span, "unterminated string literal"));
+                    }
+                    bump!();
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError::new(span, "unterminated string literal"));
+                }
+                let text = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                bump!(); // Closing quote.
+                tokens.push(Token {
+                    kind: TokenKind::Str(text),
+                    span,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    span,
+                });
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                bump!();
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    bump!();
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).expect("digits are ASCII");
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(span, format!("invalid integer '{text}'")))?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    span,
+                });
+            }
+            '{' | '}' | '=' | ';' | ',' | '<' | '>' | '(' | ')' | '[' | ']' | ':' => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    span,
+                });
+                bump!();
+            }
+            other => {
+                return Err(ParseError::new(
+                    span,
+                    format!("unexpected character '{other}'"),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span { line, col },
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_proto_field() {
+        let toks = kinds("required uint64 ageOfLastAppliedOp = 1;");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("required".into()),
+                TokenKind::Ident("uint64".into()),
+                TokenKind::Ident("ageOfLastAppliedOp".into()),
+                TokenKind::Punct('='),
+                TokenKind::Int(1),
+                TokenKind::Punct(';'),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("// line\n/* block\nmore */ x # thrift\ny");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_negatives() {
+        let toks = kinds("syntax = \"proto2\"; -5");
+        assert!(toks.contains(&TokenKind::Str("proto2".into())));
+        assert!(toks.contains(&TokenKind::Int(-5)));
+    }
+
+    #[test]
+    fn dotted_identifiers_are_single_tokens() {
+        let toks = kinds("hadoop.hdfs.StorageTypeProto");
+        assert_eq!(
+            toks[0],
+            TokenKind::Ident("hadoop.hdfs.StorageTypeProto".into())
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = lex("ok @").unwrap_err();
+        assert_eq!(err.span, Span { line: 1, col: 4 });
+        assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn thrift_punctuation() {
+        let toks = kinds("1: list<string> xs,");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Punct(':'),
+                TokenKind::Ident("list".into()),
+                TokenKind::Punct('<'),
+                TokenKind::Ident("string".into()),
+                TokenKind::Punct('>'),
+                TokenKind::Ident("xs".into()),
+                TokenKind::Punct(','),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

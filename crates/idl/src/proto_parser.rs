@@ -1,0 +1,522 @@
+//! Recursive-descent parser for the proto2 subset DUPChecker reads.
+//!
+//! Supported constructs: `syntax`, `package`, file- and message-level
+//! `option` (skipped), `message` with nesting, `enum` (top-level and nested),
+//! fields with `required`/`optional`/`repeated` labels, `[default = …]` and
+//! other field options (recorded or skipped), `reserved` tags and names, and
+//! `extensions` ranges (skipped). This covers every construct the checker
+//! rules in the paper (§6.2) mention.
+
+use crate::ast::{
+    EnumDecl, EnumValueDecl, FieldDecl, FieldLabel, IdlFile, MessageDecl, SyntaxKind,
+};
+use crate::lexer::{lex, ParseError, Span, Token, TokenKind};
+
+/// Parses proto2 source text.
+pub fn parse_proto(input: &str) -> Result<IdlFile, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> Result<Span, ParseError> {
+        let t = self.advance();
+        if t.kind == TokenKind::Punct(c) {
+            Ok(t.span)
+        } else {
+            Err(ParseError::new(
+                t.span,
+                format!("expected '{c}', found {}", t.kind),
+            ))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<(String, Span), ParseError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Ident(s) => Ok((s, t.span)),
+            other => Err(ParseError::new(
+                t.span,
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn eat_int(&mut self) -> Result<(i64, Span), ParseError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Int(v) => Ok((v, t.span)),
+            other => Err(ParseError::new(
+                t.span,
+                format!("expected integer, found {other}"),
+            )),
+        }
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == word)
+    }
+
+    fn file(&mut self) -> Result<IdlFile, ParseError> {
+        let mut file = IdlFile {
+            syntax: SyntaxKind::Proto2,
+            package: None,
+            messages: Vec::new(),
+            enums: Vec::new(),
+        };
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::Ident(word) => match word.as_str() {
+                    "syntax" => {
+                        self.advance();
+                        self.eat_punct('=')?;
+                        let t = self.advance();
+                        if !matches!(t.kind, TokenKind::Str(_)) {
+                            return Err(ParseError::new(
+                                t.span,
+                                "expected string after 'syntax ='",
+                            ));
+                        }
+                        self.eat_punct(';')?;
+                    }
+                    "package" => {
+                        self.advance();
+                        let (name, _) = self.eat_ident()?;
+                        file.package = Some(name);
+                        self.eat_punct(';')?;
+                    }
+                    "option" => self.skip_option()?,
+                    "import" => {
+                        self.advance();
+                        // `import "x.proto";` or `import public "x.proto";`
+                        if self.is_ident("public") || self.is_ident("weak") {
+                            self.advance();
+                        }
+                        self.advance(); // The string literal.
+                        self.eat_punct(';')?;
+                    }
+                    "message" => {
+                        self.advance();
+                        self.message("", &mut file)?;
+                    }
+                    "enum" => {
+                        self.advance();
+                        let e = self.enum_decl("")?;
+                        file.enums.push(e);
+                    }
+                    other => {
+                        let span = self.peek().span;
+                        return Err(ParseError::new(
+                            span,
+                            format!("unexpected top-level keyword '{other}'"),
+                        ));
+                    }
+                },
+                _ => {
+                    let t = self.peek();
+                    return Err(ParseError::new(t.span, format!("unexpected {}", t.kind)));
+                }
+            }
+        }
+        Ok(file)
+    }
+
+    fn skip_option(&mut self) -> Result<(), ParseError> {
+        // `option name = value;` — value may be ident, int, or string.
+        self.advance(); // 'option'
+        self.eat_ident()?;
+        self.eat_punct('=')?;
+        self.advance(); // The value.
+        self.eat_punct(';')?;
+        Ok(())
+    }
+
+    fn message(&mut self, prefix: &str, file: &mut IdlFile) -> Result<(), ParseError> {
+        let (name, span) = self.eat_ident()?;
+        let full = if prefix.is_empty() {
+            name
+        } else {
+            format!("{prefix}.{name}")
+        };
+        self.eat_punct('{')?;
+        let mut decl = MessageDecl {
+            name: full.clone(),
+            fields: Vec::new(),
+            reserved_tags: Vec::new(),
+            reserved_names: Vec::new(),
+            span,
+        };
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Punct('}') => {
+                    self.advance();
+                    break;
+                }
+                TokenKind::Eof => {
+                    return Err(ParseError::new(
+                        span,
+                        format!("unterminated message {full}"),
+                    ));
+                }
+                TokenKind::Ident(word) => match word.as_str() {
+                    "message" => {
+                        self.advance();
+                        self.message(&full, file)?;
+                    }
+                    "enum" => {
+                        self.advance();
+                        let e = self.enum_decl(&full)?;
+                        file.enums.push(e);
+                    }
+                    "option" => self.skip_option()?,
+                    "reserved" => self.reserved(&mut decl)?,
+                    "extensions" => {
+                        // `extensions 100 to 199;` — skip to semicolon.
+                        while self.peek().kind != TokenKind::Punct(';') {
+                            if self.peek().kind == TokenKind::Eof {
+                                return Err(ParseError::new(span, "unterminated extensions"));
+                            }
+                            self.advance();
+                        }
+                        self.advance();
+                    }
+                    "required" | "optional" | "repeated" => {
+                        let field = self.field()?;
+                        decl.fields.push(field);
+                    }
+                    other => {
+                        let sp = self.peek().span;
+                        return Err(ParseError::new(
+                            sp,
+                            format!("unexpected '{other}' in message {full} (proto2 fields need a label)"),
+                        ));
+                    }
+                },
+                other => {
+                    let sp = self.peek().span;
+                    return Err(ParseError::new(
+                        sp,
+                        format!("unexpected {other} in message {full}"),
+                    ));
+                }
+            }
+        }
+        file.messages.push(decl);
+        Ok(())
+    }
+
+    fn reserved(&mut self, decl: &mut MessageDecl) -> Result<(), ParseError> {
+        self.advance(); // 'reserved'
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Int(v) => {
+                    self.advance();
+                    let lo = u32::try_from(v)
+                        .map_err(|_| ParseError::new(self.peek().span, "negative reserved tag"))?;
+                    if self.is_ident("to") {
+                        self.advance();
+                        let (hi, sp) = self.eat_int()?;
+                        let hi = u32::try_from(hi)
+                            .map_err(|_| ParseError::new(sp, "negative reserved tag"))?;
+                        for t in lo..=hi {
+                            decl.reserved_tags.push(t);
+                        }
+                    } else {
+                        decl.reserved_tags.push(lo);
+                    }
+                }
+                TokenKind::Str(s) => {
+                    self.advance();
+                    decl.reserved_names.push(s);
+                }
+                other => {
+                    return Err(ParseError::new(
+                        self.peek().span,
+                        format!("expected tag or name in reserved, found {other}"),
+                    ));
+                }
+            }
+            match self.peek().kind {
+                TokenKind::Punct(',') => {
+                    self.advance();
+                }
+                TokenKind::Punct(';') => {
+                    self.advance();
+                    return Ok(());
+                }
+                _ => {
+                    let t = self.peek();
+                    return Err(ParseError::new(
+                        t.span,
+                        format!("expected ',' or ';', found {}", t.kind),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn field(&mut self) -> Result<FieldDecl, ParseError> {
+        let (label_word, span) = self.eat_ident()?;
+        let label = match label_word.as_str() {
+            "required" => FieldLabel::Required,
+            "optional" => FieldLabel::Optional,
+            "repeated" => FieldLabel::Repeated,
+            _ => unreachable!("caller checked the label keyword"),
+        };
+        let (type_name, _) = self.eat_ident()?;
+        let (name, _) = self.eat_ident()?;
+        self.eat_punct('=')?;
+        let (tag, tag_span) = self.eat_int()?;
+        let tag = u32::try_from(tag)
+            .map_err(|_| ParseError::new(tag_span, format!("invalid field tag {tag}")))?;
+        let mut default = None;
+        if self.peek().kind == TokenKind::Punct('[') {
+            self.advance();
+            // Parse `[name = value, name = value]`, remembering `default`.
+            loop {
+                let (opt_name, _) = self.eat_ident()?;
+                self.eat_punct('=')?;
+                let value = self.advance();
+                if opt_name == "default" {
+                    default = Some(match value.kind {
+                        TokenKind::Ident(s) | TokenKind::Str(s) => s,
+                        TokenKind::Int(v) => v.to_string(),
+                        other => {
+                            return Err(ParseError::new(
+                                value.span,
+                                format!("bad default value: {other}"),
+                            ))
+                        }
+                    });
+                }
+                match self.peek().kind {
+                    TokenKind::Punct(',') => {
+                        self.advance();
+                    }
+                    TokenKind::Punct(']') => {
+                        self.advance();
+                        break;
+                    }
+                    _ => {
+                        let t = self.peek();
+                        return Err(ParseError::new(
+                            t.span,
+                            format!("expected ',' or ']', found {}", t.kind),
+                        ));
+                    }
+                }
+            }
+        }
+        self.eat_punct(';')?;
+        Ok(FieldDecl {
+            label,
+            type_name,
+            name,
+            tag,
+            default,
+            span,
+        })
+    }
+
+    fn enum_decl(&mut self, prefix: &str) -> Result<EnumDecl, ParseError> {
+        let (name, span) = self.eat_ident()?;
+        let full = if prefix.is_empty() {
+            name
+        } else {
+            format!("{prefix}.{name}")
+        };
+        self.eat_punct('{')?;
+        let mut values = Vec::new();
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Punct('}') => {
+                    self.advance();
+                    break;
+                }
+                TokenKind::Eof => {
+                    return Err(ParseError::new(span, format!("unterminated enum {full}")));
+                }
+                TokenKind::Ident(word) if word == "option" => self.skip_option()?,
+                TokenKind::Ident(_) => {
+                    let (vname, vspan) = self.eat_ident()?;
+                    self.eat_punct('=')?;
+                    let (number, nspan) = self.eat_int()?;
+                    let number = i32::try_from(number)
+                        .map_err(|_| ParseError::new(nspan, "enum number out of range"))?;
+                    self.eat_punct(';')?;
+                    values.push(EnumValueDecl {
+                        name: vname,
+                        number,
+                        span: vspan,
+                    });
+                }
+                other => {
+                    let sp = self.peek().span;
+                    return Err(ParseError::new(
+                        sp,
+                        format!("unexpected {other} in enum {full}"),
+                    ));
+                }
+            }
+        }
+        Ok(EnumDecl {
+            name: full,
+            values,
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact proto diff of paper Figure 2.
+    const SINK_V2: &str = r#"
+        syntax = "proto2";
+        package hbase.pb;
+
+        message ReplicationLoadSink {
+            required uint64 ageOfLastAppliedOp = 1;
+            required uint64 timestampStarted = 3;
+        }
+    "#;
+
+    #[test]
+    fn parses_figure_2() {
+        let file = parse_proto(SINK_V2).unwrap();
+        assert_eq!(file.package.as_deref(), Some("hbase.pb"));
+        let m = file.message("ReplicationLoadSink").unwrap();
+        assert_eq!(m.fields.len(), 2);
+        assert_eq!(m.fields[1].name, "timestampStarted");
+        assert_eq!(m.fields[1].tag, 3);
+        assert_eq!(m.fields[1].label, FieldLabel::Required);
+    }
+
+    #[test]
+    fn parses_nested_messages_and_enums() {
+        let src = r#"
+            message Outer {
+                optional Inner inner = 1;
+                message Inner {
+                    required int32 x = 1;
+                }
+                enum Mode { FAST = 0; SAFE = 1; }
+                optional Mode mode = 2 [default = FAST];
+            }
+        "#;
+        let file = parse_proto(src).unwrap();
+        assert!(file.message("Outer").is_some());
+        assert!(file.message("Outer.Inner").is_some());
+        let e = file.enum_decl("Outer.Mode").unwrap();
+        assert_eq!(e.values.len(), 2);
+        assert_eq!(
+            file.message("Outer")
+                .unwrap()
+                .field("mode")
+                .unwrap()
+                .default
+                .as_deref(),
+            Some("FAST")
+        );
+    }
+
+    #[test]
+    fn parses_reserved() {
+        let src = r#"
+            message M {
+                reserved 2, 4 to 6;
+                reserved "legacy", "older";
+                optional string live = 1;
+            }
+        "#;
+        let m = parse_proto(src).unwrap();
+        let m = m.message("M").unwrap();
+        assert_eq!(m.reserved_tags, vec![2, 4, 5, 6]);
+        assert_eq!(
+            m.reserved_names,
+            vec!["legacy".to_string(), "older".to_string()]
+        );
+    }
+
+    #[test]
+    fn skips_options_and_imports() {
+        let src = r#"
+            syntax = "proto2";
+            import "other.proto";
+            option java_package = "org.example";
+            message M {
+                option deprecated = true;
+                optional int64 f = 1 [deprecated = true, default = 9];
+            }
+        "#;
+        let file = parse_proto(src).unwrap();
+        assert_eq!(
+            file.message("M")
+                .unwrap()
+                .field("f")
+                .unwrap()
+                .default
+                .as_deref(),
+            Some("9")
+        );
+    }
+
+    #[test]
+    fn rejects_label_free_fields() {
+        // proto2 requires a label; a missing one is a parse error.
+        let err = parse_proto("message M { int32 x = 1; }").unwrap_err();
+        assert!(err.message.contains("label"));
+    }
+
+    #[test]
+    fn rejects_unterminated_message() {
+        assert!(parse_proto("message M { optional int32 x = 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_proto("mesage M {}").is_err());
+        assert!(parse_proto("message M { optional int32 = 1; }").is_err());
+    }
+
+    #[test]
+    fn enum_numbers_preserved_in_declaration_order() {
+        let src = "enum StorageType { DISK = 0; SSD = 1; NVDIMM = 2; ARCHIVE = 3; }";
+        let file = parse_proto(src).unwrap();
+        let e = file.enum_decl("StorageType").unwrap();
+        let names: Vec<_> = e.values.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["DISK", "SSD", "NVDIMM", "ARCHIVE"]);
+        assert!(e.has_zero());
+    }
+
+    #[test]
+    fn extensions_are_skipped() {
+        let src = "message M { extensions 100 to 199; optional bool b = 1; }";
+        assert!(parse_proto(src)
+            .unwrap()
+            .message("M")
+            .unwrap()
+            .field("b")
+            .is_some());
+    }
+}

@@ -1,0 +1,431 @@
+//! Recursive-descent parser for the Thrift subset DUPChecker reads.
+//!
+//! Supported constructs: `namespace`, `include` (skipped), `struct` with
+//! numbered fields (`1: required string name,`), `required`/`optional`
+//! qualifiers (default-requiredness maps to `optional`, matching Thrift's
+//! "default requiredness" behaviour on the read path), `list<T>`/`set<T>` as
+//! repeated fields, `map<K,V>` (recorded with a synthetic type name),
+//! `enum` with explicit or auto-incremented numbers, `typedef` (recorded as
+//! an alias and resolved textually), and `const` (skipped).
+
+use crate::ast::{
+    EnumDecl, EnumValueDecl, FieldDecl, FieldLabel, IdlFile, MessageDecl, SyntaxKind,
+};
+use crate::lexer::{lex, ParseError, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// Parses Thrift source text.
+pub fn parse_thrift(input: &str) -> Result<IdlFile, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        typedefs: BTreeMap::new(),
+    };
+    p.file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    typedefs: BTreeMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> Result<(), ParseError> {
+        let t = self.advance();
+        if t.kind == TokenKind::Punct(c) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                t.span,
+                format!("expected '{c}', found {}", t.kind),
+            ))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(ParseError::new(
+                t.span,
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == word)
+    }
+
+    fn file(&mut self) -> Result<IdlFile, ParseError> {
+        let mut file = IdlFile {
+            syntax: SyntaxKind::Thrift,
+            package: None,
+            messages: Vec::new(),
+            enums: Vec::new(),
+        };
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(word) => match word.as_str() {
+                    "namespace" => {
+                        self.advance();
+                        self.eat_ident()?; // Language tag (`java`, `cpp`, …).
+                        file.package = Some(self.eat_ident()?);
+                    }
+                    "include" => {
+                        self.advance();
+                        self.advance(); // The string literal.
+                    }
+                    "typedef" => {
+                        self.advance();
+                        let target = self.read_type()?;
+                        let alias = self.eat_ident()?;
+                        self.typedefs.insert(alias, target.0);
+                    }
+                    "const" => {
+                        // `const <type> NAME = value` — values can be
+                        // literals or simple lists; skip to end of line by
+                        // consuming until the next top-level keyword. We
+                        // conservatively consume `<type> NAME = <one token>`.
+                        self.advance();
+                        self.read_type()?;
+                        self.eat_ident()?;
+                        self.eat_punct('=')?;
+                        self.advance();
+                    }
+                    "struct" | "union" | "exception" => {
+                        self.advance();
+                        let m = self.struct_decl()?;
+                        file.messages.push(m);
+                    }
+                    "enum" => {
+                        self.advance();
+                        let e = self.enum_decl()?;
+                        file.enums.push(e);
+                    }
+                    "service" => self.skip_braced_block()?,
+                    other => {
+                        let span = self.peek().span;
+                        return Err(ParseError::new(
+                            span,
+                            format!("unexpected top-level keyword '{other}'"),
+                        ));
+                    }
+                },
+                other => {
+                    let span = self.peek().span;
+                    return Err(ParseError::new(span, format!("unexpected {other}")));
+                }
+            }
+        }
+        Ok(file)
+    }
+
+    fn skip_braced_block(&mut self) -> Result<(), ParseError> {
+        // `service Name { ... }` — skip the whole body.
+        let start = self.peek().span;
+        while self.peek().kind != TokenKind::Punct('{') {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(ParseError::new(start, "expected '{'"));
+            }
+            self.advance();
+        }
+        let mut depth = 0i32;
+        loop {
+            match self.advance().kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                TokenKind::Eof => return Err(ParseError::new(start, "unterminated block")),
+                _ => {}
+            }
+        }
+    }
+
+    /// Reads a type expression; returns `(base type name, is_repeated)`.
+    fn read_type(&mut self) -> Result<(String, bool), ParseError> {
+        let name = self.eat_ident()?;
+        match name.as_str() {
+            "list" | "set" => {
+                self.eat_punct('<')?;
+                let (inner, _) = self.read_type()?;
+                self.eat_punct('>')?;
+                Ok((inner, true))
+            }
+            "map" => {
+                self.eat_punct('<')?;
+                let (k, _) = self.read_type()?;
+                self.eat_punct(',')?;
+                let (v, _) = self.read_type()?;
+                self.eat_punct('>')?;
+                Ok((format!("map<{k},{v}>"), true))
+            }
+            _ => {
+                let resolved = self.typedefs.get(&name).cloned().unwrap_or(name);
+                Ok((resolved, false))
+            }
+        }
+    }
+
+    fn struct_decl(&mut self) -> Result<MessageDecl, ParseError> {
+        let t = self.peek().clone();
+        let name = self.eat_ident()?;
+        self.eat_punct('{')?;
+        let mut fields = Vec::new();
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Punct('}') => {
+                    self.advance();
+                    break;
+                }
+                TokenKind::Eof => {
+                    return Err(ParseError::new(
+                        t.span,
+                        format!("unterminated struct {name}"),
+                    ));
+                }
+                TokenKind::Int(id) => {
+                    let span = self.peek().span;
+                    self.advance();
+                    let tag = u32::try_from(id)
+                        .map_err(|_| ParseError::new(span, format!("invalid field id {id}")))?;
+                    self.eat_punct(':')?;
+                    let mut label = FieldLabel::Optional;
+                    if self.is_ident("required") {
+                        self.advance();
+                        label = FieldLabel::Required;
+                    } else if self.is_ident("optional") {
+                        self.advance();
+                    }
+                    let (type_name, repeated) = self.read_type()?;
+                    if repeated {
+                        label = FieldLabel::Repeated;
+                    }
+                    let fname = self.eat_ident()?;
+                    let mut default = None;
+                    if self.peek().kind == TokenKind::Punct('=') {
+                        self.advance();
+                        default = Some(match self.advance().kind {
+                            TokenKind::Ident(s) | TokenKind::Str(s) => s,
+                            TokenKind::Int(v) => v.to_string(),
+                            other => {
+                                return Err(ParseError::new(
+                                    span,
+                                    format!("bad default value: {other}"),
+                                ))
+                            }
+                        });
+                    }
+                    // Field separators are optional in thrift (`,` or `;`).
+                    if matches!(
+                        self.peek().kind,
+                        TokenKind::Punct(',') | TokenKind::Punct(';')
+                    ) {
+                        self.advance();
+                    }
+                    fields.push(FieldDecl {
+                        label,
+                        type_name,
+                        name: fname,
+                        tag,
+                        default,
+                        span,
+                    });
+                }
+                other => {
+                    let span = self.peek().span;
+                    return Err(ParseError::new(
+                        span,
+                        format!("expected field id or '}}' in struct {name}, found {other}"),
+                    ));
+                }
+            }
+        }
+        Ok(MessageDecl {
+            name,
+            fields,
+            reserved_tags: Vec::new(),
+            reserved_names: Vec::new(),
+            span: t.span,
+        })
+    }
+
+    fn enum_decl(&mut self) -> Result<EnumDecl, ParseError> {
+        let t = self.peek().clone();
+        let name = self.eat_ident()?;
+        self.eat_punct('{')?;
+        let mut values = Vec::new();
+        let mut next_number = 0i32;
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Punct('}') => {
+                    self.advance();
+                    break;
+                }
+                TokenKind::Eof => {
+                    return Err(ParseError::new(t.span, format!("unterminated enum {name}")));
+                }
+                TokenKind::Ident(_) => {
+                    let span = self.peek().span;
+                    let vname = self.eat_ident()?;
+                    let number = if self.peek().kind == TokenKind::Punct('=') {
+                        self.advance();
+                        let tok = self.advance();
+                        match tok.kind {
+                            TokenKind::Int(v) => i32::try_from(v).map_err(|_| {
+                                ParseError::new(tok.span, "enum number out of range")
+                            })?,
+                            other => {
+                                return Err(ParseError::new(
+                                    tok.span,
+                                    format!("expected integer, found {other}"),
+                                ))
+                            }
+                        }
+                    } else {
+                        next_number
+                    };
+                    next_number = number + 1;
+                    if matches!(
+                        self.peek().kind,
+                        TokenKind::Punct(',') | TokenKind::Punct(';')
+                    ) {
+                        self.advance();
+                    }
+                    values.push(EnumValueDecl {
+                        name: vname,
+                        number,
+                        span,
+                    });
+                }
+                other => {
+                    let span = self.peek().span;
+                    return Err(ParseError::new(
+                        span,
+                        format!("unexpected {other} in enum {name}"),
+                    ));
+                }
+            }
+        }
+        Ok(EnumDecl {
+            name,
+            values,
+            span: t.span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCAN: &str = r#"
+        namespace java org.apache.accumulo.core
+        include "shared.thrift"
+
+        typedef i64 ScanID
+
+        struct ScanResult {
+            1: required ScanID scanId,
+            2: optional i32 more;
+            3: list<string> results
+            4: bool partial
+        }
+
+        enum ScanType { SINGLE, BATCH = 5, RESUMED }
+    "#;
+
+    #[test]
+    fn parses_struct_with_typedef_and_collections() {
+        let file = parse_thrift(SCAN).unwrap();
+        assert_eq!(file.package.as_deref(), Some("org.apache.accumulo.core"));
+        let m = file.message("ScanResult").unwrap();
+        assert_eq!(m.fields.len(), 4);
+        // typedef resolved.
+        assert_eq!(m.field("scanId").unwrap().type_name, "i64");
+        assert_eq!(m.field("scanId").unwrap().label, FieldLabel::Required);
+        // list<T> becomes repeated T.
+        assert_eq!(m.field("results").unwrap().label, FieldLabel::Repeated);
+        assert_eq!(m.field("results").unwrap().type_name, "string");
+        // Default requiredness maps to optional.
+        assert_eq!(m.field("partial").unwrap().label, FieldLabel::Optional);
+    }
+
+    #[test]
+    fn enum_auto_increment_matches_thrift_semantics() {
+        let file = parse_thrift(SCAN).unwrap();
+        let e = file.enum_decl("ScanType").unwrap();
+        let nums: Vec<_> = e
+            .values
+            .iter()
+            .map(|v| (v.name.as_str(), v.number))
+            .collect();
+        assert_eq!(nums, vec![("SINGLE", 0), ("BATCH", 5), ("RESUMED", 6)]);
+    }
+
+    #[test]
+    fn map_fields_get_synthetic_type_names() {
+        let src = "struct M { 1: map<string, i64> counts }";
+        let file = parse_thrift(src).unwrap();
+        let f = &file.message("M").unwrap().fields[0];
+        assert_eq!(f.type_name, "map<string,i64>");
+        assert_eq!(f.label, FieldLabel::Repeated);
+    }
+
+    #[test]
+    fn services_and_consts_are_skipped() {
+        let src = r#"
+            const i32 VERSION = 9
+            service TabletServer {
+                void ping(1: i64 tid)
+            }
+            struct Keep { 1: i32 x }
+        "#;
+        let file = parse_thrift(src).unwrap();
+        assert!(file.message("Keep").is_some());
+        assert_eq!(file.messages.len(), 1);
+    }
+
+    #[test]
+    fn defaults_are_recorded() {
+        let src = "struct M { 1: i32 retries = 3, 2: string mode = \"fast\" }";
+        let file = parse_thrift(src).unwrap();
+        let m = file.message("M").unwrap();
+        assert_eq!(m.field("retries").unwrap().default.as_deref(), Some("3"));
+        assert_eq!(m.field("mode").unwrap().default.as_deref(), Some("fast"));
+    }
+
+    #[test]
+    fn union_and_exception_parse_as_messages() {
+        let src = "union U { 1: i32 a } exception E { 1: string msg }";
+        let file = parse_thrift(src).unwrap();
+        assert!(file.message("U").is_some());
+        assert!(file.message("E").is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_structs() {
+        assert!(parse_thrift("struct M { x: i32 }").is_err());
+        assert!(parse_thrift("struct M { 1: }").is_err());
+        assert!(parse_thrift("struct M { 1: i32 x").is_err());
+    }
+}

@@ -1,0 +1,531 @@
+//! Version-specific wire formats of the mini key-value store.
+//!
+//! Every release carries its own gossip, schema-file, and data-file formats;
+//! the *differences* between consecutive formats are the studied Cassandra
+//! upgrade bugs re-implemented byte-for-byte in mechanism:
+//!
+//! - 1.1 → 1.2 changes the gossip `schema_id` from a numeric id to a string
+//!   UUID **under the same tag** — the CASSANDRA-4195 incompatibility;
+//! - 1.2 → 2.0 restructures the schema payload (keyspace `name` moves to a
+//!   new tag and gains a required `strategy`) — the pull-schema payload an
+//!   old node cannot parse (CASSANDRA-6678's consequence);
+//! - 2.0 → 2.1 starts framing data files; 2.1 ships **no legacy reader**, so
+//!   rows written by 2.0 read back as corrupt (the CASSANDRA-16257 shape);
+//! - 4.0 bumps the commit-log format to 40, which 3.x cannot read — the
+//!   mechanism that blocks downgrade in CASSANDRA-15794.
+
+use dup_core::VersionId;
+use dup_wire::{
+    proto, EnumDescriptor, FieldDescriptor, FieldType, Frame, MessageDescriptor, MessageValue,
+    Schema, Value, WireError,
+};
+
+/// Messaging protocol identifiers per release (the CASSANDRA-5102 lesson:
+/// these were allocated densely, leaving no room between 1.2 and 2.0).
+///
+/// 3.0 and 3.11 deliberately share messaging version 10, as the real
+/// releases do — that sharing is what lets schema migrations flow between
+/// them and makes the CASSANDRA-13441 storm possible.
+pub fn proto_version(v: VersionId) -> u32 {
+    match (v.major, v.minor) {
+        (1, 1) => 5,
+        (1, 2) => 6,
+        (2, 0) => 7,
+        (2, 1) => 8,
+        (3, _) => 10,
+        _ => 12, // 4.0
+    }
+}
+
+/// A distinct identifier per *release* (unlike [`proto_version`], which two
+/// releases may share). Used to stamp storage files with their writer.
+pub fn release_id(v: VersionId) -> u32 {
+    v.major * 10_000 + v.minor * 100 + v.patch
+}
+
+/// Recovers the messaging protocol version from a [`release_id`].
+pub fn proto_from_release(release: u32) -> u32 {
+    proto_version(VersionId::new(
+        release / 10_000,
+        (release / 100) % 100,
+        release % 100,
+    ))
+}
+
+/// Schema-file/pull format id: format A (`1`) before 2.0, format B (`2`) after.
+pub fn schema_format(v: VersionId) -> u32 {
+    if v.major < 2 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Commit-log segment format id.
+pub fn commitlog_format(v: VersionId) -> u32 {
+    match v.major {
+        1 => 12,
+        2 => 21,
+        3 => 31,
+        _ => 40,
+    }
+}
+
+/// Data-row file format: raw bytes before 2.1, framed from 2.1 on.
+pub fn data_rows_framed(v: VersionId) -> bool {
+    v > VersionId::new(2, 0, u32::MAX) || (v.major == 2 && v.minor >= 1) || v.major >= 3
+}
+
+/// The gossip digest schema of `v`.
+///
+/// Tag 3 is `schema_id: uint64` in 1.1 and `schema_uuid: string` from 1.2 —
+/// same tag, different wire type (CASSANDRA-4195). From 2.1 the digest also
+/// carries the sender's protocol version (the CASSANDRA-6678 fix).
+pub fn gossip_schema(v: VersionId) -> Schema {
+    let mut m = MessageDescriptor::new("GossipDigest")
+        .with(FieldDescriptor::required(
+            1,
+            "generation",
+            FieldType::Uint64,
+        ))
+        .with(FieldDescriptor::required(2, "schema_ts", FieldType::Uint64));
+    if v.major == 1 && v.minor == 1 {
+        m = m.with(FieldDescriptor::required(3, "schema_id", FieldType::Uint64));
+    } else {
+        m = m.with(FieldDescriptor::required(3, "schema_uuid", FieldType::Str));
+    }
+    if proto_version(v) >= 8 {
+        m = m.with(FieldDescriptor::optional(
+            4,
+            "proto_version",
+            FieldType::Uint32,
+        ));
+    }
+    Schema::new().with_message(m)
+}
+
+/// The handshake message (all versions).
+pub fn handshake_schema() -> Schema {
+    Schema::new().with_message(
+        MessageDescriptor::new("Handshake").with(FieldDescriptor::required(
+            1,
+            "proto_version",
+            FieldType::Uint32,
+        )),
+    )
+}
+
+/// The schema-file format of `v`.
+///
+/// Format A (pre-2.0): `Keyspace { name=1, repeated Table tables=2 }`.
+/// Format B (2.0+): `Keyspace { strategy=1 required, name=2, dropped=3,
+/// repeated Table tables=4 }` — `name` moved off tag 1, so a format-A reader
+/// fed format-B bytes fails with a type mismatch or missing field.
+pub fn schema_file_schema(v: VersionId) -> Schema {
+    let (ks, table);
+    if schema_format(v) == 1 {
+        table = MessageDescriptor::new("Table").with(FieldDescriptor::required(
+            1,
+            "name",
+            FieldType::Str,
+        ));
+        ks = MessageDescriptor::new("Keyspace")
+            .with(FieldDescriptor::required(1, "name", FieldType::Str))
+            .with(FieldDescriptor::repeated(
+                2,
+                "tables",
+                FieldType::Message("Table".into()),
+            ));
+    } else {
+        table = MessageDescriptor::new("Table")
+            .with(FieldDescriptor::required(1, "name", FieldType::Str))
+            .with(FieldDescriptor::optional(2, "compact", FieldType::Bool));
+        ks = MessageDescriptor::new("Keyspace")
+            .with(FieldDescriptor::required(1, "strategy", FieldType::Str))
+            .with(FieldDescriptor::required(2, "name", FieldType::Str))
+            .with(FieldDescriptor::optional(3, "dropped", FieldType::Bool))
+            .with(FieldDescriptor::repeated(
+                4,
+                "tables",
+                FieldType::Message("Table".into()),
+            ));
+    }
+    Schema::new()
+        .with_message(
+            MessageDescriptor::new("SchemaFile")
+                .with(FieldDescriptor::required(1, "timestamp", FieldType::Uint64))
+                .with(FieldDescriptor::repeated(
+                    2,
+                    "keyspaces",
+                    FieldType::Message("Keyspace".into()),
+                )),
+        )
+        .with_message(ks)
+        .with_message(table)
+        .with_enum(EnumDescriptor::new(
+            "SchemaKind",
+            &[("TABLES", 0), ("VIEWS", 1)],
+        ))
+}
+
+/// In-memory schema state shared by all versions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchemaState {
+    /// Monotonic schema timestamp (drives migrations).
+    pub timestamp: u64,
+    /// Keyspaces by name.
+    pub keyspaces: Vec<KeyspaceDef>,
+}
+
+/// One keyspace definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyspaceDef {
+    /// Keyspace name.
+    pub name: String,
+    /// Replication strategy class name.
+    pub strategy: String,
+    /// `true` if dropped (format-B tombstone).
+    pub dropped: bool,
+    /// Tables: `(name, compact_storage)`.
+    pub tables: Vec<(String, bool)>,
+}
+
+impl SchemaState {
+    /// Looks up a keyspace.
+    pub fn keyspace(&self, name: &str) -> Option<&KeyspaceDef> {
+        self.keyspaces.iter().find(|k| k.name == name)
+    }
+
+    /// Looks up a keyspace mutably.
+    pub fn keyspace_mut(&mut self, name: &str) -> Option<&mut KeyspaceDef> {
+        self.keyspaces.iter_mut().find(|k| k.name == name)
+    }
+
+    /// Returns `true` if `ks.table` exists and is not dropped.
+    pub fn has_table(&self, ks: &str, table: &str) -> bool {
+        self.keyspace(ks)
+            .is_some_and(|k| !k.dropped && k.tables.iter().any(|(t, _)| t == table))
+    }
+}
+
+/// Serializes `state` in `v`'s schema-file format, wrapped in a [`Frame`]
+/// whose version field records the *writer's* protocol version.
+pub fn encode_schema_state(v: VersionId, state: &SchemaState) -> Result<Vec<u8>, WireError> {
+    let schema = schema_file_schema(v);
+    let fmt = schema_format(v);
+    let mut file = MessageValue::new("SchemaFile").set("timestamp", Value::U64(state.timestamp));
+    for ks in &state.keyspaces {
+        // Format A has nowhere to put tombstones; dropped keyspaces are
+        // simply omitted (which is why 1.x never tripped the tombstone bug).
+        if ks.dropped && fmt == 1 {
+            continue;
+        }
+        let mut kv = MessageValue::new("Keyspace").set("name", Value::Str(ks.name.clone()));
+        if fmt == 2 {
+            kv.put("strategy", Value::Str(ks.strategy.clone()));
+            if ks.dropped {
+                kv.put("dropped", Value::Bool(true));
+            }
+        }
+        for (t, compact) in &ks.tables {
+            let mut tv = MessageValue::new("Table").set("name", Value::Str(t.clone()));
+            if fmt == 2 && *compact {
+                tv.put("compact", Value::Bool(true));
+            }
+            kv.push_mut("tables", Value::Msg(tv));
+        }
+        file.push_mut("keyspaces", Value::Msg(kv));
+    }
+    let body = proto::encode(&schema, &file)?;
+    Ok(Frame::new(release_id(v), "schema_file", body)
+        .encode()
+        .to_vec())
+}
+
+/// Result of decoding a schema file: the state plus the writer's release
+/// (so a reader can tell it was written by an older version).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSchema {
+    /// The decoded state.
+    pub state: SchemaState,
+    /// [`release_id`] of the writer.
+    pub writer_release: u32,
+}
+
+impl DecodedSchema {
+    /// Messaging protocol version of the writer.
+    pub fn writer_proto(&self) -> u32 {
+        proto_from_release(self.writer_release)
+    }
+}
+
+/// Decodes a schema file with `v`'s own format, falling back to the legacy
+/// format-A reader if `v` has one (2.0+ ships a converter; 1.x does not
+/// understand format B and errors out).
+pub fn decode_schema_state(v: VersionId, bytes: &[u8]) -> Result<DecodedSchema, WireError> {
+    let frame = Frame::decode(bytes)?;
+    let writer_release = frame.version;
+    let own_fmt = schema_format(v);
+    // Releases before 2.0.0 wrote format A; 2.0.0 and later wrote format B.
+    let written_fmt = if writer_release < 20_000 { 1 } else { 2 };
+    if written_fmt == own_fmt {
+        let state = decode_with_format(v, own_fmt, &frame.body)?;
+        return Ok(DecodedSchema {
+            state,
+            writer_release,
+        });
+    }
+    if own_fmt == 2 && written_fmt == 1 {
+        // Legacy converter: read format A, default the strategy.
+        let state = decode_with_format(v, 1, &frame.body)?;
+        return Ok(DecodedSchema {
+            state,
+            writer_release,
+        });
+    }
+    // A format-A reader fed format-B bytes: decode with its own descriptor
+    // and fail the way 1.x actually failed — no version check, just a parse
+    // error (paper §4.1.1, "missing deserialization functions").
+    let state = decode_with_format(v, 1, &frame.body)?;
+    Ok(DecodedSchema {
+        state,
+        writer_release,
+    })
+}
+
+fn decode_with_format(v: VersionId, fmt: u32, body: &[u8]) -> Result<SchemaState, WireError> {
+    let schema = if fmt == schema_format(v) {
+        schema_file_schema(v)
+    } else {
+        // The legacy (or mismatched) descriptor: any pre-2.0 release's view.
+        schema_file_schema(VersionId::new(1, 2, 0))
+    };
+    let file = proto::decode(&schema, "SchemaFile", body)?;
+    let mut state = SchemaState {
+        timestamp: file.get_u64("timestamp")?,
+        keyspaces: Vec::new(),
+    };
+    for ksv in file.get_all("keyspaces") {
+        let Value::Msg(ksv) = ksv else {
+            continue;
+        };
+        let mut ks = KeyspaceDef {
+            name: ksv.get_str("name")?.to_string(),
+            strategy: ksv
+                .get_str("strategy")
+                .unwrap_or("SimpleStrategy")
+                .to_string(),
+            dropped: ksv.get_bool("dropped").unwrap_or(false),
+            tables: Vec::new(),
+        };
+        for tv in ksv.get_all("tables") {
+            let Value::Msg(tv) = tv else {
+                continue;
+            };
+            ks.tables.push((
+                tv.get_str("name")?.to_string(),
+                tv.get_bool("compact").unwrap_or(false),
+            ));
+        }
+        state.keyspaces.push(ks);
+    }
+    Ok(state)
+}
+
+/// Encodes a data row in `v`'s format (raw before 2.1, framed after).
+pub fn encode_row(v: VersionId, value: &str) -> Vec<u8> {
+    if data_rows_framed(v) {
+        Frame::new(proto_version(v), "row", value.as_bytes().to_vec())
+            .encode()
+            .to_vec()
+    } else {
+        value.as_bytes().to_vec()
+    }
+}
+
+/// Decodes a data row with `v`'s reader.
+///
+/// 2.1+ **requires** the frame — it shipped without a raw-row fallback, so
+/// rows written by ≤2.0 fail to read after the upgrade.
+pub fn decode_row(v: VersionId, bytes: &[u8]) -> Result<String, WireError> {
+    if data_rows_framed(v) {
+        let frame = Frame::decode(bytes)?;
+        Ok(String::from_utf8_lossy(&frame.body).into_owned())
+    } else {
+        Ok(String::from_utf8_lossy(bytes).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V11: VersionId = VersionId::new(1, 1, 0);
+    const V12: VersionId = VersionId::new(1, 2, 0);
+    const V20: VersionId = VersionId::new(2, 0, 0);
+    const V21: VersionId = VersionId::new(2, 1, 0);
+    const V40: VersionId = VersionId::new(4, 0, 0);
+
+    fn sample_state() -> SchemaState {
+        SchemaState {
+            timestamp: 9,
+            keyspaces: vec![KeyspaceDef {
+                name: "stress".into(),
+                strategy: "SimpleStrategy".into(),
+                dropped: false,
+                tables: vec![("standard1".into(), false)],
+            }],
+        }
+    }
+
+    #[test]
+    fn proto_versions_are_nondecreasing_and_3x_shares_10() {
+        let vs = [
+            V11,
+            V12,
+            V20,
+            V21,
+            VersionId::new(3, 0, 0),
+            VersionId::new(3, 11, 0),
+            V40,
+        ];
+        for w in vs.windows(2) {
+            assert!(
+                proto_version(w[0]) <= proto_version(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        // As in real Cassandra, 3.0 and 3.11 share a messaging version.
+        assert_eq!(
+            proto_version(VersionId::new(3, 0, 0)),
+            proto_version(VersionId::new(3, 11, 0))
+        );
+        // Release ids are strictly distinct.
+        let mut ids: Vec<u32> = vs.iter().map(|v| release_id(*v)).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), vs.len());
+        assert_eq!(proto_from_release(release_id(V21)), 8);
+    }
+
+    #[test]
+    fn gossip_digest_incompatible_between_1_1_and_1_2() {
+        // CASSANDRA-4195: 1.2 writes a string UUID at tag 3; 1.1 expects a
+        // varint there and fails with a wire-type mismatch.
+        let new = gossip_schema(V12);
+        let digest = MessageValue::new("GossipDigest")
+            .set("generation", Value::U64(1))
+            .set("schema_ts", Value::U64(5))
+            .set("schema_uuid", Value::Str("3f0c-11".into()));
+        let bytes = proto::encode(&new, &digest).unwrap();
+        let old = gossip_schema(V11);
+        let err = proto::decode(&old, "GossipDigest", &bytes).unwrap_err();
+        assert!(matches!(err, WireError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn gossip_carries_version_only_from_2_1() {
+        assert!(gossip_schema(V20)
+            .message("GossipDigest")
+            .unwrap()
+            .field_by_name("proto_version")
+            .is_none());
+        assert!(gossip_schema(V21)
+            .message("GossipDigest")
+            .unwrap()
+            .field_by_name("proto_version")
+            .is_some());
+    }
+
+    #[test]
+    fn schema_file_roundtrip_same_version() {
+        for v in [V11, V20, V40] {
+            let bytes = encode_schema_state(v, &sample_state()).unwrap();
+            let back = decode_schema_state(v, &bytes).unwrap();
+            assert_eq!(back.state, sample_state(), "version {v}");
+            assert_eq!(back.writer_release, release_id(v));
+            assert_eq!(back.writer_proto(), proto_version(v));
+        }
+    }
+
+    #[test]
+    fn format_b_reader_converts_format_a() {
+        let bytes = encode_schema_state(V12, &sample_state()).unwrap();
+        let back = decode_schema_state(V20, &bytes).unwrap();
+        assert_eq!(back.state.keyspaces[0].strategy, "SimpleStrategy");
+        assert_eq!(back.writer_release, 10_200);
+    }
+
+    #[test]
+    fn format_a_reader_chokes_on_format_b() {
+        // The 1.2-node-pulls-2.0-schema failure path (CASSANDRA-6678 aftermath).
+        let bytes = encode_schema_state(V20, &sample_state()).unwrap();
+        let err = decode_schema_state(V12, &bytes).unwrap_err();
+        // `name` moved to tag 2; tag 1 is now the strategy string, so the
+        // old reader misreads the strategy as the name and then tries to
+        // parse the name string as a nested Table message — a garbage parse.
+        assert!(
+            matches!(
+                err,
+                WireError::TypeMismatch { .. }
+                    | WireError::MissingRequired { .. }
+                    | WireError::BadWireType { .. }
+                    | WireError::Truncated
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn compact_and_tombstone_survive_format_b() {
+        let mut state = sample_state();
+        state.keyspaces[0].tables[0].1 = true;
+        state.keyspaces.push(KeyspaceDef {
+            name: "ghost".into(),
+            strategy: "SimpleStrategy".into(),
+            dropped: true,
+            tables: vec![],
+        });
+        let bytes = encode_schema_state(V40, &state).unwrap();
+        let back = decode_schema_state(V40, &bytes).unwrap().state;
+        assert!(back.keyspaces[0].tables[0].1);
+        assert!(back.keyspace("ghost").unwrap().dropped);
+    }
+
+    #[test]
+    fn dropped_keyspaces_are_omitted_by_format_a_writers() {
+        let mut state = sample_state();
+        state.keyspaces[0].dropped = true;
+        let bytes = encode_schema_state(V11, &state).unwrap();
+        let back = decode_schema_state(V11, &bytes).unwrap().state;
+        assert!(back.keyspaces.is_empty());
+    }
+
+    #[test]
+    fn row_format_breaks_at_2_1() {
+        // 2.0 writes raw rows; 2.1 requires frames (CASSANDRA-16257 shape).
+        let raw = encode_row(V20, "hello");
+        assert!(decode_row(V21, &raw).is_err());
+        assert_eq!(decode_row(V20, &raw).unwrap(), "hello");
+        let framed = encode_row(V21, "hello");
+        assert_eq!(decode_row(V21, &framed).unwrap(), "hello");
+        assert_eq!(decode_row(V40, &framed).unwrap(), "hello");
+    }
+
+    #[test]
+    fn commitlog_formats() {
+        assert_eq!(commitlog_format(V12), 12);
+        assert_eq!(commitlog_format(V21), 21);
+        assert_eq!(commitlog_format(VersionId::new(3, 11, 0)), 31);
+        assert_eq!(commitlog_format(V40), 40);
+    }
+
+    #[test]
+    fn schema_state_lookups() {
+        let s = sample_state();
+        assert!(s.has_table("stress", "standard1"));
+        assert!(!s.has_table("stress", "other"));
+        assert!(!s.has_table("nope", "standard1"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # dup-kvstore — a miniature versioned Cassandra-like store
+//!
+//! A peer-to-peer key-value store with gossip, schema migration, sstable-ish
+//! data files, and a commit log — built as a DUPTester subject. Seven
+//! releases (1.1.0 → 4.0.0) are implemented; the diffs between consecutive
+//! releases re-create the studied Cassandra upgrade failures:
+//!
+//! | Seeded bug | Pair | Mechanism |
+//! |---|---|---|
+//! | CASSANDRA-4195  | 1.1 → 1.2 rolling | gossip `schema_id` becomes a string UUID under the same tag; old nodes wedge in schema migration |
+//! | CASSANDRA-6678  | 1.2 → 2.0 rolling | gossip handled before the version handshake ⇒ pull from a newer node ⇒ unparseable schema ⇒ wedged (race) |
+//! | CASSANDRA-16257 shape | 2.0 → 2.1 | 2.1 frames data rows but ships no raw-row reader; old rows read back corrupt |
+//! | CASSANDRA-13441 | 3.0 → 3.11 | upgraded node re-regenerates system tables on every pull served ⇒ migration storm |
+//! | CASSANDRA-16292 shape | 3.0 → 3.11 | DROP KEYSPACE tombstones crash the 3.11 schema loader |
+//! | CASSANDRA-15794 | 3.11 → 4.0 | COMPACT STORAGE refused *after* the format-40 commit log header is written ⇒ no upgrade, no downgrade |
+//! | CASSANDRA-16301 | 3.11 → 4.0 | `OldNetworkTopologyStrategy` removed; keyspaces created by a unit test crash the 4.0 loader |
+//!
+//! The clean pairs (2.1 → 3.0 and full-stop 1.2 → 2.0) are deliberate
+//! controls: DUPTester must *not* report anything for them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod node;
+mod sut;
+
+pub use crate::node::KvNode;
+pub use crate::sut::KvStoreSystem;

@@ -1,0 +1,263 @@
+//! The [`SystemUnderTest`] implementation: version catalog, stress workload,
+//! unit tests, and the unit-test translation table (paper §6.1.3).
+
+use crate::codec::{self, KeyspaceDef};
+use crate::node::KvNode;
+use dup_core::{
+    ClientOp, NodeSetup, SystemUnderTest, TranslationTable, UnitStatement, UnitTest, VersionId,
+    WorkloadPhase,
+};
+use dup_simnet::{HostStorage, Process, SimRng};
+
+/// The mini Cassandra-like key-value store as a DUPTester subject.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KvStoreSystem;
+
+impl KvStoreSystem {
+    /// The release history, oldest first.
+    pub fn release_history() -> Vec<VersionId> {
+        [
+            "1.1.0", "1.2.0", "2.0.0", "2.1.0", "3.0.0", "3.11.0", "4.0.0",
+        ]
+        .iter()
+        .map(|s| s.parse().expect("static version strings parse"))
+        .collect()
+    }
+}
+
+impl SystemUnderTest for KvStoreSystem {
+    fn name(&self) -> &'static str {
+        "cassandra-mini"
+    }
+
+    fn versions(&self) -> Vec<VersionId> {
+        Self::release_history()
+    }
+
+    fn cluster_size(&self) -> u32 {
+        3
+    }
+
+    fn spawn(&self, version: VersionId, setup: &NodeSetup) -> Box<dyn Process> {
+        Box::new(KvNode::new(version, setup.clone()))
+    }
+
+    fn stress_workload(
+        &self,
+        seed: u64,
+        phase: WorkloadPhase,
+        _client_version: VersionId,
+    ) -> Vec<ClientOp> {
+        // XOR a per-system constant so different systems draw different ops
+        // from the same campaign seed. Data is not replicated across peers,
+        // so reads are routed to the same node the key was written to.
+        let mut rng = SimRng::new(seed ^ 0x6b76);
+        let n = self.cluster_size();
+        let route = |k: u64| (k % u64::from(n)) as u32;
+        let mut ops = Vec::new();
+        match phase {
+            WorkloadPhase::BeforeUpgrade => {
+                ops.push(ClientOp::new(0, "CREATE_KS stress"));
+                ops.push(ClientOp::new(0, "CREATE_TABLE stress.standard1"));
+                for k in 0..10u64 {
+                    ops.push(ClientOp::new(
+                        route(k),
+                        format!("PUT stress.standard1 key{k} val{k}"),
+                    ));
+                }
+                let _ = rng.next_u64();
+            }
+            WorkloadPhase::DuringUpgrade => {
+                for i in 0..12u64 {
+                    if i % 3 == 0 {
+                        let k = rng.next_below(10);
+                        ops.push(ClientOp::new(
+                            route(k),
+                            format!("GET stress.standard1 key{k}"),
+                        ));
+                    } else {
+                        ops.push(ClientOp::new(
+                            route(i),
+                            format!("PUT stress.standard1 mid{i} mv{i}"),
+                        ));
+                    }
+                }
+            }
+            WorkloadPhase::AfterUpgrade => {
+                for k in 0..10u64 {
+                    ops.push(ClientOp::new(
+                        route(k),
+                        format!("GET stress.standard1 key{k}"),
+                    ));
+                }
+                for node in 0..n {
+                    ops.push(ClientOp::new(node, "HEALTH"));
+                }
+            }
+        }
+        ops
+    }
+
+    fn unit_tests(&self) -> Vec<UnitTest> {
+        vec![
+            // Translatable: creates two keyspaces, drops one. The DROP is the
+            // operation stress testing never issues — the CASSANDRA-16292
+            // discovery path.
+            UnitTest::new(
+                "testCachedPreparedStatements",
+                vec![
+                    UnitStatement::bind("ks1", "createKeyspace", &["ks1"]),
+                    UnitStatement::bind("ks2", "createKeyspace", &["ks2"]),
+                    UnitStatement::call("createTable", &["$ks1", "t1"]),
+                    UnitStatement::call("createTable", &["$ks2", "t2"]),
+                    UnitStatement::bind("stmt", "prepareInternal", &["SELECT * FROM t1"]),
+                    UnitStatement::call("executePrepared", &["$stmt"]),
+                    UnitStatement::call("dropKeyspace", &["$ks2"]),
+                ],
+            ),
+            // Translatable: COMPACT STORAGE table — the CASSANDRA-15794 path.
+            UnitTest::new(
+                "testCompactTables",
+                vec![
+                    UnitStatement::bind("ks", "createKeyspace", &["legacy"]),
+                    UnitStatement::call("createCompactTable", &["$ks", "cf"]),
+                    UnitStatement::call("insertRow", &["$ks", "cf", "k", "v"]),
+                ],
+            ),
+            // Only runnable in place (internal API): keyspace with a
+            // non-default replication strategy — the CASSANDRA-16301 path.
+            UnitTest::new(
+                "testUpdateKeyspace",
+                vec![UnitStatement::call(
+                    "createKeyspaceWithStrategy",
+                    &["old_ks", "OldNetworkTopologyStrategy"],
+                )],
+            )
+            .with_config("replication_strategy", "OldNetworkTopologyStrategy"),
+            // Translatable: exercises the tracing tool (CASSANDRA-10652 shape).
+            UnitTest::new(
+                "test_cqlsh_completion",
+                vec![
+                    UnitStatement::call("traceOn", &[]),
+                    UnitStatement::call("createKeyspace", &["cqlsh_ks"]),
+                ],
+            ),
+        ]
+    }
+
+    fn translation(&self) -> TranslationTable {
+        TranslationTable::new()
+            .rule("createKeyspace", "CREATE_KS {0}")
+            .rule("createTable", "CREATE_TABLE {0}.{1}")
+            .rule("createCompactTable", "CREATE_TABLE {0}.{1} COMPACT")
+            .rule("insertRow", "PUT {0}.{1} {2} {3}")
+            .rule("dropKeyspace", "DROP_KS {0}")
+            .rule("traceOn", "TRACE ON")
+    }
+
+    fn run_unit_statement(
+        &self,
+        version: VersionId,
+        statement: &UnitStatement,
+        storage: &mut HostStorage,
+    ) -> Result<(), String> {
+        match (statement.call.as_str(), statement.args.as_slice()) {
+            ("createKeyspaceWithStrategy", [name, strategy]) => {
+                let mut state = match storage.read("schema") {
+                    Some(bytes) => {
+                        codec::decode_schema_state(version, bytes)
+                            .map_err(|e| format!("cannot read schema: {e}"))?
+                            .state
+                    }
+                    None => codec::SchemaState {
+                        timestamp: 1,
+                        keyspaces: Vec::new(),
+                    },
+                };
+                state.keyspaces.push(KeyspaceDef {
+                    name: name.clone(),
+                    strategy: strategy.clone(),
+                    dropped: false,
+                    tables: Vec::new(),
+                });
+                state.timestamp += 1;
+                let bytes = codec::encode_schema_state(version, &state)
+                    .map_err(|e| format!("cannot write schema: {e}"))?;
+                storage.write("schema", bytes);
+                Ok(())
+            }
+            (other, _) => Err(format!("internal call '{other}' not supported in place")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_history_is_sorted_and_distinct() {
+        let vs = KvStoreSystem::release_history();
+        let mut sorted = vs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(vs, sorted);
+        assert_eq!(vs.len(), 7);
+    }
+
+    #[test]
+    fn stress_workload_is_deterministic_in_seed() {
+        let s = KvStoreSystem;
+        let v = VersionId::new(3, 0, 0);
+        let a = s.stress_workload(7, WorkloadPhase::DuringUpgrade, v);
+        let b = s.stress_workload(7, WorkloadPhase::DuringUpgrade, v);
+        assert_eq!(a, b);
+        let c = s.stress_workload(8, WorkloadPhase::DuringUpgrade, v);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workload_phases_have_expected_shape() {
+        let s = KvStoreSystem;
+        let v = VersionId::new(3, 0, 0);
+        let before = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, v);
+        assert!(before.iter().any(|op| op.command.starts_with("CREATE_KS")));
+        assert!(before.iter().any(|op| op.command.starts_with("PUT")));
+        let after = s.stress_workload(1, WorkloadPhase::AfterUpgrade, v);
+        assert!(after.iter().filter(|op| op.command == "HEALTH").count() >= 3);
+        assert!(after.iter().any(|op| op.command.starts_with("GET")));
+    }
+
+    #[test]
+    fn translation_covers_the_unit_test_corpus_except_internals() {
+        let s = KvStoreSystem;
+        let table = s.translation();
+        assert!(table.template("createKeyspace").is_some());
+        assert!(table.template("prepareInternal").is_none());
+        assert!(table.template("createKeyspaceWithStrategy").is_none());
+    }
+
+    #[test]
+    fn in_place_statement_writes_strategy_keyspace() {
+        let s = KvStoreSystem;
+        let mut storage = HostStorage::new();
+        let stmt = UnitStatement::call(
+            "createKeyspaceWithStrategy",
+            &["old_ks", "OldNetworkTopologyStrategy"],
+        );
+        s.run_unit_statement(VersionId::new(3, 11, 0), &stmt, &mut storage)
+            .unwrap();
+        let decoded =
+            codec::decode_schema_state(VersionId::new(3, 11, 0), storage.read("schema").unwrap())
+                .unwrap();
+        assert_eq!(
+            decoded.state.keyspaces[0].strategy,
+            "OldNetworkTopologyStrategy"
+        );
+        // Unsupported internal calls are refused.
+        let bad = UnitStatement::call("prepareInternal", &["x"]);
+        assert!(s
+            .run_unit_statement(VersionId::new(3, 11, 0), &bad, &mut storage)
+            .is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # dup-mq — a miniature versioned Kafka-like broker
+//!
+//! A replicated message broker built as a DUPTester subject. Five releases
+//! (0.11.0 → 2.4.0) re-create the studied Kafka upgrade failures:
+//!
+//! | Seeded bug | Pair | Mechanism |
+//! |---|---|---|
+//! | KAFKA-6238  | 0.11 → 1.0 | a `message.version` pinned by the old config file crashes the upgraded broker |
+//! | KAFKA-7403  | 1.0 → 2.1 | old clients' DEFAULT retention now means "no expiry", which the old on-disk offset record cannot express |
+//! | KAFKA-10173 | 2.3 → 2.4 rolling | the replica-batch layout changed but the protocol version id did not; mixed brokers misparse each other |
+//!
+//! The 2.1 → 2.3 pair is a clean control.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod node;
+mod sut;
+
+pub use crate::node::Broker;
+pub use crate::sut::MqSystem;

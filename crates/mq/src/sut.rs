@@ -1,0 +1,146 @@
+//! The [`SystemUnderTest`] implementation for the mini message queue.
+
+use crate::node::Broker;
+use dup_core::{
+    ClientOp, NodeSetup, SystemUnderTest, TranslationTable, UnitStatement, UnitTest, VersionId,
+    WorkloadPhase,
+};
+use dup_simnet::Process;
+
+/// The mini Kafka-like broker cluster as a DUPTester subject.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MqSystem;
+
+impl MqSystem {
+    /// The release history, oldest first.
+    pub fn release_history() -> Vec<VersionId> {
+        ["0.11.0", "1.0.0", "2.1.0", "2.3.0", "2.4.0"]
+            .iter()
+            .map(|s| s.parse().expect("static version strings parse"))
+            .collect()
+    }
+}
+
+impl SystemUnderTest for MqSystem {
+    fn name(&self) -> &'static str {
+        "kafka-mini"
+    }
+
+    fn versions(&self) -> Vec<VersionId> {
+        Self::release_history()
+    }
+
+    fn cluster_size(&self) -> u32 {
+        2
+    }
+
+    fn spawn(&self, version: VersionId, setup: &NodeSetup) -> Box<dyn Process> {
+        Box::new(Broker::new(version, setup.clone()))
+    }
+
+    fn stress_workload(
+        &self,
+        _seed: u64,
+        phase: WorkloadPhase,
+        client_version: VersionId,
+    ) -> Vec<ClientOp> {
+        // Old client libraries pass DEFAULT (-1) retention on offset commits
+        // — the KAFKA-7403 ingredient; 2.1+ clients pass it explicitly.
+        let retention = if client_version < VersionId::new(2, 1, 0) {
+            "-1"
+        } else {
+            "86400000"
+        };
+        let mut ops = Vec::new();
+        match phase {
+            WorkloadPhase::BeforeUpgrade => {
+                for i in 0..6 {
+                    ops.push(ClientOp::new(i % 2, format!("PRODUCE events pre{i}")));
+                }
+                ops.push(ClientOp::new(0, format!("COMMIT cg events 3 {retention}")));
+            }
+            WorkloadPhase::DuringUpgrade => {
+                for i in 0..4 {
+                    ops.push(ClientOp::new(i % 2, format!("PRODUCE events mid{i}")));
+                }
+                ops.push(ClientOp::new(0, format!("COMMIT cg events 8 {retention}")));
+            }
+            WorkloadPhase::AfterUpgrade => {
+                // Cross-broker fetches verify replication survived the
+                // mixed-version window (KAFKA-10173's casualty).
+                for i in 0..8 {
+                    ops.push(ClientOp::new((i + 1) % 2, format!("FETCH events {i}")));
+                }
+                ops.push(ClientOp::new(0, format!("COMMIT cg events 9 {retention}")));
+                ops.push(ClientOp::new(0, "OFFSET_GET cg events"));
+                ops.push(ClientOp::new(0, "HEALTH"));
+                ops.push(ClientOp::new(1, "HEALTH"));
+            }
+        }
+        ops
+    }
+
+    fn unit_tests(&self) -> Vec<UnitTest> {
+        vec![
+            // Carries the stale config that KAFKA-6238 needs.
+            UnitTest::new(
+                "testMessageFormatVersion",
+                vec![
+                    UnitStatement::call("produceRecord", &["events", "cfg-probe"]),
+                    UnitStatement::call("fetchRecord", &["events", "0"]),
+                ],
+            )
+            .with_config("message.version", "0.11.0"),
+            UnitTest::new(
+                "testOffsetRetention",
+                vec![
+                    UnitStatement::bind("c", "createConsumer", &["cg2"]),
+                    UnitStatement::call("commitOffset", &["$c", "events", "1", "-1"]),
+                ],
+            ),
+        ]
+    }
+
+    fn translation(&self) -> TranslationTable {
+        TranslationTable::new()
+            .rule("produceRecord", "PRODUCE {0} {1}")
+            .rule("fetchRecord", "FETCH {0} {1}")
+            .rule("commitOffset", "COMMIT {0} {1} {2} {3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_and_cluster_shape() {
+        assert_eq!(MqSystem::release_history().len(), 5);
+        assert_eq!(MqSystem.cluster_size(), 2);
+    }
+
+    #[test]
+    fn old_clients_send_default_retention() {
+        let s = MqSystem;
+        let old = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, VersionId::new(1, 0, 0));
+        assert!(old.iter().any(|op| op.command.ends_with(" -1")));
+        let new = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, VersionId::new(2, 3, 0));
+        assert!(!new.iter().any(|op| op.command.ends_with(" -1")));
+    }
+
+    #[test]
+    fn config_unit_test_pins_message_version() {
+        let t = &MqSystem.unit_tests()[0];
+        assert_eq!(
+            t.config.get("message.version").map(String::as_str),
+            Some("0.11.0")
+        );
+    }
+
+    #[test]
+    fn consumer_binding_is_untranslatable() {
+        let table = MqSystem.translation();
+        assert!(table.template("createConsumer").is_none());
+        assert!(table.template("commitOffset").is_some());
+    }
+}

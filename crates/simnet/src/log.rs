@@ -1,0 +1,184 @@
+//! Captured simulation logs.
+//!
+//! Every node writes through [`crate::Ctx::log`] into a global, time-ordered
+//! buffer. DUPTester's failure oracle (paper §6.1.1) treats error log
+//! messages, exceptions, and crashes as indications of an upgrade failure, so
+//! the buffer offers query helpers over levels and substrings.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Severity of a log record, mirroring the levels the studied systems use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LogLevel {
+    /// Verbose diagnostics; never consulted by the oracle.
+    Debug,
+    /// Normal operational messages.
+    Info,
+    /// Suspicious but non-fatal conditions.
+    Warn,
+    /// Failed operations; the oracle flags these.
+    Error,
+    /// Conditions that terminate the node; the oracle flags these.
+    Fatal,
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LogLevel::Debug => "DEBUG",
+            LogLevel::Info => "INFO",
+            LogLevel::Warn => "WARN",
+            LogLevel::Error => "ERROR",
+            LogLevel::Fatal => "FATAL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One captured log line.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// When the line was emitted.
+    pub time: SimTime,
+    /// Emitting node id, or `None` for harness-level records.
+    pub node: Option<u32>,
+    /// Node generation (incremented on every restart/upgrade of the slot).
+    pub generation: u64,
+    /// Severity.
+    pub level: LogLevel,
+    /// Message text.
+    pub message: String,
+}
+
+impl fmt::Display for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(
+                f,
+                "[{} n{}g{} {}] {}",
+                self.time, n, self.generation, self.level, self.message
+            ),
+            None => write!(f, "[{} sim {}] {}", self.time, self.level, self.message),
+        }
+    }
+}
+
+/// An append-only, time-ordered buffer of log records.
+#[derive(Debug, Default)]
+pub struct LogBuffer {
+    records: Vec<LogRecord>,
+}
+
+impl LogBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: LogRecord) {
+        self.records.push(record);
+    }
+
+    /// Returns all records in emission order.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Returns the number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if no records were captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Returns records at `level` or above.
+    pub fn at_or_above(&self, level: LogLevel) -> impl Iterator<Item = &LogRecord> {
+        self.records.iter().filter(move |r| r.level >= level)
+    }
+
+    /// Returns records whose message contains `needle`.
+    pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a LogRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.message.contains(needle))
+    }
+
+    /// Returns `true` if any record at `level` or above exists.
+    pub fn has_at_or_above(&self, level: LogLevel) -> bool {
+        self.at_or_above(level).next().is_some()
+    }
+
+    /// Returns records emitted at or after `since`.
+    pub fn since(&self, since: SimTime) -> impl Iterator<Item = &LogRecord> {
+        self.records.iter().filter(move |r| r.time >= since)
+    }
+
+    /// Renders the whole buffer, one record per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(level: LogLevel, msg: &str, t: u64) -> LogRecord {
+        LogRecord {
+            time: SimTime::from_millis(t),
+            node: Some(1),
+            generation: 0,
+            level,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(LogLevel::Fatal > LogLevel::Error);
+        assert!(LogLevel::Error > LogLevel::Warn);
+        assert!(LogLevel::Warn > LogLevel::Info);
+        assert!(LogLevel::Info > LogLevel::Debug);
+    }
+
+    #[test]
+    fn filters_by_level_and_pattern() {
+        let mut buf = LogBuffer::new();
+        buf.push(rec(LogLevel::Info, "starting up", 0));
+        buf.push(rec(LogLevel::Error, "failed to parse fsimage", 10));
+        buf.push(rec(LogLevel::Fatal, "aborting", 20));
+
+        assert_eq!(buf.at_or_above(LogLevel::Error).count(), 2);
+        assert_eq!(buf.matching("fsimage").count(), 1);
+        assert!(buf.has_at_or_above(LogLevel::Fatal));
+        assert_eq!(buf.since(SimTime::from_millis(10)).count(), 2);
+    }
+
+    #[test]
+    fn render_is_line_per_record() {
+        let mut buf = LogBuffer::new();
+        buf.push(rec(LogLevel::Warn, "slow heartbeat", 5));
+        let text = buf.render();
+        assert!(text.contains("WARN"));
+        assert!(text.contains("slow heartbeat"));
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn empty_buffer_reports_empty() {
+        let buf = LogBuffer::new();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        assert!(!buf.has_at_or_above(LogLevel::Debug));
+    }
+}

@@ -1,0 +1,102 @@
+//! Node slots: the simulation analog of DUPTester's containers.
+//!
+//! A slot binds a host name (and therefore persistent storage) to a sequence
+//! of process *generations*. Upgrading a node replaces the process while the
+//! slot — and its storage — persists, exactly like replacing a container that
+//! shares a host directory (paper §6.1.1).
+
+use crate::process::Process;
+use crate::rng::SimRng;
+use std::fmt;
+
+/// Lifecycle state of a node slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeStatus {
+    /// Added but never started, or awaiting a scheduled start.
+    Idle,
+    /// Start scheduled; will transition to `Running` when the start event fires.
+    Starting,
+    /// Process is live and receiving events.
+    Running,
+    /// Stopped gracefully (by the harness or by the process itself).
+    Stopped,
+    /// Terminated by a fatal error, a panic, or a hard kill.
+    Crashed,
+}
+
+impl NodeStatus {
+    /// Returns `true` for `Running`.
+    pub fn is_running(self) -> bool {
+        self == NodeStatus::Running
+    }
+}
+
+impl fmt::Display for NodeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeStatus::Idle => "idle",
+            NodeStatus::Starting => "starting",
+            NodeStatus::Running => "running",
+            NodeStatus::Stopped => "stopped",
+            NodeStatus::Crashed => "crashed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-node traffic counters, used by performance-degradation oracles
+/// (e.g. the CASSANDRA-13441 schema-migration storm).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Node-to-node and client messages delivered to this node.
+    pub messages_received: u64,
+    /// Messages this node sent (before any loss).
+    pub messages_sent: u64,
+    /// Timer events dispatched to this node.
+    pub timers_fired: u64,
+}
+
+/// One container slot in the simulated cluster.
+pub(crate) struct NodeSlot {
+    pub host: String,
+    pub version_label: String,
+    pub process: Option<Box<dyn Process>>,
+    pub status: NodeStatus,
+    pub generation: u64,
+    pub rng: SimRng,
+    pub crash_reason: Option<String>,
+    pub metrics: NodeMetrics,
+}
+
+impl fmt::Debug for NodeSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeSlot")
+            .field("host", &self.host)
+            .field("version", &self.version_label)
+            .field("status", &self.status)
+            .field("generation", &self.generation)
+            .field("crash_reason", &self.crash_reason)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display_and_predicates() {
+        assert_eq!(NodeStatus::Running.to_string(), "running");
+        assert_eq!(NodeStatus::Crashed.to_string(), "crashed");
+        assert!(NodeStatus::Running.is_running());
+        assert!(!NodeStatus::Stopped.is_running());
+    }
+
+    #[test]
+    fn metrics_default_to_zero() {
+        let m = NodeMetrics::default();
+        assert_eq!(m.messages_received, 0);
+        assert_eq!(m.messages_sent, 0);
+        assert_eq!(m.timers_fired, 0);
+    }
+}

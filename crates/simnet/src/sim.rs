@@ -1,0 +1,893 @@
+//! The discrete-event simulator.
+//!
+//! [`Sim`] owns the clock, the event queue, the node slots, the network, the
+//! per-host persistent storage, and the captured logs. All execution is
+//! deterministic in the seed: events are ordered by `(time, sequence)` and all
+//! randomness is drawn from split streams of one root RNG.
+
+use crate::log::{LogBuffer, LogLevel, LogRecord};
+use crate::net::Network;
+use crate::node::{NodeMetrics, NodeSlot, NodeStatus};
+use crate::process::{Ctx, Effect, Endpoint, NodeId, Process};
+use crate::rng::SimRng;
+use crate::storage::{HostStorage, StorageMap};
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Errors reported by the simulation harness API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An operation referenced a node id that was never added.
+    UnknownNode(NodeId),
+    /// The operation is invalid in the node's current status.
+    BadStatus {
+        /// The offending node.
+        node: NodeId,
+        /// Its status at the time of the call.
+        status: NodeStatus,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// `run_until_idle` exceeded its event budget (likely a livelock or storm).
+    Runaway {
+        /// Number of events processed before giving up.
+        events: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SimError::BadStatus { node, status, op } => {
+                write!(f, "cannot {op} node {node} while {status}")
+            }
+            SimError::Runaway { events } => {
+                write!(f, "simulation did not quiesce after {events} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Handle to the responses of one client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientHandle(u64);
+
+#[derive(Debug)]
+enum EventKind {
+    Start {
+        node: NodeId,
+        generation: u64,
+    },
+    Deliver {
+        from: Endpoint,
+        to: Endpoint,
+        payload: Bytes,
+    },
+    Timer {
+        node: NodeId,
+        generation: u64,
+        token: u64,
+    },
+}
+
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulated world.
+pub struct Sim {
+    seed: u64,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    nodes: Vec<NodeSlot>,
+    storage: StorageMap,
+    /// The network model; mutate directly to inject partitions or loss.
+    pub net: Network,
+    logs: LogBuffer,
+    net_rng: SimRng,
+    client_inbox: BTreeMap<u64, Vec<Bytes>>,
+    next_client: u64,
+    events_processed: u64,
+    messages_delivered: u64,
+}
+
+impl Sim {
+    /// Creates an empty simulation seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        let root = SimRng::new(seed);
+        Sim {
+            seed,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            storage: StorageMap::new(),
+            net: Network::new(),
+            logs: LogBuffer::new(),
+            net_rng: root.split(u64::MAX),
+            client_inbox: BTreeMap::new(),
+            next_client: 0,
+            events_processed: 0,
+            messages_delivered: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Total node-to-node and node-to-client messages delivered so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Captured logs.
+    pub fn logs(&self) -> &LogBuffer {
+        &self.logs
+    }
+
+    /// Emits a harness-level log record.
+    pub fn log_sim(&mut self, level: LogLevel, message: impl Into<String>) {
+        self.logs.push(LogRecord {
+            time: self.now,
+            node: None,
+            generation: 0,
+            level,
+            message: message.into(),
+        });
+    }
+
+    // ----- node lifecycle -------------------------------------------------
+
+    /// Adds a node slot on `host` running `process` labelled `version_label`.
+    ///
+    /// The node starts `Idle`; call [`Sim::start_node`].
+    pub fn add_node(
+        &mut self,
+        host: &str,
+        version_label: &str,
+        process: Box<dyn Process>,
+    ) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(NodeSlot {
+            host: host.to_string(),
+            version_label: version_label.to_string(),
+            process: Some(process),
+            status: NodeStatus::Idle,
+            generation: 0,
+            rng: SimRng::new(self.seed).split(u64::from(id)),
+            crash_reason: None,
+            metrics: NodeMetrics::default(),
+        });
+        id
+    }
+
+    /// Number of node slots (including stopped/crashed ones).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The status of `node`.
+    pub fn node_status(&self, node: NodeId) -> NodeStatus {
+        self.nodes
+            .get(node as usize)
+            .map(|s| s.status)
+            .unwrap_or(NodeStatus::Idle)
+    }
+
+    /// The version label currently installed on `node`.
+    pub fn node_version(&self, node: NodeId) -> &str {
+        self.nodes
+            .get(node as usize)
+            .map(|s| s.version_label.as_str())
+            .unwrap_or("")
+    }
+
+    /// The crash reason, if the node crashed.
+    pub fn crash_reason(&self, node: NodeId) -> Option<&str> {
+        self.nodes
+            .get(node as usize)
+            .and_then(|s| s.crash_reason.as_deref())
+    }
+
+    /// Per-node traffic counters.
+    pub fn node_metrics(&self, node: NodeId) -> NodeMetrics {
+        self.nodes
+            .get(node as usize)
+            .map(|s| s.metrics)
+            .unwrap_or_default()
+    }
+
+    /// Ids of nodes currently `Running`.
+    pub fn running_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as NodeId)
+            .filter(|&n| self.nodes[n as usize].status.is_running())
+            .collect()
+    }
+
+    /// Ids of nodes currently `Crashed`.
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as NodeId)
+            .filter(|&n| self.nodes[n as usize].status == NodeStatus::Crashed)
+            .collect()
+    }
+
+    /// Schedules `node` to start at the current time.
+    ///
+    /// Starting bumps the node's generation: timers armed by the previous
+    /// process generation are discarded, mirroring a process restart.
+    pub fn start_node(&mut self, node: NodeId) -> Result<(), SimError> {
+        let seed = self.seed;
+        let slot = self.slot_mut(node)?;
+        if slot.status == NodeStatus::Running || slot.status == NodeStatus::Starting {
+            return Err(SimError::BadStatus {
+                node,
+                status: slot.status,
+                op: "start",
+            });
+        }
+        if slot.process.is_none() {
+            return Err(SimError::BadStatus {
+                node,
+                status: slot.status,
+                op: "start (no process installed)",
+            });
+        }
+        slot.generation += 1;
+        slot.status = NodeStatus::Starting;
+        slot.crash_reason = None;
+        let generation = slot.generation;
+        slot.rng = SimRng::new(seed).split(u64::from(node) << 20 | generation);
+        self.schedule(self.now, EventKind::Start { node, generation });
+        Ok(())
+    }
+
+    /// Gracefully stops `node`: its `on_shutdown` hook runs, then the process
+    /// is discarded. Persistent storage survives.
+    pub fn stop_node(&mut self, node: NodeId) -> Result<(), SimError> {
+        let status = self.node_status(node);
+        if self.slot_mut(node)?.process.is_none() && status != NodeStatus::Running {
+            // Nothing to do for already-dead slots.
+        }
+        match status {
+            NodeStatus::Running => {
+                self.dispatch(node, DispatchKind::Shutdown);
+                // A shutdown handler may itself crash the node; only mark
+                // stopped if it survived.
+                let slot = &mut self.nodes[node as usize];
+                if slot.status == NodeStatus::Running {
+                    slot.status = NodeStatus::Stopped;
+                    slot.process = None;
+                }
+                Ok(())
+            }
+            NodeStatus::Starting | NodeStatus::Idle => {
+                let slot = self.slot_mut(node)?;
+                slot.status = NodeStatus::Stopped;
+                Ok(())
+            }
+            NodeStatus::Stopped | NodeStatus::Crashed => Ok(()),
+        }
+    }
+
+    /// Kills `node` without running its shutdown hook (simulates `kill -9` /
+    /// container teardown).
+    pub fn kill_node(&mut self, node: NodeId) -> Result<(), SimError> {
+        let slot = self.slot_mut(node)?;
+        slot.status = NodeStatus::Crashed;
+        slot.crash_reason = Some("killed by harness".to_string());
+        slot.process = None;
+        Ok(())
+    }
+
+    /// Installs a new process (typically a different software version) into a
+    /// stopped, crashed, or idle slot. The host — and its persistent storage —
+    /// is unchanged: this is the "replace the container, keep the shared
+    /// directory" upgrade step of DUPTester.
+    pub fn install(
+        &mut self,
+        node: NodeId,
+        version_label: &str,
+        process: Box<dyn Process>,
+    ) -> Result<(), SimError> {
+        let slot = self.slot_mut(node)?;
+        if slot.status == NodeStatus::Running || slot.status == NodeStatus::Starting {
+            return Err(SimError::BadStatus {
+                node,
+                status: slot.status,
+                op: "install over",
+            });
+        }
+        slot.process = Some(process);
+        slot.version_label = version_label.to_string();
+        Ok(())
+    }
+
+    /// Direct access to a host's persistent storage (for workload setup and
+    /// post-mortem inspection).
+    pub fn host_storage(&mut self, host: &str) -> &mut HostStorage {
+        self.storage.host_mut(host)
+    }
+
+    /// Read-only access to a host's persistent storage.
+    pub fn host_storage_ref(&self, host: &str) -> Option<&HostStorage> {
+        self.storage.host(host)
+    }
+
+    /// The host name of `node`.
+    pub fn node_host(&self, node: NodeId) -> &str {
+        self.nodes
+            .get(node as usize)
+            .map(|s| s.host.as_str())
+            .unwrap_or("")
+    }
+
+    // ----- client traffic ---------------------------------------------------
+
+    /// Sends `payload` to `to` on behalf of a fresh external client; responses
+    /// the node sends back are collected under the returned handle.
+    pub fn client_send(&mut self, to: NodeId, payload: Bytes) -> ClientHandle {
+        let id = self.next_client;
+        self.next_client += 1;
+        self.client_inbox.insert(id, Vec::new());
+        let from = Endpoint::Client(id);
+        let latency = self
+            .net
+            .route(from, Endpoint::Node(to), &mut self.net_rng)
+            .unwrap_or(SimDuration::from_millis(1));
+        self.schedule(
+            self.now + latency,
+            EventKind::Deliver {
+                from,
+                to: Endpoint::Node(to),
+                payload,
+            },
+        );
+        ClientHandle(id)
+    }
+
+    /// Pops the next response received for `handle`, if any.
+    pub fn poll_response(&mut self, handle: ClientHandle) -> Option<Bytes> {
+        let inbox = self.client_inbox.get_mut(&handle.0)?;
+        if inbox.is_empty() {
+            None
+        } else {
+            Some(inbox.remove(0))
+        }
+    }
+
+    /// Sends a request and runs the simulation until a response arrives or
+    /// `timeout` elapses. Returns `None` on timeout.
+    pub fn rpc(&mut self, to: NodeId, payload: Bytes, timeout: SimDuration) -> Option<Bytes> {
+        let handle = self.client_send(to, payload);
+        let deadline = self.now + timeout;
+        loop {
+            if let Some(resp) = self.poll_response(handle) {
+                return Some(resp);
+            }
+            match self.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    self.now = deadline;
+                    return self.poll_response(handle);
+                }
+            }
+        }
+    }
+
+    // ----- event loop -------------------------------------------------------
+
+    /// Processes the next event, if any; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.now, "time went backwards");
+        self.now = event.time;
+        self.events_processed += 1;
+        match event.kind {
+            EventKind::Start { node, generation } => {
+                let slot = &mut self.nodes[node as usize];
+                if slot.generation == generation && slot.status == NodeStatus::Starting {
+                    slot.status = NodeStatus::Running;
+                    self.dispatch(node, DispatchKind::Start);
+                }
+            }
+            EventKind::Deliver { from, to, payload } => match to {
+                Endpoint::Node(n) => {
+                    if let Some(slot) = self.nodes.get_mut(n as usize) {
+                        if slot.status.is_running() {
+                            slot.metrics.messages_received += 1;
+                            self.messages_delivered += 1;
+                            self.dispatch(n, DispatchKind::Message { from, payload });
+                        }
+                    }
+                }
+                Endpoint::Client(c) => {
+                    self.messages_delivered += 1;
+                    self.client_inbox.entry(c).or_default().push(payload);
+                }
+            },
+            EventKind::Timer {
+                node,
+                generation,
+                token,
+            } => {
+                let slot = &mut self.nodes[node as usize];
+                if slot.generation == generation && slot.status.is_running() {
+                    slot.metrics.timers_fired += 1;
+                    self.dispatch(node, DispatchKind::Timer { token });
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or `deadline` is reached; `now` ends at
+    /// `deadline` even if the queue drained early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain, with an event budget to catch storms.
+    pub fn run_until_idle(&mut self, max_events: u64) -> Result<(), SimError> {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+            if n >= max_events {
+                return Err(SimError::Runaway { events: n });
+            }
+        }
+        Ok(())
+    }
+
+    /// The timestamp of the next queued event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.time)
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    fn slot_mut(&mut self, node: NodeId) -> Result<&mut NodeSlot, SimError> {
+        let len = self.nodes.len();
+        self.nodes
+            .get_mut(node as usize)
+            .ok_or(SimError::UnknownNode(if (node as usize) < len {
+                node
+            } else {
+                node
+            }))
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    fn dispatch(&mut self, node: NodeId, kind: DispatchKind) {
+        let slot = &mut self.nodes[node as usize];
+        let Some(mut process) = slot.process.take() else {
+            return;
+        };
+        let host = slot.host.clone();
+        let generation = slot.generation;
+        let mut rng = std::mem::replace(&mut slot.rng, SimRng::new(0));
+
+        let mut effects: Vec<Effect> = Vec::new();
+        let result = {
+            let storage = self.storage.host_mut(&host);
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                generation,
+                storage,
+                rng: &mut rng,
+                logs: &mut self.logs,
+                effects: &mut effects,
+            };
+            // The process is discarded if the handler panics, so its
+            // (possibly broken) state can never be observed afterwards;
+            // catching the unwind here is therefore sound and reproduces a
+            // process crash inside a container.
+            catch_unwind(AssertUnwindSafe(|| match &kind {
+                DispatchKind::Start => process.on_start(&mut ctx),
+                DispatchKind::Message { from, payload } => {
+                    process.on_message(&mut ctx, *from, payload)
+                }
+                DispatchKind::Timer { token } => process.on_timer(&mut ctx, *token),
+                DispatchKind::Shutdown => process.on_shutdown(&mut ctx),
+            }))
+        };
+
+        let slot = &mut self.nodes[node as usize];
+        slot.rng = rng;
+
+        let mut stop_requested = false;
+        let mut sent = 0u64;
+        for effect in effects {
+            match effect {
+                Effect::Send { to, payload } => {
+                    sent += 1;
+                    if let Some(latency) =
+                        self.net.route(Endpoint::Node(node), to, &mut self.net_rng)
+                    {
+                        self.schedule(
+                            self.now + latency,
+                            EventKind::Deliver {
+                                from: Endpoint::Node(node),
+                                to,
+                                payload,
+                            },
+                        );
+                    }
+                }
+                Effect::SetTimer { delay, token } => {
+                    self.schedule(
+                        self.now + delay,
+                        EventKind::Timer {
+                            node,
+                            generation,
+                            token,
+                        },
+                    );
+                }
+                Effect::StopSelf => stop_requested = true,
+            }
+        }
+        let slot = &mut self.nodes[node as usize];
+        slot.metrics.messages_sent += sent;
+
+        match result {
+            Ok(Ok(())) => {
+                if stop_requested {
+                    slot.status = NodeStatus::Stopped;
+                    // Process already taken out; drop it.
+                } else {
+                    slot.process = Some(process);
+                }
+            }
+            Ok(Err(fatal)) => {
+                slot.status = NodeStatus::Crashed;
+                slot.crash_reason = Some(fatal.message.clone());
+                self.logs.push(LogRecord {
+                    time: self.now,
+                    node: Some(node),
+                    generation,
+                    level: LogLevel::Fatal,
+                    message: fatal.message,
+                });
+            }
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                slot.status = NodeStatus::Crashed;
+                slot.crash_reason = Some(msg.clone());
+                self.logs.push(LogRecord {
+                    time: self.now,
+                    node: Some(node),
+                    generation,
+                    level: LogLevel::Fatal,
+                    message: format!("panic: {msg}"),
+                });
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes)
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+enum DispatchKind {
+    Start,
+    Message { from: Endpoint, payload: Bytes },
+    Timer { token: u64 },
+    Shutdown,
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::StepResult;
+
+    /// Echoes every message back to its sender, optionally crashing on a
+    /// magic payload.
+    struct Echo;
+
+    impl Process for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+            ctx.info("echo started");
+            Ok(())
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, payload: &[u8]) -> StepResult {
+            if payload == b"die" {
+                return Err(crate::Fatal::new("told to die"));
+            }
+            if payload == b"panic" {
+                panic!("echo exploded");
+            }
+            ctx.send(from, Bytes::copy_from_slice(payload));
+            Ok(())
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) -> StepResult {
+            Ok(())
+        }
+    }
+
+    fn started_echo(sim: &mut Sim) -> NodeId {
+        let n = sim.add_node("h0", "v1", Box::new(Echo));
+        sim.start_node(n).unwrap();
+        sim.run_for(SimDuration::from_millis(10));
+        n
+    }
+
+    #[test]
+    fn rpc_roundtrip() {
+        let mut sim = Sim::new(1);
+        let n = started_echo(&mut sim);
+        let resp = sim.rpc(n, Bytes::from_static(b"ping"), SimDuration::from_secs(1));
+        assert_eq!(resp.as_deref(), Some(&b"ping"[..]));
+        assert!(sim.node_status(n).is_running());
+    }
+
+    #[test]
+    fn fatal_crashes_node_and_logs() {
+        let mut sim = Sim::new(1);
+        let n = started_echo(&mut sim);
+        let resp = sim.rpc(n, Bytes::from_static(b"die"), SimDuration::from_secs(1));
+        assert!(resp.is_none());
+        assert_eq!(sim.node_status(n), NodeStatus::Crashed);
+        assert_eq!(sim.crash_reason(n), Some("told to die"));
+        assert!(sim.logs().has_at_or_above(LogLevel::Fatal));
+    }
+
+    #[test]
+    fn panic_is_contained_as_crash() {
+        let mut sim = Sim::new(1);
+        let n = started_echo(&mut sim);
+        let resp = sim.rpc(n, Bytes::from_static(b"panic"), SimDuration::from_secs(1));
+        assert!(resp.is_none());
+        assert_eq!(sim.node_status(n), NodeStatus::Crashed);
+        assert!(sim.crash_reason(n).unwrap().contains("echo exploded"));
+        assert_eq!(sim.crashed_nodes(), vec![n]);
+    }
+
+    #[test]
+    fn upgrade_preserves_storage() {
+        /// Writes a marker at start; v2 reads v1's marker.
+        struct Writer(&'static str);
+        impl Process for Writer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+                let prior = ctx.storage_ref().read("marker").map(<[u8]>::to_vec);
+                if let Some(prev) = prior {
+                    ctx.info(format!("found marker {}", String::from_utf8_lossy(&prev)));
+                }
+                ctx.storage().write("marker", self.0.as_bytes().to_vec());
+                Ok(())
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: Endpoint, _: &[u8]) -> StepResult {
+                Ok(())
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) -> StepResult {
+                Ok(())
+            }
+        }
+
+        let mut sim = Sim::new(7);
+        let n = sim.add_node("hostA", "v1", Box::new(Writer("one")));
+        sim.start_node(n).unwrap();
+        sim.run_for(SimDuration::from_millis(10));
+        sim.stop_node(n).unwrap();
+        assert_eq!(sim.node_status(n), NodeStatus::Stopped);
+
+        sim.install(n, "v2", Box::new(Writer("two"))).unwrap();
+        sim.start_node(n).unwrap();
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.node_version(n), "v2");
+        assert_eq!(sim.logs().matching("found marker one").count(), 1);
+        assert_eq!(
+            sim.host_storage_ref("hostA").unwrap().read("marker"),
+            Some(&b"two"[..])
+        );
+    }
+
+    #[test]
+    fn timers_do_not_survive_upgrade() {
+        /// Arms a long timer at start; firing it crashes the node.
+        struct TimerBomb;
+        impl Process for TimerBomb {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+                ctx.set_timer(SimDuration::from_secs(10), 1);
+                Ok(())
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: Endpoint, _: &[u8]) -> StepResult {
+                Ok(())
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) -> StepResult {
+                Err(crate::Fatal::new("stale timer fired"))
+            }
+        }
+        let mut sim = Sim::new(1);
+        let n = sim.add_node("h", "v1", Box::new(TimerBomb));
+        sim.start_node(n).unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        sim.stop_node(n).unwrap();
+        sim.install(n, "v2", Box::new(Echo)).unwrap();
+        sim.start_node(n).unwrap();
+        sim.run_for(SimDuration::from_secs(60));
+        // The v1 timer was discarded with its generation: node still alive.
+        assert!(sim.node_status(n).is_running());
+    }
+
+    #[test]
+    fn start_errors_on_running_node() {
+        let mut sim = Sim::new(1);
+        let n = started_echo(&mut sim);
+        let err = sim.start_node(n).unwrap_err();
+        assert!(matches!(err, SimError::BadStatus { op: "start", .. }));
+    }
+
+    #[test]
+    fn install_rejected_while_running() {
+        let mut sim = Sim::new(1);
+        let n = started_echo(&mut sim);
+        let err = sim.install(n, "v2", Box::new(Echo)).unwrap_err();
+        assert!(matches!(err, SimError::BadStatus { .. }));
+    }
+
+    #[test]
+    fn unknown_node_is_reported() {
+        let mut sim = Sim::new(1);
+        assert_eq!(sim.start_node(9).unwrap_err(), SimError::UnknownNode(9));
+    }
+
+    #[test]
+    fn kill_skips_shutdown_hook() {
+        /// Writes a tombstone on graceful shutdown.
+        struct Flusher;
+        impl Process for Flusher {
+            fn on_start(&mut self, _: &mut Ctx<'_>) -> StepResult {
+                Ok(())
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: Endpoint, _: &[u8]) -> StepResult {
+                Ok(())
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) -> StepResult {
+                Ok(())
+            }
+            fn on_shutdown(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+                ctx.storage().write("clean", b"yes".to_vec());
+                Ok(())
+            }
+        }
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("ha", "v1", Box::new(Flusher));
+        let b = sim.add_node("hb", "v1", Box::new(Flusher));
+        sim.start_node(a).unwrap();
+        sim.start_node(b).unwrap();
+        sim.run_for(SimDuration::from_millis(5));
+        sim.stop_node(a).unwrap();
+        sim.kill_node(b).unwrap();
+        assert!(sim.host_storage_ref("ha").unwrap().exists("clean"));
+        assert!(!sim.host_storage_ref("hb").unwrap().exists("clean"));
+        assert_eq!(sim.node_status(b), NodeStatus::Crashed);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        fn run(seed: u64) -> (u64, String) {
+            let mut sim = Sim::new(seed);
+            let n = started_echo(&mut sim);
+            for i in 0..20u8 {
+                sim.rpc(n, Bytes::copy_from_slice(&[i]), SimDuration::from_secs(1));
+            }
+            (sim.events_processed(), sim.logs().render())
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, 0);
+    }
+
+    #[test]
+    fn runaway_detection_trips() {
+        /// Two nodes ping-ponging forever.
+        struct PingPong(NodeId);
+        impl Process for PingPong {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+                ctx.send(Endpoint::Node(self.0), Bytes::from_static(b"p"));
+                Ok(())
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, _: &[u8]) -> StepResult {
+                ctx.send(from, Bytes::from_static(b"p"));
+                Ok(())
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) -> StepResult {
+                Ok(())
+            }
+        }
+        let mut sim = Sim::new(3);
+        let a = sim.add_node("a", "v", Box::new(PingPong(1)));
+        let b = sim.add_node("b", "v", Box::new(PingPong(0)));
+        sim.start_node(a).unwrap();
+        sim.start_node(b).unwrap();
+        let err = sim.run_until_idle(1000).unwrap_err();
+        assert!(matches!(err, SimError::Runaway { events: 1000 }));
+    }
+
+    #[test]
+    fn messages_to_stopped_nodes_vanish() {
+        let mut sim = Sim::new(1);
+        let n = started_echo(&mut sim);
+        sim.stop_node(n).unwrap();
+        let resp = sim.rpc(
+            n,
+            Bytes::from_static(b"hello"),
+            SimDuration::from_millis(100),
+        );
+        assert!(resp.is_none());
+    }
+}

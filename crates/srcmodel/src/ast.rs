@@ -1,0 +1,164 @@
+//! The source model: just enough Java structure for the enum-ordinal
+//! dataflow.
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompilationUnit {
+    /// `package` declaration, if any.
+    pub package: Option<String>,
+    /// Top-level (and nested) classes.
+    pub classes: Vec<ClassModel>,
+    /// All enums, including those nested in classes (flattened).
+    pub enums: Vec<EnumModel>,
+}
+
+impl CompilationUnit {
+    /// Looks up an enum by simple name.
+    pub fn enum_model(&self, name: &str) -> Option<&EnumModel> {
+        self.enums.iter().find(|e| e.name == name)
+    }
+
+    /// Looks up a class by simple name.
+    pub fn class(&self, name: &str) -> Option<&ClassModel> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+/// A class: fields and methods.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassModel {
+    /// Simple class name.
+    pub name: String,
+    /// Field declarations as `(type, name)`.
+    pub fields: Vec<(String, String)>,
+    /// Methods with bodies.
+    pub methods: Vec<MethodModel>,
+}
+
+/// An enum with its members in declaration order (ordinals are positional).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EnumModel {
+    /// Simple enum name.
+    pub name: String,
+    /// Member names; the ordinal of `members[i]` is `i`.
+    pub members: Vec<String>,
+}
+
+impl EnumModel {
+    /// Ordinal of `member`, if declared.
+    pub fn ordinal_of(&self, member: &str) -> Option<usize> {
+        self.members.iter().position(|m| m == member)
+    }
+}
+
+/// A method: parameters and a flattened statement list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MethodModel {
+    /// Method name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Statements, with nested blocks flattened (control flow is irrelevant
+    /// to the may-flow analysis the checker runs).
+    pub body: Vec<Stmt>,
+}
+
+/// One parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Declared type (simple name).
+    pub type_name: String,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A statement in the flattened body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `Type name = expr;`
+    Local {
+        /// Declared type.
+        type_name: String,
+        /// Variable name.
+        name: String,
+        /// Initializer, if present.
+        init: Option<Expr>,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// An expression evaluated for effect (typically a call).
+    ExprStmt(Expr),
+    /// `return expr;`
+    Return(Option<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An identifier.
+    Ident(String),
+    /// A literal (number, string, …) — contents irrelevant to the analysis.
+    Literal(String),
+    /// `recv.name(args)` or `name(args)` when `recv` is `None`.
+    Call {
+        /// Receiver expression.
+        recv: Option<Box<Expr>>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `recv.field`.
+    FieldAccess {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Field name.
+        field: String,
+    },
+    /// Anything the parser recognized but the analysis does not model.
+    Opaque,
+}
+
+impl Expr {
+    /// `true` if this expression is `<something>.ordinal()`.
+    pub fn is_ordinal_call(&self) -> bool {
+        matches!(self, Expr::Call { recv: Some(_), name, args } if name == "ordinal" && args.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_ordinals_are_positional() {
+        let e = EnumModel {
+            name: "StorageType".into(),
+            members: vec!["DISK".into(), "SSD".into(), "ARCHIVE".into()],
+        };
+        assert_eq!(e.ordinal_of("DISK"), Some(0));
+        assert_eq!(e.ordinal_of("ARCHIVE"), Some(2));
+        assert_eq!(e.ordinal_of("NVDIMM"), None);
+    }
+
+    #[test]
+    fn ordinal_call_detection() {
+        let e = Expr::Call {
+            recv: Some(Box::new(Expr::Ident("t".into()))),
+            name: "ordinal".into(),
+            args: vec![],
+        };
+        assert!(e.is_ordinal_call());
+        let not = Expr::Call {
+            recv: None,
+            name: "ordinal".into(),
+            args: vec![],
+        };
+        assert!(!not.is_ordinal_call());
+    }
+}

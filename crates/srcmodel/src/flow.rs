@@ -1,0 +1,319 @@
+//! The enum-ordinal serialization dataflow (paper §6.2, type-2 checker).
+//!
+//! For each method: type the variables (params, locals, fields), taint
+//! values produced by `<enum>.ordinal()`, and flag every `writeXxx` call on
+//! a `DataOutput`-typed receiver whose argument carries the taint. The
+//! analysis is intra-procedural and flow-insensitive — matching the paper's
+//! tool, including its stated limitation to `DataOutput` sinks.
+
+use crate::ast::{ClassModel, CompilationUnit, Expr, MethodModel, Stmt};
+use std::collections::BTreeMap;
+
+/// Types treated as serialized output sinks.
+const SINK_TYPES: &[&str] = &["DataOutput", "DataOutputStream", "ObjectOutputStream"];
+
+/// One place an enum's ordinal reaches a serialized output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializedEnumUse {
+    /// The enum whose ordinal is serialized.
+    pub enum_name: String,
+    /// The class containing the write.
+    pub class_name: String,
+    /// The method containing the write.
+    pub method_name: String,
+}
+
+/// Finds every enum-ordinal-to-`DataOutput` flow in the unit.
+pub fn find_serialized_enum_uses(unit: &CompilationUnit) -> Vec<SerializedEnumUse> {
+    let enum_names: Vec<&str> = unit.enums.iter().map(|e| e.name.as_str()).collect();
+    let mut out = Vec::new();
+    for class in &unit.classes {
+        for method in &class.methods {
+            analyze_method(class, method, &enum_names, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (&a.enum_name, &a.class_name).cmp(&(&b.enum_name, &b.class_name)));
+    out.dedup();
+    out
+}
+
+fn analyze_method(
+    class: &ClassModel,
+    method: &MethodModel,
+    enum_names: &[&str],
+    out: &mut Vec<SerializedEnumUse>,
+) {
+    // Variable typing environment: fields, params, locals.
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    for (t, n) in &class.fields {
+        types.insert(n.as_str(), t.as_str());
+    }
+    for p in &method.params {
+        types.insert(p.name.as_str(), p.type_name.as_str());
+    }
+    for stmt in &method.body {
+        if let Stmt::Local {
+            type_name, name, ..
+        } = stmt
+        {
+            types.insert(name.as_str(), type_name.as_str());
+        }
+    }
+
+    // Taint: variable name -> enum whose ordinal it holds.
+    let mut taint: BTreeMap<&str, String> = BTreeMap::new();
+    // Two passes make the flow-insensitive analysis reach fixpoint for the
+    // single level of copying the subset allows.
+    for _ in 0..2 {
+        for stmt in &method.body {
+            match stmt {
+                Stmt::Local {
+                    name,
+                    init: Some(init),
+                    ..
+                } => {
+                    if let Some(e) = ordinal_source(init, &types, enum_names, &taint) {
+                        taint.insert(name.as_str(), e);
+                    }
+                }
+                Stmt::Assign { name, value } => {
+                    if let Some(e) = ordinal_source(value, &types, enum_names, &taint) {
+                        taint.insert(name.as_str(), e);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Sinks: `sink.writeXxx(arg)` where type(sink) ∈ SINK_TYPES.
+    for stmt in &method.body {
+        let exprs: Vec<&Expr> = match stmt {
+            Stmt::ExprStmt(e) => vec![e],
+            Stmt::Local { init: Some(e), .. } => vec![e],
+            Stmt::Assign { value, .. } => vec![value],
+            Stmt::Return(Some(e)) => vec![e],
+            _ => vec![],
+        };
+        for expr in exprs {
+            find_sinks(expr, &types, enum_names, &taint, class, method, out);
+        }
+    }
+}
+
+/// If `expr` evaluates to an enum ordinal, returns the enum name.
+fn ordinal_source(
+    expr: &Expr,
+    types: &BTreeMap<&str, &str>,
+    enum_names: &[&str],
+    taint: &BTreeMap<&str, String>,
+) -> Option<String> {
+    match expr {
+        Expr::Call {
+            recv: Some(recv),
+            name,
+            args,
+        } if name == "ordinal" && args.is_empty() => {
+            let enum_ty = expr_enum_type(recv, types, enum_names)?;
+            Some(enum_ty)
+        }
+        Expr::Ident(name) => taint.get(name.as_str()).cloned(),
+        _ => None,
+    }
+}
+
+/// The enum type of `expr`, if it is an enum-typed variable or member access
+/// (`StorageType.DISK`).
+fn expr_enum_type(
+    expr: &Expr,
+    types: &BTreeMap<&str, &str>,
+    enum_names: &[&str],
+) -> Option<String> {
+    match expr {
+        Expr::Ident(name) => {
+            let t = types.get(name.as_str())?;
+            enum_names.contains(t).then(|| (*t).to_string())
+        }
+        Expr::FieldAccess { recv, .. } => {
+            // `StorageType.DISK`: receiver is the enum type itself.
+            if let Expr::Ident(type_name) = recv.as_ref() {
+                if enum_names.contains(&type_name.as_str()) {
+                    return Some(type_name.clone());
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn find_sinks(
+    expr: &Expr,
+    types: &BTreeMap<&str, &str>,
+    enum_names: &[&str],
+    taint: &BTreeMap<&str, String>,
+    class: &ClassModel,
+    method: &MethodModel,
+    out: &mut Vec<SerializedEnumUse>,
+) {
+    if let Expr::Call {
+        recv: Some(recv),
+        name,
+        args,
+    } = expr
+    {
+        let receiver_is_sink = matches!(
+            recv.as_ref(),
+            Expr::Ident(v) if types.get(v.as_str()).is_some_and(|t| SINK_TYPES.contains(t))
+        );
+        if receiver_is_sink && name.starts_with("write") {
+            for arg in args {
+                if let Some(enum_name) = ordinal_source(arg, types, enum_names, taint) {
+                    out.push(SerializedEnumUse {
+                        enum_name,
+                        class_name: class.name.clone(),
+                        method_name: method.name.clone(),
+                    });
+                }
+            }
+        }
+        // Recurse into sub-expressions.
+        find_sinks(recv, types, enum_names, taint, class, method, out);
+        for arg in args {
+            find_sinks(arg, types, enum_names, taint, class, method, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_java;
+
+    #[test]
+    fn direct_ordinal_write_is_found() {
+        let unit = parse_java(
+            r#"
+            class Reporter {
+                enum StorageType { DISK, SSD }
+                void report(DataOutput out, StorageType t) {
+                    out.writeInt(t.ordinal());
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let uses = find_serialized_enum_uses(&unit);
+        assert_eq!(uses.len(), 1);
+        assert_eq!(uses[0].enum_name, "StorageType");
+        assert_eq!(uses[0].class_name, "Reporter");
+        assert_eq!(uses[0].method_name, "report");
+    }
+
+    #[test]
+    fn taint_flows_through_locals_and_assignments() {
+        let unit = parse_java(
+            r#"
+            class C {
+                enum Mode { A, B }
+                void m(DataOutputStream s, Mode mode) {
+                    int idx = mode.ordinal();
+                    int copy = idx;
+                    s.writeShort(copy);
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let uses = find_serialized_enum_uses(&unit);
+        assert_eq!(uses.len(), 1);
+        assert_eq!(uses[0].enum_name, "Mode");
+    }
+
+    #[test]
+    fn writes_of_untainted_values_are_not_flagged() {
+        let unit = parse_java(
+            r#"
+            class C {
+                enum Mode { A, B }
+                void m(DataOutput out, long id) {
+                    out.writeLong(id);
+                    out.writeInt(42);
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        assert!(find_serialized_enum_uses(&unit).is_empty());
+    }
+
+    #[test]
+    fn non_sink_receivers_are_ignored() {
+        // The paper's tool only considers DataOutput-typed outputs; a write
+        // to anything else is a (documented) false negative.
+        let unit = parse_java(
+            r#"
+            class C {
+                enum Mode { A, B }
+                void m(ByteBuffer buf, Mode mode) {
+                    buf.writeInt(mode.ordinal());
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        assert!(find_serialized_enum_uses(&unit).is_empty());
+    }
+
+    #[test]
+    fn field_typed_sinks_work() {
+        let unit = parse_java(
+            r#"
+            class C {
+                enum Kind { X }
+                private DataOutput cached;
+                void m(Kind k) {
+                    cached.writeInt(k.ordinal());
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(find_serialized_enum_uses(&unit).len(), 1);
+    }
+
+    #[test]
+    fn enum_member_access_ordinal() {
+        let unit = parse_java(
+            r#"
+            class C {
+                enum Kind { X, Y }
+                void m(DataOutput out) {
+                    out.writeInt(Kind.Y.ordinal());
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let uses = find_serialized_enum_uses(&unit);
+        assert_eq!(uses.len(), 1);
+        assert_eq!(uses[0].enum_name, "Kind");
+    }
+
+    #[test]
+    fn duplicate_flows_dedupe() {
+        let unit = parse_java(
+            r#"
+            class C {
+                enum Kind { X }
+                void m(DataOutput out, Kind k) {
+                    out.writeInt(k.ordinal());
+                    out.writeInt(k.ordinal());
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(find_serialized_enum_uses(&unit).len(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dup-srcmodel — Java-subset source model for the enum-ordinal checker
+//!
+//! DUPChecker's second checker (paper §6.2) "identifies the enum class whose
+//! member's index has been written to a serialized output stream through
+//! data flow analysis … For serialized outputs, we currently only consider
+//! variables of `DataOutput` type in Java". The paper's subjects are Java
+//! codebases; this crate substitutes a parser for a Java-like subset plus
+//! the same intra-procedural dataflow:
+//!
+//! 1. parse classes, enums, fields, and method bodies ([`parse_java`]);
+//! 2. type variables from parameter/local/field declarations;
+//! 3. taint locals assigned from `<enum-typed expr>.ordinal()`;
+//! 4. report every `out.writeXxx(…)` on a `DataOutput`-typed receiver whose
+//!    argument is an enum ordinal ([`find_serialized_enum_uses`]).
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//!     public class Reporter {
+//!         public enum StorageType { DISK, SSD, ARCHIVE }
+//!         public void report(DataOutput out, StorageType t) {
+//!             out.writeInt(t.ordinal());
+//!         }
+//!     }
+//! "#;
+//! let unit = dup_srcmodel::parse_java(src).unwrap();
+//! let uses = dup_srcmodel::find_serialized_enum_uses(&unit);
+//! assert_eq!(uses.len(), 1);
+//! assert_eq!(uses[0].enum_name, "StorageType");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod flow;
+mod parser;
+
+pub use crate::ast::{ClassModel, CompilationUnit, EnumModel, Expr, MethodModel, Param, Stmt};
+pub use crate::flow::{find_serialized_enum_uses, SerializedEnumUse};
+pub use crate::parser::{parse_java, JavaParseError};

@@ -1,0 +1,266 @@
+//! Dynamic values carried by the wire formats.
+//!
+//! Systems under test construct [`MessageValue`]s by name and hand them to a
+//! version-specific codec; the codec's [`crate::Schema`] decides how — and
+//! whether — they serialize. Keeping values dynamic (rather than generated
+//! structs) is what lets two *different* schemas interpret the same bytes,
+//! which is the essence of a cross-version incompatibility.
+
+use crate::error::WireError;
+use std::collections::BTreeMap;
+
+/// A single field value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// 32-bit signed integer.
+    I32(i32),
+    /// 64-bit signed integer.
+    I64(i64),
+    /// 32-bit unsigned integer.
+    U32(u32),
+    /// 64-bit unsigned integer.
+    U64(u64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque bytes.
+    Bytes(Vec<u8>),
+    /// Enum member, by number.
+    Enum(i32),
+    /// Nested message.
+    Msg(MessageValue),
+}
+
+/// A dynamic message: a type name plus named field values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MessageValue {
+    /// The message type this value claims to be.
+    pub type_name: String,
+    fields: BTreeMap<String, Vec<Value>>,
+}
+
+impl MessageValue {
+    /// Creates an empty value of message type `type_name`.
+    pub fn new(type_name: &str) -> Self {
+        MessageValue {
+            type_name: type_name.to_string(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Sets a singular field (replacing any existing values); chains.
+    pub fn set(mut self, field: &str, value: Value) -> Self {
+        self.fields.insert(field.to_string(), vec![value]);
+        self
+    }
+
+    /// Sets a singular field in place.
+    pub fn put(&mut self, field: &str, value: Value) {
+        self.fields.insert(field.to_string(), vec![value]);
+    }
+
+    /// Appends a value to a repeated field; chains.
+    pub fn push(mut self, field: &str, value: Value) -> Self {
+        self.fields
+            .entry(field.to_string())
+            .or_default()
+            .push(value);
+        self
+    }
+
+    /// Appends a value to a repeated field in place.
+    pub fn push_mut(&mut self, field: &str, value: Value) {
+        self.fields
+            .entry(field.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// Removes a field entirely; returns `true` if it was present.
+    pub fn clear_field(&mut self, field: &str) -> bool {
+        self.fields.remove(field).is_some()
+    }
+
+    /// Returns `true` if the field has at least one value.
+    pub fn has(&self, field: &str) -> bool {
+        self.fields.get(field).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Returns the last value of `field` (proto2 "last wins" semantics).
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        self.fields.get(field).and_then(|v| v.last())
+    }
+
+    /// Returns all values of `field` (empty slice if absent).
+    pub fn get_all(&self, field: &str) -> &[Value] {
+        self.fields.get(field).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates `(field name, values)` pairs in name order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &[Value])> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Number of distinct fields with at least one value.
+    pub fn field_count(&self) -> usize {
+        self.fields.values().filter(|v| !v.is_empty()).count()
+    }
+
+    // ----- typed getters (used pervasively by the mini systems) -----------
+
+    /// Returns `field` as `u64`, accepting any unsigned integer variant.
+    pub fn get_u64(&self, field: &str) -> Result<u64, WireError> {
+        match self.get(field) {
+            Some(Value::U64(v)) => Ok(*v),
+            Some(Value::U32(v)) => Ok(u64::from(*v)),
+            _ => Err(self.value_type_error(field)),
+        }
+    }
+
+    /// Returns `field` as `i64`, accepting any signed integer variant.
+    pub fn get_i64(&self, field: &str) -> Result<i64, WireError> {
+        match self.get(field) {
+            Some(Value::I64(v)) => Ok(*v),
+            Some(Value::I32(v)) => Ok(i64::from(*v)),
+            _ => Err(self.value_type_error(field)),
+        }
+    }
+
+    /// Returns `field` as `i32`.
+    pub fn get_i32(&self, field: &str) -> Result<i32, WireError> {
+        match self.get(field) {
+            Some(Value::I32(v)) => Ok(*v),
+            _ => Err(self.value_type_error(field)),
+        }
+    }
+
+    /// Returns `field` as `bool`.
+    pub fn get_bool(&self, field: &str) -> Result<bool, WireError> {
+        match self.get(field) {
+            Some(Value::Bool(v)) => Ok(*v),
+            _ => Err(self.value_type_error(field)),
+        }
+    }
+
+    /// Returns `field` as `&str`.
+    pub fn get_str(&self, field: &str) -> Result<&str, WireError> {
+        match self.get(field) {
+            Some(Value::Str(v)) => Ok(v.as_str()),
+            _ => Err(self.value_type_error(field)),
+        }
+    }
+
+    /// Returns `field` as bytes.
+    pub fn get_bytes(&self, field: &str) -> Result<&[u8], WireError> {
+        match self.get(field) {
+            Some(Value::Bytes(v)) => Ok(v.as_slice()),
+            _ => Err(self.value_type_error(field)),
+        }
+    }
+
+    /// Returns `field` as an enum number.
+    pub fn get_enum(&self, field: &str) -> Result<i32, WireError> {
+        match self.get(field) {
+            Some(Value::Enum(v)) => Ok(*v),
+            _ => Err(self.value_type_error(field)),
+        }
+    }
+
+    /// Returns `field` as a nested message.
+    pub fn get_msg(&self, field: &str) -> Result<&MessageValue, WireError> {
+        match self.get(field) {
+            Some(Value::Msg(v)) => Ok(v),
+            _ => Err(self.value_type_error(field)),
+        }
+    }
+
+    fn value_type_error(&self, field: &str) -> WireError {
+        if self.has(field) {
+            WireError::ValueType {
+                message: self.type_name.clone(),
+                field: field.to_string(),
+            }
+        } else {
+            WireError::MissingRequired {
+                message: self.type_name.clone(),
+                field: field.to_string(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_typed_getters() {
+        let m = MessageValue::new("OffsetCommitRequest")
+            .set("topic", Value::Str("events".into()))
+            .set("offset", Value::U64(42))
+            .set("retentionTime", Value::I64(-1))
+            .set("sync", Value::Bool(true))
+            .set("code", Value::I32(-7))
+            .set("blob", Value::Bytes(vec![1, 2]))
+            .set("kind", Value::Enum(2));
+        assert_eq!(m.get_str("topic").unwrap(), "events");
+        assert_eq!(m.get_u64("offset").unwrap(), 42);
+        assert_eq!(m.get_i64("retentionTime").unwrap(), -1);
+        assert!(m.get_bool("sync").unwrap());
+        assert_eq!(m.get_i32("code").unwrap(), -7);
+        assert_eq!(m.get_bytes("blob").unwrap(), &[1, 2]);
+        assert_eq!(m.get_enum("kind").unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_field_reports_missing_required() {
+        let m = MessageValue::new("M");
+        let err = m.get_u64("absent").unwrap_err();
+        assert!(matches!(err, WireError::MissingRequired { .. }));
+    }
+
+    #[test]
+    fn wrong_type_reports_value_type() {
+        let m = MessageValue::new("M").set("f", Value::Str("x".into()));
+        let err = m.get_u64("f").unwrap_err();
+        assert!(matches!(err, WireError::ValueType { .. }));
+    }
+
+    #[test]
+    fn repeated_fields_accumulate() {
+        let m = MessageValue::new("M")
+            .push("xs", Value::U32(1))
+            .push("xs", Value::U32(2))
+            .push("xs", Value::U32(3));
+        assert_eq!(m.get_all("xs").len(), 3);
+        // get() follows proto2 last-wins.
+        assert_eq!(m.get("xs"), Some(&Value::U32(3)));
+    }
+
+    #[test]
+    fn widening_getters_accept_narrow_variants() {
+        let m = MessageValue::new("M")
+            .set("a", Value::U32(7))
+            .set("b", Value::I32(-7));
+        assert_eq!(m.get_u64("a").unwrap(), 7);
+        assert_eq!(m.get_i64("b").unwrap(), -7);
+    }
+
+    #[test]
+    fn clear_and_field_count() {
+        let mut m = MessageValue::new("M").set("a", Value::Bool(true));
+        assert_eq!(m.field_count(), 1);
+        assert!(m.clear_field("a"));
+        assert!(!m.clear_field("a"));
+        assert_eq!(m.field_count(), 0);
+        assert!(!m.has("a"));
+    }
+
+    #[test]
+    fn nested_messages() {
+        let inner = MessageValue::new("Inner").set("x", Value::U64(1));
+        let outer = MessageValue::new("Outer").set("inner", Value::Msg(inner.clone()));
+        assert_eq!(outer.get_msg("inner").unwrap(), &inner);
+    }
+}

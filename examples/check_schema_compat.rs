@@ -1,0 +1,78 @@
+//! Run DUPChecker on schema text: first the paper's Figure 2 diff, then a
+//! whole generated corpus, then the enum-ordinal checker on Java-subset
+//! source.
+//!
+//! Run with `cargo run --example check_schema_compat`.
+
+use ds_upgrade::checker::{
+    check_corpus, check_sources, compare_files, generate, table6_specs, Severity,
+};
+use ds_upgrade::idl::{parse_proto, parse_thrift};
+
+fn main() {
+    // 1. The Figure-2 diff.
+    println!("== HBASE-25238 (paper Figure 2) ==");
+    let old =
+        parse_proto("message ReplicationLoadSink { required uint64 ageOfLastAppliedOp = 1; }")
+            .expect("parses");
+    let new = parse_proto(
+        "message ReplicationLoadSink { required uint64 ageOfLastAppliedOp = 1; \
+         required uint64 timestampStarted = 3; }",
+    )
+    .expect("parses");
+    for v in compare_files(&old, &new) {
+        println!("  {v}");
+    }
+
+    // 2. A Thrift pair (Accumulo/Impala use Thrift).
+    println!("\n== Thrift example ==");
+    let old =
+        parse_thrift("struct Scan { 1: required i64 id, 2: optional i32 batch }").expect("parses");
+    let new =
+        parse_thrift("struct Scan { 5: required i64 id, 2: required i32 batch }").expect("parses");
+    for v in compare_files(&old, &new) {
+        println!("  {v}  ({:?})", v.severity());
+    }
+
+    // 3. A full corpus sweep (the Table-6 machinery, one system).
+    println!("\n== Generated HDFS-sized corpus ==");
+    let spec = table6_specs()
+        .into_iter()
+        .find(|s| s.system == "HDFS")
+        .expect("spec exists");
+    let report = check_corpus(&generate(&spec)).expect("corpus parses");
+    println!(
+        "  {}: {} errors, {} warnings across {} version pair(s)",
+        report.system,
+        report.errors(),
+        report.warnings(),
+        report.pairs.len()
+    );
+    let sample: Vec<_> = report.pairs[0]
+        .violations
+        .iter()
+        .filter(|v| v.severity() == Severity::Error)
+        .take(3)
+        .collect();
+    for v in sample {
+        println!("  e.g. {v}");
+    }
+
+    // 4. The type-2 enum checker.
+    println!("\n== Enum-ordinal checker (HDFS-15624 shape) ==");
+    let old_src = vec![(
+        "StorageReport.java".to_string(),
+        "public class R { public enum StorageType { DISK, SSD, ARCHIVE } \
+         public void w(DataOutput out, StorageType t) { out.writeInt(t.ordinal()); } }"
+            .to_string(),
+    )];
+    let new_src = vec![(
+        "StorageReport.java".to_string(),
+        "public class R { public enum StorageType { DISK, SSD, NVDIMM, ARCHIVE } \
+         public void w(DataOutput out, StorageType t) { out.writeInt(t.ordinal()); } }"
+            .to_string(),
+    )];
+    for finding in check_sources(&old_src, &new_src).expect("parses") {
+        println!("  {finding}");
+    }
+}

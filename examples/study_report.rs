@@ -1,0 +1,30 @@
+//! Print the full upgrade-failure study: Tables 1–4 and Findings 1–13,
+//! with the paper's claims alongside the measured values.
+//!
+//! Run with `cargo run --example study_report`.
+
+fn main() {
+    let ds = ds_upgrade::study::dataset();
+    print!("{}", ds_upgrade::study::render_table1(&ds));
+    println!();
+    print!("{}", ds_upgrade::study::render_table2(&ds));
+    println!();
+    print!("{}", ds_upgrade::study::render_table3(&ds));
+    println!();
+    print!("{}", ds_upgrade::study::render_table4(&ds));
+    println!();
+    print!("{}", ds_upgrade::study::render_findings(&ds));
+
+    // A taste of the per-record data.
+    println!("\nSample named records:");
+    for r in ds.iter().filter(|r| !r.reconstructed).take(6) {
+        println!(
+            "  {:<16} {:<10} symptom={:?} nodes={} deterministic={}",
+            r.id,
+            r.system.to_string(),
+            r.symptom,
+            r.nodes_required,
+            r.deterministic
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate consistency between the study and the tools: the properties
+//! the paper derives from the study must hold for the artifacts built on it.
+
+use ds_upgrade::core::{upgrade_pairs, VersionId};
+use ds_upgrade::study::{dataset, findings, GapClass};
+use ds_upgrade::tester::catalog::seeded_bugs;
+
+/// Finding 9 drives DUPTester's pair enumeration: every seeded bug's pair
+/// must be in the consecutive-pair set of its system's release history.
+#[test]
+fn every_seeded_bug_is_on_a_consecutive_pair() {
+    let histories: Vec<(&str, Vec<VersionId>)> = vec![
+        (
+            "cassandra-mini",
+            ds_upgrade::kvstore::KvStoreSystem::release_history(),
+        ),
+        ("hdfs-mini", ds_upgrade::dfs::DfsSystem::release_history()),
+        ("kafka-mini", ds_upgrade::mq::MqSystem::release_history()),
+        (
+            "zookeeper-mini",
+            ds_upgrade::coord::CoordSystem::release_history(),
+        ),
+    ];
+    for bug in seeded_bugs() {
+        let history = &histories
+            .iter()
+            .find(|(s, _)| *s == bug.system)
+            .expect("system exists")
+            .1;
+        let pairs = upgrade_pairs(history, false);
+        assert!(
+            pairs.contains(&(bug.from_version(), bug.to_version())),
+            "{} is not on a consecutive pair",
+            bug.ticket
+        );
+    }
+}
+
+/// The study says >80% of failures trigger on consecutive versions; our
+/// seeded catalog (all consecutive) is consistent with that strategy.
+#[test]
+fn study_consecutive_share_supports_the_tester_strategy() {
+    let ds = dataset();
+    let f = findings(&ds);
+    assert!(f.consecutive_pct > 80.0);
+    // And the paper's extra 9%: gap-2 pairs.
+    let gap2 = ds
+        .iter()
+        .filter(|r| matches!(r.gap, GapClass::Major2 | GapClass::Minor2))
+        .count();
+    let known = ds.iter().filter(|r| r.gap != GapClass::Unknown).count();
+    let pct = 100.0 * gap2 as f64 / known as f64;
+    assert!((pct - 9.2).abs() < 1.0, "gap-2 share {pct}");
+}
+
+/// Finding 11's determinism split shows up in the catalog too: the
+/// timing-dependent seeded bugs are a small minority.
+#[test]
+fn nondeterministic_bugs_are_a_minority_in_both() {
+    let ds = dataset();
+    let study_nondet = ds.iter().filter(|r| !r.deterministic).count() as f64 / ds.len() as f64;
+    assert!((study_nondet - 0.114).abs() < 0.01); // "the remaining 11%"
+
+    let bugs = seeded_bugs();
+    let catalog_nondet =
+        bugs.iter().filter(|b| b.timing_dependent).count() as f64 / bugs.len() as f64;
+    assert!(catalog_nondet < 0.25);
+}
+
+/// The named study records reference the same tickets the mini systems
+/// re-implement, tying dataset to substrate.
+#[test]
+fn named_records_overlap_with_seeded_catalog() {
+    let ds = dataset();
+    let named: Vec<&str> = ds
+        .iter()
+        .filter(|r| !r.reconstructed)
+        .map(|r| r.id.as_str())
+        .collect();
+    let seeded: Vec<&str> = seeded_bugs().iter().map(|b| b.ticket).collect();
+    let overlap = named.iter().filter(|n| seeded.contains(n)).count();
+    assert!(
+        overlap >= 8,
+        "only {overlap} named study records match seeded bugs: {named:?}"
+    );
+}
