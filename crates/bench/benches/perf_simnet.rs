@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dup_core::VersionId;
 use dup_simnet::{Ctx, Endpoint, Process, Sim, SimDuration, StepResult};
-use dup_tester::{run_case, Scenario, TestCase, WorkloadSource};
+use dup_tester::{Campaign, Scenario, TestCase, WorkloadSource};
 
 struct Pinger {
     peer: u32,
@@ -69,7 +69,7 @@ fn bench_simnet(c: &mut Criterion) {
             workload: WorkloadSource::Stress,
             seed: 1,
         };
-        b.iter(|| run_case(&dup_kvstore::KvStoreSystem, &case))
+        b.iter(|| case.run(&dup_kvstore::KvStoreSystem))
     });
     group.bench_function("duptester_case_dfs_rolling", |b| {
         let case = TestCase {
@@ -79,11 +79,31 @@ fn bench_simnet(c: &mut Criterion) {
             workload: WorkloadSource::Stress,
             seed: 1,
         };
-        b.iter(|| run_case(&dup_dfs::DfsSystem, &case))
+        b.iter(|| case.run(&dup_dfs::DfsSystem))
     });
 
     group.finish();
 }
 
-criterion_group!(benches, bench_simnet);
+/// Sequential vs parallel campaign over the kvstore system: the same sweep
+/// on one worker and on four. The reports are byte-identical; only the
+/// wall-clock should differ (the acceptance bar is >=2x at 4 threads).
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_kvstore");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                Campaign::builder(&dup_kvstore::KvStoreSystem)
+                    .seeds([1, 2])
+                    .scenarios([Scenario::FullStop, Scenario::Rolling])
+                    .threads(threads)
+                    .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simnet, bench_campaign);
 criterion_main!(benches);

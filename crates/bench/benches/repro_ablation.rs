@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo bench -p dup-bench --bench repro_ablation`.
 
-use dup_tester::{catalog, run_campaign, CampaignConfig, CampaignReport, Scenario};
+use dup_tester::{catalog, Campaign, CampaignConfig, CampaignReport, Scenario};
 
 fn recall_line(label: &str, report: &CampaignReport) -> usize {
     let (caught, missed) = catalog::recall(report);
@@ -18,7 +18,11 @@ fn recall_line(label: &str, report: &CampaignReport) -> usize {
         report.failures.len(),
         caught.len(),
         caught.len() + missed.len(),
-        if missed.is_empty() { String::new() } else { format!("  missed: {missed:?}") }
+        if missed.is_empty() {
+            String::new()
+        } else {
+            format!("  missed: {missed:?}")
+        }
     );
     caught.len()
 }
@@ -29,14 +33,19 @@ fn main() {
 
     let full = CampaignConfig {
         seeds: vec![1, 2, 3, 4],
-        include_gap_two: false,
         scenarios: Scenario::ALL.to_vec(),
-        use_unit_tests: true,
+        ..CampaignConfig::default()
     };
-    let baseline = recall_line("full configuration", &run_campaign(&sut, &full));
+    let baseline = recall_line(
+        "full configuration",
+        &Campaign::new(&sut, full.clone()).run(),
+    );
 
-    let no_units = CampaignConfig { use_unit_tests: false, ..full.clone() };
-    let r = run_campaign(&sut, &no_units);
+    let no_units = CampaignConfig {
+        use_unit_tests: false,
+        ..full.clone()
+    };
+    let r = Campaign::new(&sut, no_units).run();
     let c = recall_line("without unit-test workloads", &r);
     println!(
         "  -> unit tests contribute {} of {} seeded bugs (paper: CASSANDRA-16292/16301 \
@@ -45,29 +54,43 @@ fn main() {
         baseline
     );
 
-    let full_stop_only =
-        CampaignConfig { scenarios: vec![Scenario::FullStop], ..full.clone() };
-    let r = run_campaign(&sut, &full_stop_only);
+    let full_stop_only = CampaignConfig {
+        scenarios: vec![Scenario::FullStop],
+        ..full.clone()
+    };
+    let r = Campaign::new(&sut, full_stop_only).run();
     let c = recall_line("full-stop scenario only", &r);
     println!(
         "  -> rolling-only bugs lost: {} (network incompatibilities need mixed versions)\n",
         baseline - c
     );
 
-    let rolling_only = CampaignConfig { scenarios: vec![Scenario::Rolling], ..full.clone() };
-    recall_line("rolling scenario only", &run_campaign(&sut, &rolling_only));
+    let rolling_only = CampaignConfig {
+        scenarios: vec![Scenario::Rolling],
+        ..full.clone()
+    };
+    recall_line(
+        "rolling scenario only",
+        &Campaign::new(&sut, rolling_only).run(),
+    );
     println!();
 
-    let one_seed = CampaignConfig { seeds: vec![1], ..full.clone() };
-    let r = run_campaign(&sut, &one_seed);
+    let one_seed = CampaignConfig {
+        seeds: vec![1],
+        ..full.clone()
+    };
+    let r = Campaign::new(&sut, one_seed).run();
     let c = recall_line("single seed", &r);
     println!(
         "  -> timing-dependent bugs possibly lost: {} (Finding 11: ~11% need timing)\n",
         baseline - c
     );
 
-    let gap2 = CampaignConfig { include_gap_two: true, ..full };
-    let r = run_campaign(&sut, &gap2);
+    let gap2 = CampaignConfig {
+        include_gap_two: true,
+        ..full
+    };
+    let r = Campaign::new(&sut, gap2).run();
     recall_line("with gap-2 pairs (Finding 9's +9%)", &r);
     println!(
         "  -> cases grow from consecutive-only to include distance-2 pairs \

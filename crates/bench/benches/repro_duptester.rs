@@ -1,25 +1,29 @@
 //! Regenerates the Table-5 analog: a full DUPTester campaign over the four
 //! mini systems, listing every (deduplicated) upgrade failure found, its
 //! cause classification, and recall against the seeded-bug catalog
-//! (the §6.1.4 false-negative analog).
+//! (the §6.1.4 false-negative analog). Each campaign runs twice — on one
+//! worker and on one worker per CPU — to show the parallel engine's speedup
+//! while asserting the reports stay byte-identical.
 //!
 //! Run with `cargo bench -p dup-bench --bench repro_duptester`.
 
 use dup_core::SystemUnderTest;
-use dup_tester::{catalog, run_campaign, CampaignConfig, Scenario};
+use dup_tester::{catalog, Campaign, CampaignReport, Scenario};
+use std::time::Instant;
+
+fn sweep(sut: &dyn SystemUnderTest, threads: usize) -> CampaignReport {
+    Campaign::builder(sut)
+        .seeds([1, 2, 3, 4])
+        .scenarios([Scenario::FullStop, Scenario::Rolling, Scenario::NewNodeJoin])
+        .threads(threads)
+        .run()
+}
 
 fn main() {
-    let config = CampaignConfig {
-        seeds: vec![1, 2, 3, 4],
-        include_gap_two: false,
-        scenarios: vec![Scenario::FullStop, Scenario::Rolling, Scenario::NewNodeJoin],
-        use_unit_tests: true,
-    };
     println!("=== Reproduction: Table 5 — DUPTester on 4 mini systems ===");
     println!(
         "(scenarios: full-stop, rolling, new-node-join; workloads: stress + translated \
-         unit tests + unit-state handoff; seeds: {:?})\n",
-        config.seeds
+         unit tests + unit-state handoff; seeds: [1, 2, 3, 4])\n"
     );
 
     let systems: Vec<Box<dyn SystemUnderTest>> = vec![
@@ -33,8 +37,23 @@ fn main() {
     let mut total_caught = 0;
     let mut total_seeded = 0;
     for sut in &systems {
-        let report = run_campaign(sut.as_ref(), &config);
+        let seq_started = Instant::now();
+        let sequential = sweep(sut.as_ref(), 1);
+        let seq_wall = seq_started.elapsed();
+        let report = sweep(sut.as_ref(), 0);
+        assert_eq!(
+            sequential.render_table(),
+            report.render_table(),
+            "parallel report must be byte-identical to sequential"
+        );
         println!("{}", report.render_table());
+        print!("{}", report.metrics.render_timings());
+        println!(
+            "  sequential {seq_wall:?} vs parallel {:?} on {} thread(s) — {:.2}x",
+            report.metrics.campaign_wall,
+            report.metrics.threads_used,
+            seq_wall.as_secs_f64() / report.metrics.campaign_wall.as_secs_f64().max(1e-9)
+        );
         let (caught, missed) = catalog::recall(&report);
         total_failures += report.failures.len();
         total_caught += caught.len();

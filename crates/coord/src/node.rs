@@ -368,16 +368,14 @@ impl Process for CoordNode {
                     }
                 }
             }
-            TOKEN_LEADER_PING => {
-                if self.leader == Some(self.setup.index) {
-                    for peer in self.setup.peers() {
-                        ctx.send(
-                            Endpoint::Node(peer),
-                            Frame::new(1, "ping", Vec::new()).encode(),
-                        );
-                    }
-                    ctx.set_timer(PING_INTERVAL, TOKEN_LEADER_PING);
+            TOKEN_LEADER_PING if self.leader == Some(self.setup.index) => {
+                for peer in self.setup.peers() {
+                    ctx.send(
+                        Endpoint::Node(peer),
+                        Frame::new(1, "ping", Vec::new()).encode(),
+                    );
                 }
+                ctx.set_timer(PING_INTERVAL, TOKEN_LEADER_PING);
             }
             TOKEN_PING_CHECK => {
                 if let Some(leader) = self.leader {

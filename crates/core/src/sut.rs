@@ -190,7 +190,13 @@ impl TranslationTable {
 }
 
 /// A distributed system DUPTester can exercise.
-pub trait SystemUnderTest {
+///
+/// `Sync` is a supertrait so campaign engines can fan test cases out across
+/// worker threads sharing one `&dyn SystemUnderTest`; implementations are
+/// expected to be stateless descriptions of the system (all four bundled
+/// SUTs are unit structs), with per-run state living in the spawned
+/// [`Process`]es.
+pub trait SystemUnderTest: Sync {
     /// System name (`"cassandra-mini"`, …).
     fn name(&self) -> &'static str;
 

@@ -317,11 +317,7 @@ impl NameNode {
         let mut storages_ok = true;
         if self.version >= VersionId::new(3, 3, 0) {
             let nvdimm = 2;
-            if hb
-                .get_all("storages")
-                .iter()
-                .any(|s| *s == Value::Enum(nvdimm))
-            {
+            if hb.get_all("storages").contains(&Value::Enum(nvdimm)) {
                 storages_ok = false;
             }
         }

@@ -144,9 +144,13 @@ fn parse_all(files: &[(String, String)]) -> Result<CompilationUnit, JavaParseErr
     Ok(merged)
 }
 
+/// One system in the bundled corpus: its name plus (filename, source) pairs
+/// for the old and new trees.
+pub type JavaCorpusEntry = (&'static str, Vec<(String, String)>, Vec<(String, String)>);
+
 /// A bundled Java-subset corpus with the paper's §6.2 enum-checker yield:
 /// 2 bugs and 6 vulnerabilities across the scanned systems.
-pub fn java_corpus() -> Vec<(&'static str, Vec<(String, String)>, Vec<(String, String)>)> {
+pub fn java_corpus() -> Vec<JavaCorpusEntry> {
     fn f(name: &str, src: &str) -> (String, String) {
         (name.to_string(), src.to_string())
     }

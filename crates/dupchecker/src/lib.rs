@@ -40,4 +40,6 @@ pub use crate::corpus::{
     check_corpus, generate, parse_version, table6_specs, Corpus, CorpusReport, CorpusSpec,
     CorpusVersion, PairReport,
 };
-pub use crate::enum_check::{check_sources, check_units, java_corpus, EnumFinding};
+pub use crate::enum_check::{
+    check_sources, check_units, java_corpus, EnumFinding, JavaCorpusEntry,
+};

@@ -1,0 +1,473 @@
+//! The campaign engine: a worker pool over the case matrix with
+//! deterministic, completion-order-independent aggregation.
+//!
+//! # Threading model
+//!
+//! Every [`TestCase`] builds its own seeded [`dup_simnet::Sim`], so cases
+//! are embarrassingly parallel. The executor materializes the full matrix
+//! up front ([`CaseMatrix`]), then `std::thread::scope`d workers pull *seed
+//! groups* (one (pair, scenario, workload) combination, all seeds) off a
+//! shared atomic queue. Seeds of a group run in order on one worker, which
+//! keeps dedup-aware seed pruning deterministic; results are written into
+//! per-group slots and aggregated afterwards **by case index**, so the
+//! report is byte-identical whether the campaign ran on one thread or many.
+
+use crate::campaign::matrix::{CaseMatrix, SeedGroup};
+use crate::campaign::observer::{CampaignObserver, MetricsObserver};
+use crate::campaign::report::{dedup_key, CampaignReport, CaseStatus, FailureReport};
+use crate::harness::{CaseOutcome, TestCase};
+use crate::scenario::Scenario;
+use dup_core::{SystemUnderTest, VersionId};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seeds to try per case (Finding 11: ~89% of bugs need only one; the
+    /// timing-dependent rest benefit from a few).
+    pub seeds: Vec<u64>,
+    /// Also test version pairs at distance two (Finding 9's extra 9%).
+    pub include_gap_two: bool,
+    /// Scenarios to run.
+    pub scenarios: Vec<Scenario>,
+    /// Include unit-test-derived workloads.
+    pub use_unit_tests: bool,
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Dedup-aware seed pruning: once a failure signature has reproduced
+    /// this many times within one (pair, scenario, workload) seed group,
+    /// the group's remaining seeds are skipped (and counted as pruned).
+    /// `None` disables pruning.
+    pub prune_after: Option<usize>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seeds: vec![1, 2, 3],
+            include_gap_two: false,
+            scenarios: Scenario::ALL.to_vec(),
+            use_unit_tests: true,
+            threads: 0,
+            prune_after: None,
+        }
+    }
+}
+
+/// What one executed (or pruned) case left behind. `None` when the case
+/// was pruned and never executed. (Timings live in the metrics, collected
+/// via the observer path.)
+#[derive(Debug, Clone)]
+struct CaseRecord {
+    outcome: Option<CaseOutcome>,
+}
+
+/// Fans callbacks out to the engine's internal metrics collector plus the
+/// caller's observer, if any.
+struct FanOut<'o> {
+    metrics: &'o MetricsObserver,
+    user: Option<&'o dyn CampaignObserver>,
+}
+
+impl FanOut<'_> {
+    fn case_start(&self, index: usize, case: &TestCase) {
+        self.metrics.on_case_start(index, case);
+        if let Some(user) = self.user {
+            user.on_case_start(index, case);
+        }
+    }
+
+    fn case_done(&self, index: usize, case: &TestCase, status: CaseStatus, wall: Duration) {
+        self.metrics.on_case_done(index, case, status, wall);
+        if let Some(user) = self.user {
+            user.on_case_done(index, case, status, wall);
+        }
+    }
+
+    fn failure_found(&self, index: usize, case: &TestCase, failure: &FailureReport) {
+        self.metrics.on_failure_found(index, case, failure);
+        if let Some(user) = self.user {
+            user.on_failure_found(index, case, failure);
+        }
+    }
+}
+
+/// Builds a [`Campaign`]. Obtained from [`Campaign::builder`].
+pub struct CampaignBuilder<'a> {
+    sut: &'a dyn SystemUnderTest,
+    config: CampaignConfig,
+    observer: Option<Box<dyn CampaignObserver>>,
+}
+
+impl<'a> CampaignBuilder<'a> {
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: CampaignConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Seeds to sweep per (pair, scenario, workload) combination.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.config.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Scenarios to run.
+    pub fn scenarios(mut self, scenarios: impl IntoIterator<Item = Scenario>) -> Self {
+        self.config.scenarios = scenarios.into_iter().collect();
+        self
+    }
+
+    /// Also test version pairs at distance two (Finding 9).
+    pub fn gap_two(mut self, include: bool) -> Self {
+        self.config.include_gap_two = include;
+        self
+    }
+
+    /// Include unit-test-derived workloads.
+    pub fn unit_tests(mut self, include: bool) -> Self {
+        self.config.use_unit_tests = include;
+        self
+    }
+
+    /// Worker threads; `0` (the default) means one per available CPU.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Enables dedup-aware seed pruning after `k` in-group reproductions.
+    pub fn prune_after(mut self, k: usize) -> Self {
+        self.config.prune_after = Some(k.max(1));
+        self
+    }
+
+    /// Attaches an observer; it sees every case start/finish and every
+    /// distinct failure.
+    pub fn observer(mut self, observer: impl CampaignObserver + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Finalizes the builder into a reusable [`Campaign`].
+    pub fn build(self) -> Campaign<'a> {
+        Campaign {
+            sut: self.sut,
+            config: self.config,
+            observer: self.observer,
+        }
+    }
+
+    /// Convenience: builds and runs in one call.
+    pub fn run(self) -> CampaignReport {
+        self.build().run()
+    }
+}
+
+/// The campaign engine: sweeps the full case matrix for one system and
+/// produces a deduplicated [`CampaignReport`] with [`CampaignMetrics`]
+/// attached.
+///
+/// [`CampaignMetrics`]: crate::campaign::report::CampaignMetrics
+pub struct Campaign<'a> {
+    sut: &'a dyn SystemUnderTest,
+    config: CampaignConfig,
+    observer: Option<Box<dyn CampaignObserver>>,
+}
+
+impl<'a> Campaign<'a> {
+    /// Starts a builder for `sut` with the default configuration.
+    pub fn builder(sut: &'a dyn SystemUnderTest) -> CampaignBuilder<'a> {
+        CampaignBuilder {
+            sut,
+            config: CampaignConfig::default(),
+            observer: None,
+        }
+    }
+
+    /// A campaign with an explicit configuration and no observer.
+    pub fn new(sut: &'a dyn SystemUnderTest, config: CampaignConfig) -> Campaign<'a> {
+        Campaign {
+            sut,
+            config,
+            observer: None,
+        }
+    }
+
+    /// The configuration this campaign runs with.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the full sweep. Deterministic for a given configuration: the
+    /// returned report (failures, order, counts, signatures, rendered
+    /// table) does not depend on the thread count.
+    pub fn run(&self) -> CampaignReport {
+        let started = Instant::now();
+        let matrix = CaseMatrix::enumerate(self.sut, &self.config);
+        let metrics = MetricsObserver::new();
+        let fan = FanOut {
+            metrics: &metrics,
+            user: self.observer.as_deref(),
+        };
+        let threads = self.resolve_threads(matrix.groups().len());
+
+        let records = if threads <= 1 {
+            self.run_groups_sequential(&matrix, &fan)
+        } else {
+            self.run_groups_parallel(&matrix, &fan, threads)
+        };
+
+        let mut report = aggregate(self.sut.name(), &matrix, &records, &fan);
+        report.metrics = metrics.finish(threads, started.elapsed());
+        report
+    }
+
+    fn resolve_threads(&self, groups: usize) -> usize {
+        let requested = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        requested.clamp(1, groups.max(1))
+    }
+
+    fn run_groups_sequential(&self, matrix: &CaseMatrix, fan: &FanOut<'_>) -> Vec<CaseRecord> {
+        let mut records = Vec::with_capacity(matrix.len());
+        for group in matrix.groups() {
+            records.extend(run_group(self.sut, matrix, group, &self.config, fan));
+        }
+        records
+    }
+
+    fn run_groups_parallel(
+        &self,
+        matrix: &CaseMatrix,
+        fan: &FanOut<'_>,
+        threads: usize,
+    ) -> Vec<CaseRecord> {
+        let groups = matrix.groups();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<CaseRecord>>>> =
+            groups.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(group) = groups.get(g) else { break };
+                    let recs = run_group(self.sut, matrix, group, &self.config, fan);
+                    *slots[g].lock().expect("slot lock") = Some(recs);
+                });
+            }
+        });
+
+        // Stitch group results back together in matrix order — this, not
+        // completion order, is what the report sees.
+        let mut records = Vec::with_capacity(matrix.len());
+        for slot in slots {
+            let recs = slot
+                .into_inner()
+                .expect("slot lock")
+                .expect("every group slot filled once the scope joins");
+            records.extend(recs);
+        }
+        records
+    }
+}
+
+/// Runs one seed group in order, applying dedup-aware pruning within it.
+fn run_group(
+    sut: &dyn SystemUnderTest,
+    matrix: &CaseMatrix,
+    group: &SeedGroup,
+    config: &CampaignConfig,
+    fan: &FanOut<'_>,
+) -> Vec<CaseRecord> {
+    let mut out = Vec::with_capacity(group.len);
+    let mut sig_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut prune_rest = false;
+    for index in group.indices() {
+        let case = &matrix.cases()[index];
+        fan.case_start(index, case);
+        if prune_rest {
+            fan.case_done(index, case, CaseStatus::Pruned, Duration::ZERO);
+            out.push(CaseRecord { outcome: None });
+            continue;
+        }
+        let t0 = Instant::now();
+        let outcome = case.run(sut);
+        let wall = t0.elapsed();
+        let status = match &outcome {
+            CaseOutcome::Pass => CaseStatus::Passed,
+            CaseOutcome::InvalidWorkload(_) => CaseStatus::Invalid,
+            CaseOutcome::Fail(observations) => {
+                if let Some(k) = config.prune_after {
+                    let count = sig_counts.entry(dedup_key(observations)).or_insert(0);
+                    *count += 1;
+                    if *count >= k {
+                        prune_rest = true;
+                    }
+                }
+                CaseStatus::Failed
+            }
+        };
+        fan.case_done(index, case, status, wall);
+        out.push(CaseRecord {
+            outcome: Some(outcome),
+        });
+    }
+    out
+}
+
+/// Folds per-case records into the deduplicated report, in case-index order.
+fn aggregate(
+    system: &str,
+    matrix: &CaseMatrix,
+    records: &[CaseRecord],
+    fan: &FanOut<'_>,
+) -> CampaignReport {
+    debug_assert_eq!(matrix.len(), records.len());
+    let mut report = CampaignReport {
+        system: system.to_string(),
+        ..Default::default()
+    };
+    // dedup key -> index into report.failures
+    let mut seen: BTreeMap<(VersionId, VersionId, String), usize> = BTreeMap::new();
+
+    for (index, record) in records.iter().enumerate() {
+        let case = &matrix.cases()[index];
+        let Some(outcome) = &record.outcome else {
+            report.cases_pruned += 1;
+            continue;
+        };
+        report.cases_run += 1;
+        match outcome {
+            CaseOutcome::Pass => report.cases_passed += 1,
+            CaseOutcome::InvalidWorkload(_) => report.cases_invalid += 1,
+            CaseOutcome::Fail(observations) => {
+                let signature = dedup_key(observations);
+                let key = (case.from, case.to, signature.clone());
+                if let Some(&idx) = seen.get(&key) {
+                    report.failures[idx].reproductions += 1;
+                } else {
+                    let cause = observations
+                        .iter()
+                        .map(|o| o.classify())
+                        .find(|c| *c != "Unclassified")
+                        .unwrap_or("Unclassified");
+                    seen.insert(key, report.failures.len());
+                    report.failures.push(FailureReport {
+                        system: system.to_string(),
+                        from: case.from,
+                        to: case.to,
+                        scenario: case.scenario,
+                        workload: case.workload.clone(),
+                        seed: case.seed,
+                        signature,
+                        cause,
+                        observations: observations.clone(),
+                        reproductions: 1,
+                    });
+                    let failure = report.failures.last().expect("just pushed");
+                    fan.failure_found(index, case, failure);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Runs a full campaign over `sut`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Campaign::builder(sut)` (or `Campaign::new(sut, config)`) and `.run()` instead"
+)]
+pub fn run_campaign(sut: &dyn SystemUnderTest, config: &CampaignConfig) -> CampaignReport {
+    Campaign::new(sut, config.clone()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Observation;
+    use crate::scenario::WorkloadSource;
+
+    fn crash(reason: &str) -> Observation {
+        Observation::NodeCrash {
+            node: 0,
+            version: "2.0.0".into(),
+            reason: reason.to_string(),
+        }
+    }
+
+    fn case(seed: u64) -> TestCase {
+        TestCase {
+            from: "1.0.0".parse().unwrap(),
+            to: "2.0.0".parse().unwrap(),
+            scenario: Scenario::FullStop,
+            workload: WorkloadSource::Stress,
+            seed,
+        }
+    }
+
+    fn fail(observations: Vec<Observation>) -> CaseRecord {
+        CaseRecord {
+            outcome: Some(CaseOutcome::Fail(observations)),
+        }
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = CampaignConfig::default();
+        assert_eq!(c.scenarios.len(), 3);
+        assert!(!c.seeds.is_empty());
+        assert!(c.use_unit_tests);
+        assert_eq!(c.threads, 0);
+        assert!(c.prune_after.is_none());
+    }
+
+    #[test]
+    fn aggregation_keys_on_all_observation_signatures() {
+        // Two failing cases share their *first* observation but differ in
+        // the second: they must surface as two distinct failures (the old
+        // first-signature keying silently merged them).
+        let matrix = CaseMatrix::from_cases(vec![case(1), case(2), case(3)]);
+        let records = vec![
+            fail(vec![crash("shared root symptom"), crash("beta effect")]),
+            fail(vec![crash("shared root symptom"), crash("gamma effect")]),
+            fail(vec![crash("beta effect"), crash("shared root symptom")]),
+        ];
+        let metrics = MetricsObserver::new();
+        let fan = FanOut {
+            metrics: &metrics,
+            user: None,
+        };
+        let report = aggregate("sys", &matrix, &records, &fan);
+        assert_eq!(report.failures.len(), 2, "{:#?}", report.failures);
+        // Case 3 has the same *set* as case 1 (order-insensitive): a dedup hit.
+        assert_eq!(report.failures[0].reproductions, 2);
+        assert_eq!(report.failures[1].reproductions, 1);
+        assert_eq!(metrics.snapshot().distinct_failures, 2);
+    }
+
+    #[test]
+    fn aggregation_counts_pruned_separately() {
+        let matrix = CaseMatrix::from_cases(vec![case(1), case(2)]);
+        let records = vec![fail(vec![crash("boom")]), CaseRecord { outcome: None }];
+        let metrics = MetricsObserver::new();
+        let fan = FanOut {
+            metrics: &metrics,
+            user: None,
+        };
+        let report = aggregate("sys", &matrix, &records, &fan);
+        assert_eq!(report.cases_run, 1);
+        assert_eq!(report.cases_pruned, 1);
+        assert_eq!(report.failures.len(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Case-matrix enumeration: materializes the full version-pair × scenario ×
+//! workload × seed sweep up front, giving every case a stable index.
+//!
+//! Stable indices are what make the parallel executor deterministic: workers
+//! may finish in any order, but results are aggregated by index, so the
+//! report reads exactly as if the matrix had been walked sequentially.
+
+use crate::campaign::CampaignConfig;
+use crate::harness::TestCase;
+use crate::scenario::WorkloadSource;
+use dup_core::{upgrade_pairs, SystemUnderTest};
+
+/// A contiguous run of case indices that differ only in seed — one
+/// (version pair, scenario, workload) combination swept across every
+/// configured seed.
+///
+/// Seed groups are the unit of work handed to executor threads: seeds of one
+/// group run in enumeration order on a single worker, which is what lets
+/// dedup-aware seed pruning stay deterministic under parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedGroup {
+    /// Index of the group's first case.
+    pub start: usize,
+    /// Number of cases (seeds) in the group.
+    pub len: usize,
+}
+
+impl SeedGroup {
+    /// The case indices this group covers.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// The fully materialized campaign sweep.
+#[derive(Debug, Clone, Default)]
+pub struct CaseMatrix {
+    cases: Vec<TestCase>,
+    groups: Vec<SeedGroup>,
+}
+
+impl CaseMatrix {
+    /// Enumerates every case for `sut` under `config`, in the canonical
+    /// order: version pairs, then scenarios, then workloads, then seeds.
+    pub fn enumerate(sut: &dyn SystemUnderTest, config: &CampaignConfig) -> CaseMatrix {
+        let versions = sut.versions();
+        let pairs = upgrade_pairs(&versions, config.include_gap_two);
+
+        let mut workloads: Vec<WorkloadSource> = vec![WorkloadSource::Stress];
+        if config.use_unit_tests {
+            for test in sut.unit_tests() {
+                workloads.push(WorkloadSource::TranslatedUnit(test.name.clone()));
+                workloads.push(WorkloadSource::UnitStateHandoff(test.name.clone()));
+            }
+        }
+
+        let mut matrix = CaseMatrix::default();
+        for (from, to) in pairs {
+            for scenario in &config.scenarios {
+                for workload in &workloads {
+                    let start = matrix.cases.len();
+                    for &seed in &config.seeds {
+                        matrix.cases.push(TestCase {
+                            from,
+                            to,
+                            scenario: *scenario,
+                            workload: workload.clone(),
+                            seed,
+                        });
+                    }
+                    matrix.groups.push(SeedGroup {
+                        start,
+                        len: matrix.cases.len() - start,
+                    });
+                }
+            }
+        }
+        matrix
+    }
+
+    /// Builds a matrix from explicit cases, grouping consecutive cases that
+    /// differ only in seed. Useful for targeted sweeps and tests.
+    pub fn from_cases(cases: Vec<TestCase>) -> CaseMatrix {
+        let mut groups: Vec<SeedGroup> = Vec::new();
+        for (i, case) in cases.iter().enumerate() {
+            let extends = groups.last().map(|g| {
+                let prev = &cases[i - 1];
+                g.start + g.len == i
+                    && prev.from == case.from
+                    && prev.to == case.to
+                    && prev.scenario == case.scenario
+                    && prev.workload == case.workload
+            });
+            match (groups.last_mut(), extends) {
+                (Some(g), Some(true)) => g.len += 1,
+                _ => groups.push(SeedGroup { start: i, len: 1 }),
+            }
+        }
+        CaseMatrix { cases, groups }
+    }
+
+    /// All cases, in stable index order.
+    pub fn cases(&self) -> &[TestCase] {
+        &self.cases
+    }
+
+    /// The seed groups, each a contiguous index range.
+    pub fn groups(&self) -> &[SeedGroup] {
+        &self.groups
+    }
+
+    /// Total number of cases.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use dup_core::VersionId;
+
+    fn v(s: &str) -> VersionId {
+        s.parse().unwrap()
+    }
+
+    fn case(from: &str, to: &str, scenario: Scenario, seed: u64) -> TestCase {
+        TestCase {
+            from: v(from),
+            to: v(to),
+            scenario,
+            workload: WorkloadSource::Stress,
+            seed,
+        }
+    }
+
+    #[test]
+    fn enumeration_is_stable_and_grouped() {
+        let config = CampaignConfig {
+            seeds: vec![1, 2],
+            include_gap_two: false,
+            scenarios: vec![Scenario::FullStop, Scenario::Rolling],
+            use_unit_tests: false,
+            ..CampaignConfig::default()
+        };
+        let a = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
+        let b = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
+        assert_eq!(a.cases(), b.cases());
+        assert!(!a.is_empty());
+        // Seeds are the innermost loop: every group covers all seeds of one
+        // (pair, scenario, workload) combination, contiguously.
+        for g in a.groups() {
+            assert_eq!(g.len, 2);
+            let cases = &a.cases()[g.indices()];
+            assert_eq!(cases[0].seed, 1);
+            assert_eq!(cases[1].seed, 2);
+            assert_eq!(cases[0].from, cases[1].from);
+            assert_eq!(cases[0].scenario, cases[1].scenario);
+        }
+        // Groups tile the matrix exactly.
+        let covered: usize = a.groups().iter().map(|g| g.len).sum();
+        assert_eq!(covered, a.len());
+    }
+
+    #[test]
+    fn from_cases_groups_seed_runs() {
+        let cases = vec![
+            case("1.0.0", "2.0.0", Scenario::FullStop, 1),
+            case("1.0.0", "2.0.0", Scenario::FullStop, 2),
+            case("1.0.0", "2.0.0", Scenario::Rolling, 1),
+            case("2.0.0", "3.0.0", Scenario::Rolling, 1),
+        ];
+        let m = CaseMatrix::from_cases(cases);
+        assert_eq!(m.groups().len(), 3);
+        assert_eq!(m.groups()[0], SeedGroup { start: 0, len: 2 });
+        assert_eq!(m.groups()[1], SeedGroup { start: 2, len: 1 });
+        assert_eq!(m.groups()[2], SeedGroup { start: 3, len: 1 });
+    }
+}

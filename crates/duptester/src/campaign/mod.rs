@@ -1,0 +1,28 @@
+//! Campaigns: systematic sweeps over version pairs × scenarios × workloads,
+//! with deduplicated failure reports — the machinery behind Table 5.
+//!
+//! The engine lives in four layers:
+//!
+//! - [`matrix`] — materializes the sweep into a [`CaseMatrix`] with stable
+//!   case indices;
+//! - [`executor`] — the [`Campaign`] builder/engine: a `std::thread::scope`
+//!   worker pool over an atomic work queue of seed groups, aggregating by
+//!   case index so parallel runs report byte-identically to sequential ones;
+//! - [`observer`] — the [`CampaignObserver`] callbacks plus the bundled
+//!   [`ProgressObserver`] and [`MetricsObserver`];
+//! - [`report`] — [`CampaignReport`], [`FailureReport`], and the per-run
+//!   [`CampaignMetrics`].
+
+pub mod executor;
+pub mod matrix;
+pub mod observer;
+pub mod report;
+
+#[allow(deprecated)]
+pub use executor::run_campaign;
+pub use executor::{Campaign, CampaignBuilder, CampaignConfig};
+pub use matrix::{CaseMatrix, SeedGroup};
+pub use observer::{CampaignObserver, MetricsObserver, NoopObserver, ProgressObserver};
+pub use report::{
+    dedup_key, CampaignMetrics, CampaignReport, CaseStatus, FailureReport, ScenarioCounts,
+};

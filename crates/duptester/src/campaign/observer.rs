@@ -1,0 +1,199 @@
+//! Per-case execution observability: the [`CampaignObserver`] trait plus the
+//! bundled [`ProgressObserver`] and [`MetricsObserver`].
+//!
+//! Observers are shared across executor threads, so every callback takes
+//! `&self` and implementations synchronize internally (atomics or a mutex).
+//! For every enumerated case the engine calls `on_case_start` then
+//! `on_case_done` exactly once — pruned cases included, reported with
+//! [`CaseStatus::Pruned`] and zero duration. `on_failure_found` fires once
+//! per *distinct* (post-dedup) failure, during result aggregation, in case
+//! index order.
+
+use crate::campaign::report::{CampaignMetrics, CaseStatus, FailureReport};
+use crate::harness::TestCase;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Callbacks into a running campaign. All methods default to no-ops, so an
+/// observer implements only what it cares about.
+pub trait CampaignObserver: Send + Sync {
+    /// A case is about to execute (or be pruned). Fires exactly once per
+    /// enumerated case, from the worker thread that owns the case's seed
+    /// group.
+    fn on_case_start(&self, index: usize, case: &TestCase) {
+        let _ = (index, case);
+    }
+
+    /// A case finished (or was pruned). Fires exactly once per enumerated
+    /// case, immediately after the matching `on_case_start`.
+    fn on_case_done(&self, index: usize, case: &TestCase, status: CaseStatus, wall: Duration) {
+        let _ = (index, case, status, wall);
+    }
+
+    /// A distinct failure entered the report. `index` is the first exposing
+    /// case. Fires during aggregation, in case-index order.
+    fn on_failure_found(&self, index: usize, case: &TestCase, failure: &FailureReport) {
+        let _ = (index, case, failure);
+    }
+}
+
+impl<T: CampaignObserver + ?Sized> CampaignObserver for Arc<T> {
+    fn on_case_start(&self, index: usize, case: &TestCase) {
+        (**self).on_case_start(index, case);
+    }
+
+    fn on_case_done(&self, index: usize, case: &TestCase, status: CaseStatus, wall: Duration) {
+        (**self).on_case_done(index, case, status, wall);
+    }
+
+    fn on_failure_found(&self, index: usize, case: &TestCase, failure: &FailureReport) {
+        (**self).on_failure_found(index, case, failure);
+    }
+}
+
+/// The default observer: ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl CampaignObserver for NoopObserver {}
+
+/// Prints a progress line to stderr every `every` finished cases (and for
+/// every distinct failure found).
+#[derive(Debug)]
+pub struct ProgressObserver {
+    every: usize,
+    done: AtomicUsize,
+    failures: AtomicUsize,
+}
+
+impl ProgressObserver {
+    /// Reports every `every` cases; `every` is clamped to at least 1.
+    pub fn new(every: usize) -> Self {
+        ProgressObserver {
+            every: every.max(1),
+            done: AtomicUsize::new(0),
+            failures: AtomicUsize::new(0),
+        }
+    }
+
+    /// Cases finished so far.
+    pub fn cases_done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for ProgressObserver {
+    fn default() -> Self {
+        ProgressObserver::new(25)
+    }
+}
+
+impl CampaignObserver for ProgressObserver {
+    fn on_case_done(&self, _index: usize, _case: &TestCase, _status: CaseStatus, _wall: Duration) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if done.is_multiple_of(self.every) {
+            eprintln!(
+                "[campaign] {done} cases done, {} distinct failures",
+                self.failures.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    fn on_failure_found(&self, _index: usize, _case: &TestCase, failure: &FailureReport) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        eprintln!("[campaign] failure: {failure}");
+    }
+}
+
+/// Collects [`CampaignMetrics`] from observer callbacks. The engine keeps
+/// one of these internally on every run; attach your own (via
+/// `Campaign::builder(..).observer(..)`) if you want live metrics without
+/// waiting for the report.
+#[derive(Debug, Default)]
+pub struct MetricsObserver {
+    metrics: Mutex<CampaignMetrics>,
+}
+
+impl MetricsObserver {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        MetricsObserver::default()
+    }
+
+    /// A copy of the metrics collected so far.
+    pub fn snapshot(&self) -> CampaignMetrics {
+        self.metrics.lock().expect("metrics lock").clone()
+    }
+
+    pub(crate) fn finish(&self, threads_used: usize, campaign_wall: Duration) -> CampaignMetrics {
+        let mut m = self.snapshot();
+        m.threads_used = threads_used;
+        m.campaign_wall = campaign_wall;
+        m
+    }
+}
+
+impl CampaignObserver for MetricsObserver {
+    fn on_case_done(&self, index: usize, case: &TestCase, status: CaseStatus, wall: Duration) {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .record_case(index, case.scenario, status, wall);
+    }
+
+    fn on_failure_found(&self, _index: usize, _case: &TestCase, _failure: &FailureReport) {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .record_distinct_failure();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, WorkloadSource};
+
+    fn case() -> TestCase {
+        TestCase {
+            from: "1.0.0".parse().unwrap(),
+            to: "2.0.0".parse().unwrap(),
+            scenario: Scenario::Rolling,
+            workload: WorkloadSource::Stress,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn metrics_observer_accumulates() {
+        let obs = MetricsObserver::new();
+        let c = case();
+        obs.on_case_start(0, &c);
+        obs.on_case_done(0, &c, CaseStatus::Failed, Duration::from_millis(3));
+        obs.on_case_done(1, &c, CaseStatus::Pruned, Duration::ZERO);
+        let m = obs.finish(4, Duration::from_millis(10));
+        assert_eq!(m.failing_cases, 1);
+        assert_eq!(m.pruned_seeds, 1);
+        assert_eq!(m.threads_used, 4);
+        assert_eq!(m.per_scenario[&Scenario::Rolling].failed, 1);
+    }
+
+    #[test]
+    fn progress_observer_counts() {
+        let obs = ProgressObserver::new(1000);
+        let c = case();
+        for i in 0..5 {
+            obs.on_case_done(i, &c, CaseStatus::Passed, Duration::ZERO);
+        }
+        assert_eq!(obs.cases_done(), 5);
+    }
+
+    #[test]
+    fn arc_observer_delegates() {
+        let inner = Arc::new(MetricsObserver::new());
+        let as_trait: &dyn CampaignObserver = &inner;
+        as_trait.on_case_done(0, &case(), CaseStatus::Passed, Duration::ZERO);
+        assert_eq!(inner.snapshot().per_scenario[&Scenario::Rolling].passed, 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! Campaign outputs: deduplicated failures, the Table-5-style report, and
+//! per-run execution metrics.
+
+use crate::oracle::Observation;
+use crate::scenario::{Scenario, WorkloadSource};
+use dup_core::VersionId;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// One deduplicated failure found by a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureReport {
+    /// System name.
+    pub system: String,
+    /// Version upgraded from.
+    pub from: VersionId,
+    /// Version upgraded to.
+    pub to: VersionId,
+    /// The scenario that first exposed it.
+    pub scenario: Scenario,
+    /// The workload that first exposed it.
+    pub workload: WorkloadSource,
+    /// Seed of the first exposing run.
+    pub seed: u64,
+    /// Dedup signature: the sorted, joined signatures of *all* observations
+    /// of the first exposing case, so two failures only merge when their
+    /// whole evidence sets collapse to the same signatures.
+    pub signature: String,
+    /// Heuristic root-cause label (Table 5 vocabulary).
+    pub cause: &'static str,
+    /// The evidence.
+    pub observations: Vec<Observation>,
+    /// How many (scenario, workload, seed) combinations reproduced it.
+    pub reproductions: usize,
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} -> {} [{} / {}] {}: {}",
+            self.system,
+            self.from,
+            self.to,
+            self.scenario,
+            self.workload,
+            self.cause,
+            self.observations
+                .first()
+                .map(|o| o.to_string())
+                .unwrap_or_default()
+        )
+    }
+}
+
+/// The dedup key for a case's evidence: every observation's signature,
+/// sorted, deduplicated, and joined. Keying on the full set (rather than the
+/// first observation only) keeps two distinct failures whose leading
+/// symptoms collide from being silently merged.
+pub fn dedup_key(observations: &[Observation]) -> String {
+    let mut sigs: Vec<String> = observations.iter().map(|o| o.signature()).collect();
+    sigs.sort();
+    sigs.dedup();
+    sigs.join("|")
+}
+
+/// How one enumerated case ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CaseStatus {
+    /// The upgrade went through cleanly.
+    Passed,
+    /// The oracle collected failure evidence.
+    Failed,
+    /// The workload could not be set up.
+    Invalid,
+    /// Skipped by dedup-aware seed pruning (never executed).
+    Pruned,
+}
+
+impl fmt::Display for CaseStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CaseStatus::Passed => "passed",
+            CaseStatus::Failed => "failed",
+            CaseStatus::Invalid => "invalid",
+            CaseStatus::Pruned => "pruned",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-scenario outcome counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScenarioCounts {
+    /// Cases that passed.
+    pub passed: usize,
+    /// Cases with failure evidence.
+    pub failed: usize,
+    /// Cases with invalid workloads.
+    pub invalid: usize,
+    /// Cases skipped by seed pruning.
+    pub pruned: usize,
+}
+
+impl ScenarioCounts {
+    fn bump(&mut self, status: CaseStatus) {
+        match status {
+            CaseStatus::Passed => self.passed += 1,
+            CaseStatus::Failed => self.failed += 1,
+            CaseStatus::Invalid => self.invalid += 1,
+            CaseStatus::Pruned => self.pruned += 1,
+        }
+    }
+}
+
+/// Execution observability for one campaign run: per-case wall-clock,
+/// per-scenario outcome counts, and dedup statistics.
+///
+/// Everything here except the wall-clock durations (and `threads_used`) is a
+/// pure function of the campaign configuration, so two runs of the same
+/// config agree on every other field regardless of thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignMetrics {
+    /// Wall-clock duration of each case, indexed by case index (zero for
+    /// pruned cases, which never execute).
+    pub case_wall: Vec<Duration>,
+    /// Status of each case, indexed by case index.
+    pub case_status: Vec<CaseStatus>,
+    /// Outcome counts per scenario.
+    pub per_scenario: BTreeMap<Scenario, ScenarioCounts>,
+    /// Executed cases whose oracle collected failure evidence.
+    pub failing_cases: usize,
+    /// Distinct (post-dedup) failures.
+    pub distinct_failures: usize,
+    /// Seeds skipped by dedup-aware pruning.
+    pub pruned_seeds: usize,
+    /// Worker threads the run used.
+    pub threads_used: usize,
+    /// Sum of per-case wall-clock (CPU-side work, not elapsed time).
+    pub total_case_wall: Duration,
+    /// Elapsed wall-clock of the whole campaign.
+    pub campaign_wall: Duration,
+}
+
+impl CampaignMetrics {
+    /// Records one finished (or pruned) case.
+    pub fn record_case(
+        &mut self,
+        index: usize,
+        scenario: Scenario,
+        status: CaseStatus,
+        wall: Duration,
+    ) {
+        if self.case_wall.len() <= index {
+            self.case_wall.resize(index + 1, Duration::ZERO);
+            self.case_status.resize(index + 1, CaseStatus::Pruned);
+        }
+        self.case_wall[index] = wall;
+        self.case_status[index] = status;
+        self.per_scenario.entry(scenario).or_default().bump(status);
+        match status {
+            CaseStatus::Failed => self.failing_cases += 1,
+            CaseStatus::Pruned => self.pruned_seeds += 1,
+            _ => {}
+        }
+        self.total_case_wall += wall;
+    }
+
+    /// Records one distinct (post-dedup) failure.
+    pub fn record_distinct_failure(&mut self) {
+        self.distinct_failures += 1;
+    }
+
+    /// Failing cases that deduplicated onto an already-known failure.
+    pub fn dedup_hits(&self) -> usize {
+        self.failing_cases.saturating_sub(self.distinct_failures)
+    }
+
+    /// Fraction of failing cases that were dedup hits (0.0 when none failed).
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.failing_cases == 0 {
+            0.0
+        } else {
+            self.dedup_hits() as f64 / self.failing_cases as f64
+        }
+    }
+
+    /// Mean wall-clock of executed (non-pruned) cases.
+    pub fn mean_case_wall(&self) -> Duration {
+        let executed = self
+            .case_status
+            .iter()
+            .filter(|s| **s != CaseStatus::Pruned)
+            .count();
+        if executed == 0 {
+            Duration::ZERO
+        } else {
+            self.total_case_wall / executed as u32
+        }
+    }
+
+    /// The slowest case, as `(index, wall)`.
+    pub fn slowest_case(&self) -> Option<(usize, Duration)> {
+        self.case_wall
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| **d)
+            .map(|(i, d)| (i, *d))
+    }
+
+    /// The deterministic slice of the metrics: per-scenario outcome counts,
+    /// pruning, and dedup statistics. Identical across thread counts, so
+    /// [`CampaignReport::render_table`] can include it and stay
+    /// byte-identical between sequential and parallel runs.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        for (scenario, c) in &self.per_scenario {
+            out.push_str(&format!(
+                "   {:<14} {:>4} passed {:>4} failed {:>4} invalid {:>4} pruned\n",
+                scenario.to_string(),
+                c.passed,
+                c.failed,
+                c.invalid,
+                c.pruned
+            ));
+        }
+        out.push_str(&format!(
+            "   dedup: {} failing cases -> {} distinct ({} hits, {:.0}% hit rate); {} seeds pruned\n",
+            self.failing_cases,
+            self.distinct_failures,
+            self.dedup_hits(),
+            self.dedup_hit_rate() * 100.0,
+            self.pruned_seeds
+        ));
+        out
+    }
+
+    /// The timing slice of the metrics (wall-clock varies run to run, so
+    /// this is rendered separately from the deterministic report).
+    pub fn render_timings(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "   campaign wall-clock {:?} on {} thread(s); case work {:?} total, {:?} mean",
+            self.campaign_wall,
+            self.threads_used,
+            self.total_case_wall,
+            self.mean_case_wall()
+        ));
+        if let Some((idx, wall)) = self.slowest_case() {
+            out.push_str(&format!(", slowest case #{idx} at {wall:?}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// The full outcome of a campaign over one system.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// System name.
+    pub system: String,
+    /// Deduplicated failures, in case-index (discovery) order.
+    pub failures: Vec<FailureReport>,
+    /// Cases actually executed (excludes pruned seeds).
+    pub cases_run: usize,
+    /// Cases that passed.
+    pub cases_passed: usize,
+    /// Cases skipped as invalid workloads.
+    pub cases_invalid: usize,
+    /// Seeds skipped by dedup-aware pruning.
+    pub cases_pruned: usize,
+    /// Execution metrics for this run.
+    pub metrics: CampaignMetrics,
+}
+
+impl CampaignReport {
+    /// Failures on the given version pair.
+    pub fn failures_on(&self, from: VersionId, to: VersionId) -> Vec<&FailureReport> {
+        self.failures
+            .iter()
+            .filter(|f| f.from == from && f.to == to)
+            .collect()
+    }
+
+    /// Renders a Table-5-style listing plus the deterministic metrics
+    /// summary. Byte-identical for a given configuration regardless of the
+    /// thread count the campaign ran with.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:<14} {:<28} {}\n",
+            "System", "From", "To", "Scenario", "Workload", "Cause"
+        ));
+        for f in &self.failures {
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>8} {:<14} {:<28} {}\n",
+                f.system,
+                f.from.to_string(),
+                f.to.to_string(),
+                f.scenario.to_string(),
+                f.workload.to_string(),
+                f.cause
+            ));
+        }
+        out.push_str(&format!(
+            "-- {} distinct failures / {} cases ({} passed, {} invalid workloads, {} pruned)\n",
+            self.failures.len(),
+            self.cases_run,
+            self.cases_passed,
+            self.cases_invalid,
+            self.cases_pruned
+        ));
+        out.push_str(&self.metrics.render_summary());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_table_renders_counts() {
+        let report = CampaignReport {
+            system: "x".into(),
+            failures: vec![],
+            cases_run: 10,
+            cases_passed: 9,
+            cases_invalid: 1,
+            cases_pruned: 0,
+            metrics: CampaignMetrics::default(),
+        };
+        let table = report.render_table();
+        assert!(table.contains("0 distinct failures / 10 cases"));
+    }
+
+    #[test]
+    fn dedup_key_uses_all_observations() {
+        let crash = |reason: &str| Observation::NodeCrash {
+            node: 0,
+            version: "1.0.0".into(),
+            reason: reason.to_string(),
+        };
+        // Same leading observation, different second observation: keys differ.
+        let a = dedup_key(&[crash("alpha failure"), crash("beta failure")]);
+        let b = dedup_key(&[crash("alpha failure"), crash("gamma failure")]);
+        assert_ne!(a, b);
+        // Order-insensitive and duplicate-insensitive.
+        let c = dedup_key(&[
+            crash("beta failure"),
+            crash("alpha failure"),
+            crash("alpha failure"),
+        ]);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn metrics_accumulate_and_summarize() {
+        let mut m = CampaignMetrics::default();
+        m.record_case(
+            0,
+            Scenario::FullStop,
+            CaseStatus::Passed,
+            Duration::from_millis(5),
+        );
+        m.record_case(
+            1,
+            Scenario::FullStop,
+            CaseStatus::Failed,
+            Duration::from_millis(7),
+        );
+        m.record_case(
+            2,
+            Scenario::Rolling,
+            CaseStatus::Failed,
+            Duration::from_millis(9),
+        );
+        m.record_case(3, Scenario::Rolling, CaseStatus::Pruned, Duration::ZERO);
+        m.record_distinct_failure();
+        assert_eq!(m.failing_cases, 2);
+        assert_eq!(m.dedup_hits(), 1);
+        assert!((m.dedup_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(m.pruned_seeds, 1);
+        assert_eq!(m.per_scenario[&Scenario::FullStop].passed, 1);
+        assert_eq!(m.per_scenario[&Scenario::Rolling].pruned, 1);
+        assert_eq!(m.slowest_case(), Some((2, Duration::from_millis(9))));
+        assert_eq!(m.mean_case_wall(), Duration::from_millis(7));
+        let summary = m.render_summary();
+        assert!(summary.contains("full-stop"));
+        assert!(summary.contains("1 seeds pruned"));
+        assert!(m.render_timings().contains("thread"));
+    }
+}

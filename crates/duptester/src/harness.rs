@@ -23,6 +23,15 @@ pub struct TestCase {
     pub seed: u64,
 }
 
+impl TestCase {
+    /// Runs this case against `sut`: boots the old-version cluster in a
+    /// fresh seeded simulator, drives the workload through the scenario,
+    /// and hands the evidence to the oracle.
+    pub fn run(&self, sut: &dyn SystemUnderTest) -> CaseOutcome {
+        execute_case(sut, self)
+    }
+}
+
 /// The outcome of one test case.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CaseOutcome {
@@ -53,7 +62,12 @@ const QUIESCE: SimDuration = SimDuration::from_secs(75);
 const OP_TIMEOUT: SimDuration = SimDuration::from_secs(3);
 
 /// Runs one test case against `sut`.
+#[deprecated(since = "0.2.0", note = "use `TestCase::run(&sut)` instead")]
 pub fn run_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
+    execute_case(sut, case)
+}
+
+fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
     let mut sim = Sim::new(case.seed);
     let n = sut.cluster_size();
     let mut config = sut.default_config();
@@ -130,6 +144,11 @@ pub fn run_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
             ));
         }
     }
+
+    // Baseline message-rate window starts here — at first-op time — so the
+    // pre-workload boot SETTLE (mostly idle) does not deflate the rate.
+    let first_op_time = sim.now();
+    let msgs_at_first_op = sim.messages_delivered();
 
     let mut ops: Vec<OpResult> = Vec::new();
     run_ops(&mut sim, &before_ops, false, false, &mut ops);
@@ -212,12 +231,13 @@ pub fn run_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
     run_ops(&mut sim, &after_ops, true, true, &mut ops);
     sim.run_for(SETTLE);
 
-    // Message-rate comparison over equal-length windows.
+    // Message-rate comparison: project the baseline-window rate (first op
+    // to upgrade start) onto the upgrade window's length.
     let window_msgs = sim.messages_delivered() - msgs_before_window;
     let window_len = sim.now().since(upgrade_started).as_millis().max(1);
-    let baseline_rate_per_ms =
-        msgs_before_window as f64 / upgrade_started.as_millis().max(1) as f64;
-    let baseline_msgs = (baseline_rate_per_ms * window_len as f64) as u64;
+    let baseline_window_msgs = msgs_before_window - msgs_at_first_op;
+    let baseline_len = upgrade_started.since(first_op_time).as_millis();
+    let baseline_msgs = project_baseline(baseline_window_msgs, baseline_len, window_len);
 
     let observations = oracle::evaluate(&sim, log_mark, baseline_msgs, window_msgs, &ops);
     if observations.is_empty() {
@@ -225,6 +245,14 @@ pub fn run_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
     } else {
         CaseOutcome::Fail(observations)
     }
+}
+
+/// Projects a measured baseline message count onto a window of a different
+/// length: `baseline_msgs` messages observed over `baseline_len_ms` scale to
+/// the expected count for `window_len_ms` at the same rate.
+fn project_baseline(baseline_msgs: u64, baseline_len_ms: u64, window_len_ms: u64) -> u64 {
+    let rate_per_ms = baseline_msgs as f64 / baseline_len_ms.max(1) as f64;
+    (rate_per_ms * window_len_ms as f64) as u64
 }
 
 fn host(i: u32) -> String {
@@ -267,6 +295,23 @@ fn run_ops(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_projection_excludes_settle_idle() {
+        // 1000 messages over the 1000 ms the workload actually ran project
+        // to 5000 messages for a 5000 ms upgrade window.
+        assert_eq!(project_baseline(1000, 1000, 5000), 5000);
+        // Regression: the old formula divided by the whole pre-upgrade time
+        // including the 2 s boot SETTLE, deflating the baseline to a third
+        // of the true rate — enough to turn healthy traffic into a false
+        // "storm". The fixed projection must beat that deflated figure.
+        let deflated = project_baseline(1000, 3000, 5000);
+        assert!(deflated < 2000);
+        assert!(project_baseline(1000, 1000, 5000) > deflated * 2);
+        // Degenerate windows stay finite.
+        assert_eq!(project_baseline(0, 0, 100), 0);
+        assert_eq!(project_baseline(7, 0, 0), 0);
+    }
 
     #[test]
     fn chunking_round_robins() {

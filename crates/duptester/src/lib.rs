@@ -14,22 +14,42 @@
 //! unanswered client operations, and message storms — the observable
 //! symptoms Finding 3 says cover 70% of real upgrade failures.
 //!
-//! [`run_campaign`] sweeps everything and produces a deduplicated,
-//! Table-5-style [`CampaignReport`]; [`catalog`] holds the ground-truth
-//! seeded-bug list so recall can be measured.
+//! [`Campaign`] sweeps everything — in parallel across a worker pool, yet
+//! with a report byte-identical to a sequential run — and produces a
+//! deduplicated, Table-5-style [`CampaignReport`] with per-case
+//! [`CampaignMetrics`]; [`catalog`] holds the ground-truth seeded-bug list
+//! so recall can be measured.
+//!
+//! ```no_run
+//! use dup_tester::{Campaign, Scenario};
+//! let report = Campaign::builder(&dup_kvstore::KvStoreSystem)
+//!     .seeds([1, 2, 3])
+//!     .scenarios(Scenario::ALL)
+//!     .threads(4)
+//!     .run();
+//! print!("{}", report.render_table());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod campaign;
+pub mod campaign;
 pub mod catalog;
 mod harness;
 mod oracle;
 mod scenario;
 mod translator;
 
-pub use crate::campaign::{run_campaign, CampaignConfig, CampaignReport, FailureReport};
-pub use crate::harness::{run_case, CaseOutcome, TestCase};
+#[allow(deprecated)]
+pub use crate::campaign::run_campaign;
+pub use crate::campaign::{
+    dedup_key, Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics, CampaignObserver,
+    CampaignReport, CaseMatrix, CaseStatus, FailureReport, MetricsObserver, NoopObserver,
+    ProgressObserver, ScenarioCounts, SeedGroup,
+};
+#[allow(deprecated)]
+pub use crate::harness::run_case;
+pub use crate::harness::{CaseOutcome, TestCase};
 pub use crate::oracle::{evaluate, Observation, OpResult};
 pub use crate::scenario::{Scenario, WorkloadSource};
 pub use crate::translator::{translate, Translation};

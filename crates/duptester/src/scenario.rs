@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// The three upgrade scenarios DUPTester tests systematically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Scenario {
     /// Old cluster runs the workload, shuts down gracefully, restarts with
     /// every node on the new version.

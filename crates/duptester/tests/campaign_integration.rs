@@ -2,30 +2,32 @@
 //!
 //! These tests are the executable form of the paper's Table 5: every seeded
 //! bug with a deterministic trigger must be (re)discovered, and the clean
-//! control pairs must stay clean.
+//! control pairs must stay clean. They also pin down the engine contract:
+//! the report is byte-identical whatever the thread count, and observer
+//! callbacks fire exactly once per enumerated case.
 
 use dup_core::VersionId;
 use dup_tester::{
-    catalog, run_campaign, run_case, CampaignConfig, CaseOutcome, Scenario, TestCase,
-    WorkloadSource,
+    catalog, Campaign, CampaignObserver, CampaignReport, CaseOutcome, CaseStatus, Scenario,
+    TestCase, WorkloadSource,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 fn v(s: &str) -> VersionId {
     s.parse().unwrap()
 }
 
-fn quick_config() -> CampaignConfig {
-    CampaignConfig {
-        seeds: vec![1],
-        include_gap_two: false,
-        scenarios: vec![Scenario::FullStop, Scenario::Rolling],
-        use_unit_tests: true,
-    }
+fn quick_campaign(sut: &dyn dup_core::SystemUnderTest) -> CampaignReport {
+    Campaign::builder(sut)
+        .seeds([1])
+        .scenarios([Scenario::FullStop, Scenario::Rolling])
+        .run()
 }
 
 #[test]
 fn kvstore_campaign_finds_the_seeded_cassandra_bugs() {
-    let report = run_campaign(&dup_kvstore::KvStoreSystem, &quick_config());
+    let report = quick_campaign(&dup_kvstore::KvStoreSystem);
     let (caught, missed) = catalog::recall(&report);
     // Deterministic bugs must be caught; CASSANDRA-6678 is a race and may
     // need more seeds (checked separately below).
@@ -52,6 +54,16 @@ fn kvstore_campaign_finds_the_seeded_cassandra_bugs() {
             .map(|f| f.to_string())
             .collect::<Vec<_>>()
     );
+    // Metrics are populated on every run.
+    let m = &report.metrics;
+    assert_eq!(
+        m.case_status.len(),
+        report.cases_run,
+        "one status per executed case"
+    );
+    assert!(m.threads_used >= 1);
+    assert!(!m.per_scenario.is_empty());
+    assert!(report.render_table().contains("dedup:"));
 }
 
 #[test]
@@ -67,7 +79,7 @@ fn cassandra_6678_race_reproduces_across_seeds() {
             workload: WorkloadSource::Stress,
             seed,
         };
-        if let CaseOutcome::Fail(obs) = run_case(&dup_kvstore::KvStoreSystem, &case) {
+        if let CaseOutcome::Fail(obs) = case.run(&dup_kvstore::KvStoreSystem) {
             if obs
                 .iter()
                 .any(|o| o.to_string().contains("cannot apply schema migrated"))
@@ -82,7 +94,7 @@ fn cassandra_6678_race_reproduces_across_seeds() {
 
 #[test]
 fn dfs_campaign_finds_the_seeded_hdfs_bugs() {
-    let report = run_campaign(&dup_dfs::DfsSystem, &quick_config());
+    let report = quick_campaign(&dup_dfs::DfsSystem);
     let (caught, missed) = catalog::recall(&report);
     for ticket in [
         "HDFS-1936",
@@ -104,7 +116,7 @@ fn dfs_campaign_finds_the_seeded_hdfs_bugs() {
 
 #[test]
 fn mq_campaign_finds_the_seeded_kafka_bugs() {
-    let report = run_campaign(&dup_mq::MqSystem, &quick_config());
+    let report = quick_campaign(&dup_mq::MqSystem);
     let (caught, missed) = catalog::recall(&report);
     for ticket in ["KAFKA-6238", "KAFKA-7403", "KAFKA-10173"] {
         assert!(
@@ -117,7 +129,7 @@ fn mq_campaign_finds_the_seeded_kafka_bugs() {
 
 #[test]
 fn coord_campaign_finds_the_seeded_zookeeper_bugs() {
-    let report = run_campaign(&dup_coord::CoordSystem, &quick_config());
+    let report = quick_campaign(&dup_coord::CoordSystem);
     let (caught, missed) = catalog::recall(&report);
     for ticket in ["ZOOKEEPER-1805", "MESOS-3834 (shape)"] {
         assert!(
@@ -139,14 +151,14 @@ fn full_stop_3_4_to_3_5_coord_is_clean_but_rolling_is_not() {
         seed: 1,
     };
     assert!(
-        !run_case(&dup_coord::CoordSystem, &full_stop).is_failure(),
+        !full_stop.run(&dup_coord::CoordSystem).is_failure(),
         "full-stop 3.4->3.5 should be clean"
     );
     let rolling = TestCase {
         scenario: Scenario::Rolling,
         ..full_stop
     };
-    assert!(run_case(&dup_coord::CoordSystem, &rolling).is_failure());
+    assert!(rolling.run(&dup_coord::CoordSystem).is_failure());
 }
 
 #[test]
@@ -159,6 +171,139 @@ fn new_node_join_scenario_runs() {
         seed: 1,
     };
     // The clean kvstore pair should also accept a new-version joiner.
-    let outcome = run_case(&dup_kvstore::KvStoreSystem, &case);
+    let outcome = case.run(&dup_kvstore::KvStoreSystem);
     assert!(!outcome.is_failure(), "unexpected failure: {outcome:?}");
+}
+
+#[test]
+fn deprecated_entry_points_still_work() {
+    #[allow(deprecated)]
+    let report = dup_tester::run_campaign(
+        &dup_kvstore::KvStoreSystem,
+        &dup_tester::CampaignConfig {
+            seeds: vec![1],
+            scenarios: vec![Scenario::FullStop],
+            use_unit_tests: false,
+            ..Default::default()
+        },
+    );
+    assert!(report.cases_run > 0);
+    let case = TestCase {
+        from: v("2.1.0"),
+        to: v("3.0.0"),
+        scenario: Scenario::FullStop,
+        workload: WorkloadSource::Stress,
+        seed: 1,
+    };
+    #[allow(deprecated)]
+    let outcome = dup_tester::run_case(&dup_kvstore::KvStoreSystem, &case);
+    assert_eq!(
+        format!("{outcome:?}"),
+        format!("{:?}", case.run(&dup_kvstore::KvStoreSystem))
+    );
+}
+
+/// The tentpole contract: a parallel campaign reports byte-identically to a
+/// sequential one — failures, counts, and the rendered table.
+#[test]
+fn parallel_report_is_byte_identical_to_sequential() {
+    for sut in [
+        &dup_kvstore::KvStoreSystem as &dyn dup_core::SystemUnderTest,
+        &dup_mq::MqSystem,
+    ] {
+        let run = |threads: usize| {
+            Campaign::builder(sut)
+                .seeds([1, 2])
+                .scenarios([Scenario::FullStop, Scenario::Rolling])
+                .threads(threads)
+                .run()
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.failures, par.failures, "{}", sut.name());
+        assert_eq!(seq.cases_run, par.cases_run);
+        assert_eq!(seq.cases_passed, par.cases_passed);
+        assert_eq!(seq.cases_invalid, par.cases_invalid);
+        assert_eq!(seq.cases_pruned, par.cases_pruned);
+        assert_eq!(
+            seq.render_table(),
+            par.render_table(),
+            "rendered table must not depend on thread count ({})",
+            sut.name()
+        );
+    }
+}
+
+#[derive(Default)]
+struct CountingObserver {
+    started: AtomicUsize,
+    done: AtomicUsize,
+    failures: AtomicUsize,
+}
+
+impl CampaignObserver for CountingObserver {
+    fn on_case_start(&self, _index: usize, _case: &TestCase) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_case_done(&self, _index: usize, _case: &TestCase, _status: CaseStatus, _wall: Duration) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_failure_found(
+        &self,
+        _index: usize,
+        _case: &TestCase,
+        _failure: &dup_tester::FailureReport,
+    ) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Observer callbacks fire exactly once per enumerated case, pruned cases
+/// included, and once per distinct failure.
+#[test]
+fn observer_callbacks_fire_once_per_case() {
+    let obs = std::sync::Arc::new(CountingObserver::default());
+    let report = Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1, 2, 3])
+        .scenarios([Scenario::FullStop, Scenario::Rolling])
+        .threads(4)
+        .observer(std::sync::Arc::clone(&obs))
+        .run();
+    let enumerated = report.cases_run + report.cases_pruned;
+    assert_eq!(obs.started.load(Ordering::Relaxed), enumerated);
+    assert_eq!(obs.done.load(Ordering::Relaxed), enumerated);
+    assert_eq!(obs.failures.load(Ordering::Relaxed), report.failures.len());
+}
+
+/// Dedup-aware seed pruning: once a signature reproduced K times within a
+/// seed group, remaining seeds are skipped — without losing any distinct
+/// failure found by the unpruned sweep.
+#[test]
+fn seed_pruning_skips_reproductions_without_losing_failures() {
+    let full = Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1, 2, 3, 4])
+        .scenarios([Scenario::FullStop])
+        .unit_tests(false)
+        .run();
+    let pruned = Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1, 2, 3, 4])
+        .scenarios([Scenario::FullStop])
+        .unit_tests(false)
+        .prune_after(1)
+        .run();
+    assert!(
+        pruned.cases_pruned > 0,
+        "expected pruning with 4 seeds over deterministic failures"
+    );
+    assert_eq!(pruned.metrics.pruned_seeds, pruned.cases_pruned);
+    fn sigs(r: &CampaignReport) -> Vec<&str> {
+        let mut s: Vec<&str> = r.failures.iter().map(|f| f.signature.as_str()).collect();
+        s.sort_unstable();
+        s
+    }
+    assert_eq!(
+        sigs(&full),
+        sigs(&pruned),
+        "pruning must not change which distinct failures are found"
+    );
 }

@@ -227,7 +227,6 @@ mod tests {
         assert_eq!(ctx.me(), Endpoint::Node(2));
         assert_eq!(ctx.node_id(), 2);
         assert_eq!(ctx.now().as_millis(), 10);
-        drop(ctx);
         assert_eq!(effects.len(), 3);
         assert_eq!(logs.len(), 1);
     }

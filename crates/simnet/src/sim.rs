@@ -498,14 +498,9 @@ impl Sim {
     // ----- internals --------------------------------------------------------
 
     fn slot_mut(&mut self, node: NodeId) -> Result<&mut NodeSlot, SimError> {
-        let len = self.nodes.len();
         self.nodes
             .get_mut(node as usize)
-            .ok_or(SimError::UnknownNode(if (node as usize) < len {
-                node
-            } else {
-                node
-            }))
+            .ok_or(SimError::UnknownNode(node))
     }
 
     fn schedule(&mut self, time: SimTime, kind: EventKind) {

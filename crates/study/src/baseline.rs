@@ -34,6 +34,7 @@ mod tests {
         // "The percentage of Blocker bugs ... is 3.8X in upgrade failures."
         assert!((38.0 / NON_UPGRADE.blocker_pct - 3.8).abs() < 0.01);
         // "67% ... much higher than that (24%) among all bugs."
-        assert!(NON_UPGRADE.catastrophic_pct < 67.0);
+        let catastrophic_pct = NON_UPGRADE.catastrophic_pct;
+        assert!(catastrophic_pct < 67.0);
     }
 }

@@ -4,10 +4,7 @@
 //!
 //! Run with `cargo run --example check_schema_compat`.
 
-use ds_upgrade::checker::{
-    check_corpus, check_sources, compare_files, generate, table6_specs, Severity,
-};
-use ds_upgrade::idl::{parse_proto, parse_thrift};
+use ds_upgrade::prelude::*;
 
 fn main() {
     // 1. The Figure-2 diff.

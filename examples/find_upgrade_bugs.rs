@@ -4,16 +4,10 @@
 //!
 //! Run with `cargo run --release --example find_upgrade_bugs`.
 
-use ds_upgrade::core::SystemUnderTest;
-use ds_upgrade::tester::{catalog, run_campaign, CampaignConfig, Scenario};
+use ds_upgrade::prelude::*;
+use ds_upgrade::tester::catalog;
 
 fn main() {
-    let config = CampaignConfig {
-        seeds: vec![1, 2, 3],
-        include_gap_two: false,
-        scenarios: vec![Scenario::FullStop, Scenario::Rolling, Scenario::NewNodeJoin],
-        use_unit_tests: true,
-    };
     let systems: Vec<Box<dyn SystemUnderTest>> = vec![
         Box::new(ds_upgrade::kvstore::KvStoreSystem),
         Box::new(ds_upgrade::dfs::DfsSystem),
@@ -23,8 +17,16 @@ fn main() {
     let mut total = 0;
     for sut in &systems {
         println!("==== {} ====", sut.name());
-        let report = run_campaign(sut.as_ref(), &config);
+        // The whole sweep through one entry point: every scenario, the
+        // unit-test workloads, three seeds, one worker per CPU, and a
+        // progress line every 50 cases.
+        let report = Campaign::builder(sut.as_ref())
+            .seeds([1, 2, 3])
+            .scenarios([Scenario::FullStop, Scenario::Rolling, Scenario::NewNodeJoin])
+            .observer(ProgressObserver::new(50))
+            .run();
         print!("{}", report.render_table());
+        print!("{}", report.metrics.render_timings());
         let (caught, missed) = catalog::recall(&report);
         println!(
             "seeded-bug recall: {}/{}",

@@ -3,9 +3,8 @@
 //!
 //! Run with `cargo run --example pipeline_failure`.
 
-use ds_upgrade::core::{NodeSetup, VersionId};
 use ds_upgrade::dfs::{DataNode, NameNode};
-use ds_upgrade::simnet::{Process, Sim, SimDuration};
+use ds_upgrade::prelude::*;
 
 fn cmd(sim: &mut Sim, node: u32, text: &str) -> String {
     sim.rpc(

@@ -3,9 +3,8 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use ds_upgrade::core::VersionId;
 use ds_upgrade::kvstore::KvStoreSystem;
-use ds_upgrade::tester::{run_case, CaseOutcome, Scenario, TestCase, WorkloadSource};
+use ds_upgrade::prelude::*;
 
 fn main() {
     // CASSANDRA-4195's version pair: 1.1 -> 1.2, rolling.
@@ -17,10 +16,10 @@ fn main() {
         seed: 1,
     };
     println!(
-        "DUPTester: {} {} -> {} [{}] with the {} workload…\n",
-        "cassandra-mini", case.from, case.to, case.scenario, case.workload
+        "DUPTester: cassandra-mini {} -> {} [{}] with the {} workload…\n",
+        case.from, case.to, case.scenario, case.workload
     );
-    match run_case(&KvStoreSystem, &case) {
+    match case.run(&KvStoreSystem) {
         CaseOutcome::Pass => println!("upgrade went through cleanly"),
         CaseOutcome::InvalidWorkload(reason) => println!("workload invalid: {reason}"),
         CaseOutcome::Fail(observations) => {
@@ -38,7 +37,7 @@ fn main() {
         ..case
     };
     println!("\nSame pair, full-stop scenario…");
-    match run_case(&KvStoreSystem, &full_stop) {
+    match full_stop.run(&KvStoreSystem) {
         CaseOutcome::Pass => println!("upgrade went through cleanly (as the paper predicts)"),
         other => println!("unexpected: {other:?}"),
     }

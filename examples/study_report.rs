@@ -3,17 +3,19 @@
 //!
 //! Run with `cargo run --example study_report`.
 
+use ds_upgrade::prelude::*;
+
 fn main() {
-    let ds = ds_upgrade::study::dataset();
-    print!("{}", ds_upgrade::study::render_table1(&ds));
+    let ds = dataset();
+    print!("{}", render_table1(&ds));
     println!();
-    print!("{}", ds_upgrade::study::render_table2(&ds));
+    print!("{}", render_table2(&ds));
     println!();
-    print!("{}", ds_upgrade::study::render_table3(&ds));
+    print!("{}", render_table3(&ds));
     println!();
-    print!("{}", ds_upgrade::study::render_table4(&ds));
+    print!("{}", render_table4(&ds));
     println!();
-    print!("{}", ds_upgrade::study::render_findings(&ds));
+    print!("{}", render_findings(&ds));
 
     // A taste of the per-record data.
     println!("\nSample named records:");

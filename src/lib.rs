@@ -19,6 +19,34 @@
 
 #![forbid(unsafe_code)]
 
+pub mod prelude {
+    //! One-import surface for the common workflow: pick a system, build a
+    //! [`Campaign`], run cases, poke the simulator.
+    //!
+    //! ```no_run
+    //! use ds_upgrade::prelude::*;
+    //! let report = Campaign::builder(&ds_upgrade::kvstore::KvStoreSystem)
+    //!     .seeds([1, 2, 3])
+    //!     .run();
+    //! print!("{}", report.render_table());
+    //! ```
+
+    pub use dup_checker::{
+        check_corpus, check_sources, compare_files, generate, table6_specs, Severity,
+    };
+    pub use dup_core::{ClientOp, NodeSetup, SystemUnderTest, VersionId};
+    pub use dup_idl::{parse_proto, parse_thrift};
+    pub use dup_simnet::{Process, Sim, SimDuration};
+    pub use dup_study::{
+        dataset, render_findings, render_table1, render_table2, render_table3, render_table4,
+    };
+    pub use dup_tester::{
+        Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics, CampaignObserver,
+        CampaignReport, CaseOutcome, CaseStatus, FailureReport, MetricsObserver, NoopObserver,
+        ProgressObserver, Scenario, TestCase, WorkloadSource,
+    };
+}
+
 pub use dup_checker as checker;
 pub use dup_coord as coord;
 pub use dup_core as core;

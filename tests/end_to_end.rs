@@ -4,8 +4,8 @@
 use ds_upgrade::checker::{compare_files, Severity};
 use ds_upgrade::core::VersionId;
 use ds_upgrade::idl::{lower, parse_proto};
+use ds_upgrade::prelude::{CaseOutcome, Scenario, TestCase, WorkloadSource};
 use ds_upgrade::simnet::{Sim, SimDuration};
-use ds_upgrade::tester::{run_case, CaseOutcome, Scenario, TestCase, WorkloadSource};
 use ds_upgrade::wire::{proto, MessageValue, Value, WireError};
 
 fn v(s: &str) -> VersionId {
@@ -50,13 +50,13 @@ fn consecutive_pair_strategy_vs_no_op_upgrade() {
         workload: WorkloadSource::TranslatedUnit("testCompactTables".into()),
         seed: 1,
     };
-    assert!(run_case(&ds_upgrade::kvstore::KvStoreSystem, &buggy).is_failure());
+    assert!(buggy.run(&ds_upgrade::kvstore::KvStoreSystem).is_failure());
 
     let no_op = TestCase {
         to: v("3.11.0"),
         ..buggy
     };
-    assert!(!run_case(&ds_upgrade::kvstore::KvStoreSystem, &no_op).is_failure());
+    assert!(!no_op.run(&ds_upgrade::kvstore::KvStoreSystem).is_failure());
 }
 
 /// The unit-test translator exposes a failure the stress workload cannot
@@ -70,7 +70,7 @@ fn translated_unit_test_beats_stress_on_tombstone_bug() {
         workload: WorkloadSource::Stress,
         seed: 1,
     };
-    let stress = run_case(&ds_upgrade::kvstore::KvStoreSystem, &base);
+    let stress = base.run(&ds_upgrade::kvstore::KvStoreSystem);
     let tombstone_in = |outcome: &CaseOutcome| match outcome {
         CaseOutcome::Fail(obs) => obs.iter().any(|o| o.to_string().contains("tombstone")),
         _ => false,
@@ -84,7 +84,7 @@ fn translated_unit_test_beats_stress_on_tombstone_bug() {
         workload: WorkloadSource::TranslatedUnit("testCachedPreparedStatements".into()),
         ..base
     };
-    let outcome = run_case(&ds_upgrade::kvstore::KvStoreSystem, &translated);
+    let outcome = translated.run(&ds_upgrade::kvstore::KvStoreSystem);
     assert!(
         tombstone_in(&outcome),
         "translated unit test must trigger it: {outcome:?}"
@@ -102,7 +102,7 @@ fn unit_state_handoff_exposes_removed_strategy() {
         workload: WorkloadSource::UnitStateHandoff("testUpdateKeyspace".into()),
         seed: 1,
     };
-    match run_case(&ds_upgrade::kvstore::KvStoreSystem, &case) {
+    match case.run(&ds_upgrade::kvstore::KvStoreSystem) {
         CaseOutcome::Fail(obs) => {
             assert!(obs
                 .iter()
@@ -123,8 +123,8 @@ fn full_case_runs_are_deterministic() {
         workload: WorkloadSource::Stress,
         seed: 9,
     };
-    let a = run_case(&ds_upgrade::kvstore::KvStoreSystem, &case);
-    let b = run_case(&ds_upgrade::kvstore::KvStoreSystem, &case);
+    let a = case.run(&ds_upgrade::kvstore::KvStoreSystem);
+    let b = case.run(&ds_upgrade::kvstore::KvStoreSystem);
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
 
@@ -132,7 +132,7 @@ fn full_case_runs_are_deterministic() {
 /// reproduces with at most 3 nodes (the cluster sizes the SUTs declare).
 #[test]
 fn mini_systems_respect_the_three_node_bound() {
-    use ds_upgrade::core::SystemUnderTest;
+    use ds_upgrade::prelude::SystemUnderTest;
     assert!(ds_upgrade::kvstore::KvStoreSystem.cluster_size() <= 3);
     assert!(ds_upgrade::dfs::DfsSystem.cluster_size() <= 3);
     assert!(ds_upgrade::mq::MqSystem.cluster_size() <= 3);
