@@ -15,7 +15,7 @@
 use crate::campaign::matrix::{CaseMatrix, SeedGroup};
 use crate::campaign::observer::{CampaignObserver, MetricsObserver};
 use crate::campaign::report::{dedup_key, CampaignReport, CaseStatus, FailureReport};
-use crate::harness::{CaseOutcome, TestCase};
+use crate::harness::{CaseDigest, CaseOutcome, TestCase};
 use crate::scenario::Scenario;
 use dup_core::{SystemUnderTest, VersionId};
 use std::collections::BTreeMap;
@@ -63,6 +63,7 @@ impl Default for CampaignConfig {
 #[derive(Debug, Clone)]
 struct CaseRecord {
     outcome: Option<CaseOutcome>,
+    digest: CaseDigest,
 }
 
 /// Fans callbacks out to the engine's internal metrics collector plus the
@@ -297,11 +298,14 @@ fn run_group(
         fan.case_start(index, case);
         if prune_rest {
             fan.case_done(index, case, CaseStatus::Pruned, Duration::ZERO);
-            out.push(CaseRecord { outcome: None });
+            out.push(CaseRecord {
+                outcome: None,
+                digest: CaseDigest::default(),
+            });
             continue;
         }
         let t0 = Instant::now();
-        let outcome = case.run(sut);
+        let (outcome, digest) = case.run_with_digest(sut);
         let wall = t0.elapsed();
         let status = match &outcome {
             CaseOutcome::Pass => CaseStatus::Passed,
@@ -320,6 +324,7 @@ fn run_group(
         fan.case_done(index, case, status, wall);
         out.push(CaseRecord {
             outcome: Some(outcome),
+            digest,
         });
     }
     out
@@ -347,6 +352,11 @@ fn aggregate(
             continue;
         };
         report.cases_run += 1;
+        // Per-case digests are deterministic in the seed, so these sums are
+        // independent of worker thread count — the determinism-digest tests
+        // key on exactly that.
+        report.sim_events_processed += record.digest.events_processed;
+        report.sim_messages_delivered += record.digest.messages_delivered;
         match outcome {
             CaseOutcome::Pass => report.cases_passed += 1,
             CaseOutcome::InvalidWorkload(_) => report.cases_invalid += 1,
@@ -419,6 +429,7 @@ mod tests {
     fn fail(observations: Vec<Observation>) -> CaseRecord {
         CaseRecord {
             outcome: Some(CaseOutcome::Fail(observations)),
+            digest: CaseDigest::default(),
         }
     }
 
@@ -459,7 +470,13 @@ mod tests {
     #[test]
     fn aggregation_counts_pruned_separately() {
         let matrix = CaseMatrix::from_cases(vec![case(1), case(2)]);
-        let records = vec![fail(vec![crash("boom")]), CaseRecord { outcome: None }];
+        let records = vec![
+            fail(vec![crash("boom")]),
+            CaseRecord {
+                outcome: None,
+                digest: CaseDigest::default(),
+            },
+        ];
         let metrics = MetricsObserver::new();
         let fan = FanOut {
             metrics: &metrics,

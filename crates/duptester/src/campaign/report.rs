@@ -270,6 +270,13 @@ pub struct CampaignReport {
     pub cases_invalid: usize,
     /// Seeds skipped by dedup-aware pruning.
     pub cases_pruned: usize,
+    /// Total simulator events processed across executed cases. Deterministic
+    /// in the configuration (each case's digest is deterministic in its
+    /// seed), so identical across thread counts.
+    pub sim_events_processed: u64,
+    /// Total simulated messages delivered across executed cases; same
+    /// determinism guarantee as [`CampaignReport::sim_events_processed`].
+    pub sim_messages_delivered: u64,
     /// Execution metrics for this run.
     pub metrics: CampaignMetrics,
 }
@@ -311,6 +318,10 @@ impl CampaignReport {
             self.cases_invalid,
             self.cases_pruned
         ));
+        out.push_str(&format!(
+            "   sim totals: {} events, {} messages delivered\n",
+            self.sim_events_processed, self.sim_messages_delivered
+        ));
         out.push_str(&self.metrics.render_summary());
         out
     }
@@ -329,10 +340,13 @@ mod tests {
             cases_passed: 9,
             cases_invalid: 1,
             cases_pruned: 0,
+            sim_events_processed: 1234,
+            sim_messages_delivered: 567,
             metrics: CampaignMetrics::default(),
         };
         let table = report.render_table();
         assert!(table.contains("0 distinct failures / 10 cases"));
+        assert!(table.contains("sim totals: 1234 events, 567 messages delivered"));
     }
 
     #[test]

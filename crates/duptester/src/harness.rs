@@ -28,8 +28,29 @@ impl TestCase {
     /// fresh seeded simulator, drives the workload through the scenario,
     /// and hands the evidence to the oracle.
     pub fn run(&self, sut: &dyn SystemUnderTest) -> CaseOutcome {
+        execute_case(sut, self).0
+    }
+
+    /// Like [`TestCase::run`], but also returns the case's determinism
+    /// digest — the simulator's global counters at the end of the run.
+    pub fn run_with_digest(&self, sut: &dyn SystemUnderTest) -> (CaseOutcome, CaseDigest) {
         execute_case(sut, self)
     }
+}
+
+/// Determinism digest of one executed case: the simulator's global event and
+/// message counters when the case finished.
+///
+/// A case is fully deterministic in its seed, so re-running it — on any
+/// campaign thread, in any order — must reproduce the digest exactly. The
+/// campaign layer sums digests per case index, which makes campaign totals
+/// independent of the worker thread count; a mismatch is a determinism bug.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseDigest {
+    /// Total simulator events processed by the case.
+    pub events_processed: u64,
+    /// Total messages delivered inside the case's simulation.
+    pub messages_delivered: u64,
 }
 
 /// The outcome of one test case.
@@ -64,11 +85,20 @@ const OP_TIMEOUT: SimDuration = SimDuration::from_secs(3);
 /// Runs one test case against `sut`.
 #[deprecated(since = "0.2.0", note = "use `TestCase::run(&sut)` instead")]
 pub fn run_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
-    execute_case(sut, case)
+    execute_case(sut, case).0
 }
 
-fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
+fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> (CaseOutcome, CaseDigest) {
     let mut sim = Sim::new(case.seed);
+    let outcome = execute_case_in(&mut sim, sut, case);
+    let digest = CaseDigest {
+        events_processed: sim.events_processed(),
+        messages_delivered: sim.messages_delivered(),
+    };
+    (outcome, digest)
+}
+
+fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
     let n = sut.cluster_size();
     let mut config = sut.default_config();
 
@@ -151,7 +181,7 @@ fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
     let msgs_at_first_op = sim.messages_delivered();
 
     let mut ops: Vec<OpResult> = Vec::new();
-    run_ops(&mut sim, &before_ops, false, false, &mut ops);
+    run_ops(sim, &before_ops, false, false, &mut ops);
     sim.run_for(SETTLE);
 
     // If the *old* version already fails under this workload/config, the
@@ -164,7 +194,7 @@ fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
     }
 
     // ----- the upgrade itself -------------------------------------------
-    let log_mark = sim.logs().len();
+    let log_mark = sim.logs().mark();
     let upgrade_started = sim.now();
     let msgs_before_window = sim.messages_delivered();
 
@@ -185,7 +215,7 @@ fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
                 }
             }
             sim.run_for(SETTLE);
-            run_ops(&mut sim, &during_ops, true, false, &mut ops);
+            run_ops(sim, &during_ops, true, false, &mut ops);
         }
         Scenario::Rolling => {
             // Split the during-workload across the rolling steps: half of
@@ -197,7 +227,7 @@ fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
             for i in 0..n {
                 let _ = sim.stop_node(i);
                 sim.run_for(ROLLING_DOWNTIME);
-                run_ops(&mut sim, &chunks[2 * i as usize], true, false, &mut ops);
+                run_ops(sim, &chunks[2 * i as usize], true, false, &mut ops);
                 let mut setup = NodeSetup::new(i, n);
                 setup.config = config.clone();
                 if sim
@@ -207,7 +237,7 @@ fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
                     let _ = sim.start_node(i);
                 }
                 sim.run_for(SETTLE);
-                run_ops(&mut sim, &chunks[2 * i as usize + 1], true, false, &mut ops);
+                run_ops(sim, &chunks[2 * i as usize + 1], true, false, &mut ops);
             }
         }
         Scenario::NewNodeJoin => {
@@ -221,14 +251,14 @@ fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
             );
             let _ = sim.start_node(id);
             sim.run_for(SETTLE);
-            run_ops(&mut sim, &during_ops, true, false, &mut ops);
+            run_ops(sim, &during_ops, true, false, &mut ops);
             let probe = vec![ClientOp::new(joined, "HEALTH")];
-            run_ops(&mut sim, &probe, true, false, &mut ops);
+            run_ops(sim, &probe, true, false, &mut ops);
         }
     }
 
     sim.run_for(QUIESCE);
-    run_ops(&mut sim, &after_ops, true, true, &mut ops);
+    run_ops(sim, &after_ops, true, true, &mut ops);
     sim.run_for(SETTLE);
 
     // Message-rate comparison: project the baseline-window rate (first op
@@ -239,7 +269,7 @@ fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
     let baseline_len = upgrade_started.since(first_op_time).as_millis();
     let baseline_msgs = project_baseline(baseline_window_msgs, baseline_len, window_len);
 
-    let observations = oracle::evaluate(&sim, log_mark, baseline_msgs, window_msgs, &ops);
+    let observations = oracle::evaluate(sim, log_mark, baseline_msgs, window_msgs, &ops);
     if observations.is_empty() {
         CaseOutcome::Pass
     } else {

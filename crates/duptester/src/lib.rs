@@ -49,7 +49,7 @@ pub use crate::campaign::{
 };
 #[allow(deprecated)]
 pub use crate::harness::run_case;
-pub use crate::harness::{CaseOutcome, TestCase};
+pub use crate::harness::{CaseDigest, CaseOutcome, TestCase};
 pub use crate::oracle::{evaluate, Observation, OpResult};
 pub use crate::scenario::{Scenario, WorkloadSource};
 pub use crate::translator::{translate, Translation};

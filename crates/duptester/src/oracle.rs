@@ -5,7 +5,7 @@
 //! storms (the CASSANDRA-13441 class, which crashes nothing) and for
 //! unresponsive nodes after the upgrade.
 
-use dup_simnet::{LogLevel, NodeStatus, Sim};
+use dup_simnet::{LogLevel, LogMark, NodeStatus, Sim};
 use std::fmt;
 
 /// One piece of evidence that the upgrade failed.
@@ -207,12 +207,12 @@ const STORM_FACTOR: u64 = 10;
 
 /// Evaluates everything the harness recorded and returns the observations.
 ///
-/// `log_mark` is the log index at upgrade start; `baseline_msgs` and
+/// `log_mark` is a [`LogMark`] taken at upgrade start; `baseline_msgs` and
 /// `window_msgs` are message counts for equal-length windows before and
 /// after that point. `harness_killed` nodes are excluded from crash checks.
 pub fn evaluate(
     sim: &Sim,
-    log_mark: usize,
+    log_mark: LogMark,
     baseline_msgs: u64,
     window_msgs: u64,
     ops: &[OpResult],
@@ -231,9 +231,16 @@ pub fn evaluate(
     }
     // Group error records by digit-stripped prefix so every *distinct*
     // failure pattern surfaces as its own observation (a run often has a
-    // cascade: the root error plus its knock-on effects).
+    // cascade: the root error plus its knock-on effects). The per-level
+    // count snapshot in the mark makes the common no-errors case O(1):
+    // no scan at all unless something at ERROR+ was appended since.
     let mut groups: Vec<(String, usize, String)> = Vec::new();
-    for r in sim.logs().records().iter().skip(log_mark) {
+    let scan: &[_] = if sim.logs().has_at_or_above_since(LogLevel::Error, log_mark) {
+        sim.logs().records_since(log_mark)
+    } else {
+        &[]
+    };
+    for r in scan {
         if r.level < LogLevel::Error {
             continue;
         }

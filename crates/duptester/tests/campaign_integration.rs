@@ -234,6 +234,48 @@ fn parallel_report_is_byte_identical_to_sequential() {
     }
 }
 
+/// Determinism digest: the campaign's summed simulator counters — total
+/// events processed and messages delivered across every executed case — are
+/// a pure function of the configuration. A full kvstore campaign must
+/// produce the same digest (and the same rendered report, which embeds it)
+/// at 1 and 4 worker threads; a drift here means some case's simulation is
+/// no longer deterministic in its seed.
+#[test]
+fn campaign_determinism_digest_is_thread_count_independent() {
+    let run = |threads: usize| {
+        Campaign::builder(&dup_kvstore::KvStoreSystem)
+            .seeds([1])
+            .threads(threads)
+            .run()
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert!(seq.sim_events_processed > 0, "campaign simulated nothing");
+    assert!(seq.sim_messages_delivered > 0);
+    assert_eq!(seq.sim_events_processed, par.sim_events_processed);
+    assert_eq!(seq.sim_messages_delivered, par.sim_messages_delivered);
+    assert_eq!(seq.render_table(), par.render_table());
+}
+
+/// A single case's digest is reproducible run to run and visible through
+/// `run_with_digest`.
+#[test]
+fn case_digest_is_reproducible() {
+    let case = TestCase {
+        from: v("2.1.0"),
+        to: v("3.0.0"),
+        scenario: Scenario::Rolling,
+        workload: WorkloadSource::Stress,
+        seed: 7,
+    };
+    let (out1, d1) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
+    let (out2, d2) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
+    assert_eq!(d1, d2);
+    assert!(d1.events_processed > 0);
+    assert_eq!(format!("{out1:?}"), format!("{out2:?}"));
+    assert_eq!(out1, case.run(&dup_kvstore::KvStoreSystem));
+}
+
 #[derive(Default)]
 struct CountingObserver {
     started: AtomicUsize,

@@ -60,11 +60,11 @@ mod sim;
 mod storage;
 mod time;
 
-pub use crate::log::{LogBuffer, LogLevel, LogRecord};
+pub use crate::log::{LogBuffer, LogLevel, LogMark, LogRecord};
 pub use crate::net::Network;
 pub use crate::node::{NodeMetrics, NodeStatus};
 pub use crate::process::{Ctx, Endpoint, Fatal, NodeId, Process, StepResult};
 pub use crate::rng::SimRng;
 pub use crate::sim::{ClientHandle, Sim, SimError};
-pub use crate::storage::{HostStorage, StorageMap};
+pub use crate::storage::{HostId, HostStorage, StorageMap};
 pub use crate::time::{SimDuration, SimTime};

@@ -23,6 +23,16 @@ pub enum LogLevel {
     Fatal,
 }
 
+impl LogLevel {
+    /// Number of levels (size of per-level count tables).
+    pub const COUNT: usize = 5;
+
+    /// The level as a dense index (`Debug == 0` … `Fatal == 4`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl fmt::Display for LogLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -64,10 +74,35 @@ impl fmt::Display for LogRecord {
     }
 }
 
+/// A cursor into a [`LogBuffer`]: the buffer length and per-level counts at
+/// the moment the mark was taken.
+///
+/// The buffer is append-only, so a mark stays valid forever and lets
+/// consumers (the failure oracle, harness phases) scan only the records
+/// appended since — and answer "any ERROR since the mark?" in O(1) by
+/// differencing the count snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogMark {
+    index: usize,
+    counts: [usize; LogLevel::COUNT],
+}
+
+impl LogMark {
+    /// The record index this mark points at (== buffer length at mark time).
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
 /// An append-only, time-ordered buffer of log records.
+///
+/// Per-level counts are maintained on push, so level queries
+/// ([`LogBuffer::has_at_or_above`], [`LogBuffer::count_at_or_above`]) are
+/// O(1) instead of a scan — they run inside oracle checks on every case.
 #[derive(Debug, Default)]
 pub struct LogBuffer {
     records: Vec<LogRecord>,
+    level_counts: [usize; LogLevel::COUNT],
 }
 
 impl LogBuffer {
@@ -78,6 +113,7 @@ impl LogBuffer {
 
     /// Appends a record.
     pub fn push(&mut self, record: LogRecord) {
+        self.level_counts[record.level.index()] += 1;
         self.records.push(record);
     }
 
@@ -108,9 +144,42 @@ impl LogBuffer {
             .filter(move |r| r.message.contains(needle))
     }
 
-    /// Returns `true` if any record at `level` or above exists.
+    /// Number of records at `level` or above. O(1).
+    pub fn count_at_or_above(&self, level: LogLevel) -> usize {
+        self.level_counts[level.index()..].iter().sum()
+    }
+
+    /// Returns `true` if any record at `level` or above exists. O(1).
     pub fn has_at_or_above(&self, level: LogLevel) -> bool {
-        self.at_or_above(level).next().is_some()
+        self.count_at_or_above(level) > 0
+    }
+
+    /// Takes a mark at the current buffer position.
+    pub fn mark(&self) -> LogMark {
+        LogMark {
+            index: self.records.len(),
+            counts: self.level_counts,
+        }
+    }
+
+    /// The records appended since `mark` was taken.
+    pub fn records_since(&self, mark: LogMark) -> &[LogRecord] {
+        &self.records[mark.index..]
+    }
+
+    /// Number of records at `level` or above appended since `mark`. O(1).
+    pub fn count_at_or_above_since(&self, level: LogLevel, mark: LogMark) -> usize {
+        self.level_counts[level.index()..]
+            .iter()
+            .zip(&mark.counts[level.index()..])
+            .map(|(now, then)| now - then)
+            .sum()
+    }
+
+    /// Returns `true` if any record at `level` or above was appended since
+    /// `mark`. O(1).
+    pub fn has_at_or_above_since(&self, level: LogLevel, mark: LogMark) -> bool {
+        self.count_at_or_above_since(level, mark) > 0
     }
 
     /// Returns records emitted at or after `since`.
@@ -180,5 +249,50 @@ mod tests {
         assert!(buf.is_empty());
         assert_eq!(buf.len(), 0);
         assert!(!buf.has_at_or_above(LogLevel::Debug));
+    }
+
+    #[test]
+    fn level_counts_match_scans() {
+        let mut buf = LogBuffer::new();
+        buf.push(rec(LogLevel::Debug, "d", 0));
+        buf.push(rec(LogLevel::Info, "i", 1));
+        buf.push(rec(LogLevel::Error, "e1", 2));
+        buf.push(rec(LogLevel::Error, "e2", 3));
+        buf.push(rec(LogLevel::Fatal, "f", 4));
+        for level in [
+            LogLevel::Debug,
+            LogLevel::Info,
+            LogLevel::Warn,
+            LogLevel::Error,
+            LogLevel::Fatal,
+        ] {
+            assert_eq!(
+                buf.count_at_or_above(level),
+                buf.at_or_above(level).count(),
+                "{level}"
+            );
+        }
+    }
+
+    #[test]
+    fn marks_see_only_appended_records() {
+        let mut buf = LogBuffer::new();
+        buf.push(rec(LogLevel::Error, "before", 0));
+        let mark = buf.mark();
+        assert_eq!(mark.index(), 1);
+        assert!(buf.records_since(mark).is_empty());
+        assert!(!buf.has_at_or_above_since(LogLevel::Error, mark));
+
+        buf.push(rec(LogLevel::Info, "after-1", 1));
+        buf.push(rec(LogLevel::Fatal, "after-2", 2));
+        let since: Vec<&str> = buf
+            .records_since(mark)
+            .iter()
+            .map(|r| r.message.as_str())
+            .collect();
+        assert_eq!(since, vec!["after-1", "after-2"]);
+        assert_eq!(buf.count_at_or_above_since(LogLevel::Error, mark), 1);
+        assert!(buf.has_at_or_above_since(LogLevel::Fatal, mark));
+        assert!(!buf.has_at_or_above_since(LogLevel::Error, buf.mark()));
     }
 }

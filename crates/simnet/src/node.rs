@@ -7,6 +7,7 @@
 
 use crate::process::Process;
 use crate::rng::SimRng;
+use crate::storage::HostId;
 use std::fmt;
 
 /// Lifecycle state of a node slot.
@@ -57,8 +58,12 @@ pub struct NodeMetrics {
 }
 
 /// One container slot in the simulated cluster.
+///
+/// The slot stores the *interned* host id, not the host name: the event
+/// loop reaches storage by `Vec` index, and the name is recoverable from the
+/// [`crate::StorageMap`] at the API edge.
 pub(crate) struct NodeSlot {
-    pub host: String,
+    pub host: HostId,
     pub version_label: String,
     pub process: Option<Box<dyn Process>>,
     pub status: NodeStatus,

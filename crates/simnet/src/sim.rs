@@ -10,11 +10,11 @@ use crate::net::Network;
 use crate::node::{NodeMetrics, NodeSlot, NodeStatus};
 use crate::process::{Ctx, Effect, Endpoint, NodeId, Process};
 use crate::rng::SimRng;
-use crate::storage::{HostStorage, StorageMap};
+use crate::storage::{HostId, HostStorage, StorageMap};
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -112,10 +112,16 @@ pub struct Sim {
     pub net: Network,
     logs: LogBuffer,
     net_rng: SimRng,
-    client_inbox: BTreeMap<u64, Vec<Bytes>>,
-    next_client: u64,
+    /// Client inboxes, a slab indexed by client id: [`Sim::client_send`]
+    /// assigns ids densely, so the id *is* the index. `VecDeque` makes
+    /// [`Sim::poll_response`] a pointer bump instead of a `Vec::remove(0)`
+    /// shift, and the slab spares [`Sim::rpc`] a tree lookup per poll.
+    client_inbox: Vec<VecDeque<Bytes>>,
     events_processed: u64,
     messages_delivered: u64,
+    /// Scratch buffer for the per-dispatch effect queue, recycled across
+    /// dispatches so steady-state dispatch performs no heap allocation.
+    effects_pool: Vec<Effect>,
 }
 
 impl Sim {
@@ -132,10 +138,10 @@ impl Sim {
             net: Network::new(),
             logs: LogBuffer::new(),
             net_rng: root.split(u64::MAX),
-            client_inbox: BTreeMap::new(),
-            next_client: 0,
+            client_inbox: Vec::new(),
             events_processed: 0,
             messages_delivered: 0,
+            effects_pool: Vec::new(),
         }
     }
 
@@ -182,8 +188,9 @@ impl Sim {
         process: Box<dyn Process>,
     ) -> NodeId {
         let id = self.nodes.len() as NodeId;
+        let host = self.storage.intern(host);
         self.nodes.push(NodeSlot {
-            host: host.to_string(),
+            host,
             version_label: version_label.to_string(),
             process: Some(process),
             status: NodeStatus::Idle,
@@ -278,10 +285,7 @@ impl Sim {
     /// Gracefully stops `node`: its `on_shutdown` hook runs, then the process
     /// is discarded. Persistent storage survives.
     pub fn stop_node(&mut self, node: NodeId) -> Result<(), SimError> {
-        let status = self.node_status(node);
-        if self.slot_mut(node)?.process.is_none() && status != NodeStatus::Running {
-            // Nothing to do for already-dead slots.
-        }
+        let status = self.slot_mut(node)?.status;
         match status {
             NodeStatus::Running => {
                 self.dispatch(node, DispatchKind::Shutdown);
@@ -336,13 +340,32 @@ impl Sim {
         Ok(())
     }
 
+    /// Interns `host` (the same id [`Sim::add_node`] would assign) for use
+    /// with the id-addressed storage API.
+    pub fn host_id(&mut self, host: &str) -> HostId {
+        self.storage.intern(host)
+    }
+
+    /// Direct access to a host's persistent storage by interned id. O(1).
+    pub fn host_storage_by_id(&mut self, host: HostId) -> &mut HostStorage {
+        self.storage.by_id_mut(host)
+    }
+
+    /// Read-only access to a host's persistent storage by interned id, or
+    /// `None` if nothing was ever stored there.
+    pub fn host_storage_by_id_ref(&self, host: HostId) -> Option<&HostStorage> {
+        self.storage.by_id(host)
+    }
+
     /// Direct access to a host's persistent storage (for workload setup and
-    /// post-mortem inspection).
+    /// post-mortem inspection). Thin string-keyed wrapper over
+    /// [`Sim::host_storage_by_id`].
     pub fn host_storage(&mut self, host: &str) -> &mut HostStorage {
         self.storage.host_mut(host)
     }
 
-    /// Read-only access to a host's persistent storage.
+    /// Read-only access to a host's persistent storage. Thin string-keyed
+    /// wrapper over [`Sim::host_storage_by_id_ref`].
     pub fn host_storage_ref(&self, host: &str) -> Option<&HostStorage> {
         self.storage.host(host)
     }
@@ -351,8 +374,13 @@ impl Sim {
     pub fn node_host(&self, node: NodeId) -> &str {
         self.nodes
             .get(node as usize)
-            .map(|s| s.host.as_str())
+            .map(|s| self.storage.name(s.host))
             .unwrap_or("")
+    }
+
+    /// The interned host id of `node`.
+    pub fn node_host_id(&self, node: NodeId) -> Option<HostId> {
+        self.nodes.get(node as usize).map(|s| s.host)
     }
 
     // ----- client traffic ---------------------------------------------------
@@ -360,9 +388,8 @@ impl Sim {
     /// Sends `payload` to `to` on behalf of a fresh external client; responses
     /// the node sends back are collected under the returned handle.
     pub fn client_send(&mut self, to: NodeId, payload: Bytes) -> ClientHandle {
-        let id = self.next_client;
-        self.next_client += 1;
-        self.client_inbox.insert(id, Vec::new());
+        let id = self.client_inbox.len() as u64;
+        self.client_inbox.push(VecDeque::new());
         let from = Endpoint::Client(id);
         let latency = self
             .net
@@ -381,12 +408,7 @@ impl Sim {
 
     /// Pops the next response received for `handle`, if any.
     pub fn poll_response(&mut self, handle: ClientHandle) -> Option<Bytes> {
-        let inbox = self.client_inbox.get_mut(&handle.0)?;
-        if inbox.is_empty() {
-            None
-        } else {
-            Some(inbox.remove(0))
-        }
+        self.client_inbox.get_mut(handle.0 as usize)?.pop_front()
     }
 
     /// Sends a request and runs the simulation until a response arrives or
@@ -440,7 +462,12 @@ impl Sim {
                 }
                 Endpoint::Client(c) => {
                     self.messages_delivered += 1;
-                    self.client_inbox.entry(c).or_default().push(payload);
+                    // A reply to a client id the harness never issued has no
+                    // reader; drop it (it still counts as delivered above,
+                    // exactly as the old map-backed inbox counted it).
+                    if let Some(inbox) = self.client_inbox.get_mut(c as usize) {
+                        inbox.push_back(payload);
+                    }
                 }
             },
             EventKind::Timer {
@@ -514,13 +541,18 @@ impl Sim {
         let Some(mut process) = slot.process.take() else {
             return;
         };
-        let host = slot.host.clone();
+        let host: HostId = slot.host;
         let generation = slot.generation;
         let mut rng = std::mem::replace(&mut slot.rng, SimRng::new(0));
 
-        let mut effects: Vec<Effect> = Vec::new();
+        // Recycle the effect scratch buffer: after warm-up its capacity
+        // covers any handler's burst, so steady-state dispatch performs no
+        // heap allocation. (Dispatch never nests — effects are applied after
+        // the handler returns — so one pooled buffer suffices.)
+        let mut effects: Vec<Effect> = std::mem::take(&mut self.effects_pool);
+        debug_assert!(effects.is_empty());
         let result = {
-            let storage = self.storage.host_mut(&host);
+            let storage = self.storage.by_id_mut(host);
             let mut ctx = Ctx {
                 now: self.now,
                 node,
@@ -549,7 +581,7 @@ impl Sim {
 
         let mut stop_requested = false;
         let mut sent = 0u64;
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, payload } => {
                     sent += 1;
@@ -579,6 +611,7 @@ impl Sim {
                 Effect::StopSelf => stop_requested = true,
             }
         }
+        self.effects_pool = effects;
         let slot = &mut self.nodes[node as usize];
         slot.metrics.messages_sent += sent;
 
@@ -871,6 +904,87 @@ mod tests {
         sim.start_node(b).unwrap();
         let err = sim.run_until_idle(1000).unwrap_err();
         assert!(matches!(err, SimError::Runaway { events: 1000 }));
+    }
+
+    #[test]
+    fn rpc_response_at_exact_deadline_is_returned() {
+        // Regression: a response whose Deliver event lands exactly on the
+        // rpc deadline must be drained and returned, not dropped. With
+        // jitter zeroed, latencies are exact: request delivery at +1 ms,
+        // response delivery at +2 ms — so a 2 ms timeout is the edge.
+        let mut sim = Sim::new(5);
+        sim.net.jitter = SimDuration::ZERO;
+        let n = sim.add_node("h0", "v1", Box::new(Echo));
+        sim.start_node(n).unwrap();
+        sim.run_for(SimDuration::from_millis(10));
+        let resp = sim.rpc(n, Bytes::from_static(b"edge"), SimDuration::from_millis(2));
+        assert_eq!(resp.as_deref(), Some(&b"edge"[..]));
+        // One millisecond less and the deadline cuts the response off.
+        let resp = sim.rpc(n, Bytes::from_static(b"late"), SimDuration::from_millis(1));
+        assert!(resp.is_none());
+        // The timed-out response is still in the inbox afterwards, not lost:
+        // it can be drained once simulated time catches up.
+        sim.run_for(SimDuration::from_millis(5));
+        assert!(sim.node_status(n).is_running());
+    }
+
+    #[test]
+    fn client_inboxes_are_fifo_and_per_handle() {
+        /// Replies twice to every message: payload then "again".
+        struct DoubleEcho;
+        impl Process for DoubleEcho {
+            fn on_start(&mut self, _: &mut Ctx<'_>) -> StepResult {
+                Ok(())
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, p: &[u8]) -> StepResult {
+                ctx.send(from, Bytes::copy_from_slice(p));
+                ctx.send(from, Bytes::from_static(b"again"));
+                Ok(())
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) -> StepResult {
+                Ok(())
+            }
+        }
+        let mut sim = Sim::new(2);
+        let n = sim.add_node("h", "v", Box::new(DoubleEcho));
+        sim.start_node(n).unwrap();
+        sim.run_for(SimDuration::from_millis(5));
+        let h1 = sim.client_send(n, Bytes::from_static(b"one"));
+        let h2 = sim.client_send(n, Bytes::from_static(b"two"));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.poll_response(h1).as_deref(), Some(&b"one"[..]));
+        assert_eq!(sim.poll_response(h1).as_deref(), Some(&b"again"[..]));
+        assert!(sim.poll_response(h1).is_none());
+        assert_eq!(sim.poll_response(h2).as_deref(), Some(&b"two"[..]));
+        assert_eq!(sim.poll_response(h2).as_deref(), Some(&b"again"[..]));
+        assert!(sim.poll_response(h2).is_none());
+    }
+
+    #[test]
+    fn node_host_roundtrips_through_interning() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("alpha", "v1", Box::new(Echo));
+        let b = sim.add_node("beta", "v1", Box::new(Echo));
+        // Same host, second node: same interned id.
+        let a2 = sim.add_node("alpha", "v2", Box::new(Echo));
+        assert_eq!(sim.node_host(a), "alpha");
+        assert_eq!(sim.node_host(b), "beta");
+        assert_eq!(sim.node_host_id(a), sim.node_host_id(a2));
+        assert_ne!(sim.node_host_id(a), sim.node_host_id(b));
+        assert_eq!(sim.node_host_id(99), None);
+        assert_eq!(sim.node_host(99), "");
+        // The id-addressed storage API reaches the same bytes as the
+        // string-keyed wrapper.
+        let id = sim.host_id("alpha");
+        sim.host_storage_by_id(id).write("f", b"x".to_vec());
+        assert_eq!(
+            sim.host_storage_ref("alpha").unwrap().read("f"),
+            Some(&b"x"[..])
+        );
+        assert_eq!(
+            sim.host_storage_by_id_ref(id).unwrap().read("f"),
+            Some(&b"x"[..])
+        );
     }
 
     #[test]

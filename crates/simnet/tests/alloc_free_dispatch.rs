@@ -1,0 +1,107 @@
+//! Asserts the tentpole property of the hot path: once the simulator is
+//! warm, dispatching events performs **zero heap allocations**.
+//!
+//! The lib crate `#![forbid(unsafe_code)]`, so the counting `GlobalAlloc`
+//! (which must be `unsafe impl`) lives here, in an integration test — a
+//! separate crate where the forbid does not apply. This file deliberately
+//! contains exactly ONE `#[test]`: the allocation counter is process-global,
+//! and a second test running on a parallel test thread would pollute it.
+
+use dup_simnet::{Ctx, Endpoint, Process, Sim, SimDuration, StepResult};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator. Deallocations are free to happen (returning pooled buffers
+/// never deallocates anyway); the steady-state claim is about *acquiring*
+/// memory.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Replies to every message, forever. The payload is built once at
+/// construction and cloned per send: `Bytes` is a refcounted handle, so the
+/// clone never touches the allocator.
+struct Pinger {
+    peer: u32,
+    payload: bytes::Bytes,
+}
+
+impl Pinger {
+    fn new(peer: u32) -> Self {
+        Pinger {
+            peer,
+            payload: bytes::Bytes::from_static(b"ping"),
+        }
+    }
+}
+
+impl Process for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+        ctx.send(Endpoint::Node(self.peer), self.payload.clone());
+        Ok(())
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, _p: &[u8]) -> StepResult {
+        ctx.send(from, self.payload.clone());
+        Ok(())
+    }
+    fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) -> StepResult {
+        Ok(())
+    }
+}
+
+#[test]
+fn steady_state_dispatch_allocates_nothing() {
+    let mut sim = Sim::new(42);
+    let a = sim.add_node("alloc-a", "v", Box::new(Pinger::new(1)));
+    let b = sim.add_node("alloc-b", "v", Box::new(Pinger::new(0)));
+    sim.start_node(a).expect("starts");
+    sim.start_node(b).expect("starts");
+
+    // Warm-up: grows the event queue, the pooled effect buffer, and the
+    // per-host storage slots to their steady-state capacities.
+    sim.run_for(SimDuration::from_secs(2));
+    let warm_events = sim.events_processed();
+    assert!(
+        warm_events > 100,
+        "warm-up barely ran: {warm_events} events"
+    );
+
+    // Steady state: two nodes ping-ponging static payloads. Every event is
+    // a Deliver -> dispatch -> Effect::Send -> schedule cycle; none of it
+    // may touch the allocator.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    sim.run_for(SimDuration::from_secs(10));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    let steady_events = sim.events_processed() - warm_events;
+    assert!(
+        steady_events > 1_000,
+        "steady-state window barely ran: {steady_events} events"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state dispatch allocated {} times over {steady_events} events",
+        after - before
+    );
+    assert!(sim.node_status(a).is_running());
+    assert!(sim.node_status(b).is_running());
+}

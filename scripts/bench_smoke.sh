@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Smoke-run the simulator criterion benchmarks and emit BENCH_simnet.json
+# at the repo root: the parsed per-benchmark numbers from this run, plus the
+# recorded pre/post numbers of the allocation-free hot-path PR for context.
+#
+# Non-gating: CI runs this in a separate job and uploads the JSON as an
+# artifact; a slow container never fails the build. Locally:
+#
+#   ./scripts/bench_smoke.sh
+#
+# The parser accepts both output shapes:
+#   - real criterion:  "simnet/name ... time: [low mid high]"
+#   - the offline smoke harness: "  name: 1.234ms/iter (50 iters)"
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_simnet.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+# Criterion's default run already keeps these benches to smoke-test length
+# (sample_size is pinned down in the bench file); no extra flags needed.
+cargo bench -p dup-bench --bench perf_simnet 2>&1 | tee "$RAW"
+
+python3 - "$RAW" "$OUT" <<'PYEOF'
+import json
+import re
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+text = open(raw_path, encoding="utf-8", errors="replace").read()
+
+UNITS = {"ns": 1.0, "us": 1e3, "µs": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value: str, unit: str) -> float:
+    return float(value) * UNITS[unit]
+
+
+results = {}
+
+# Offline smoke harness: "  name: 1.234ms/iter (50 iters)"
+for m in re.finditer(
+    r"^\s+([\w/]+):\s+([\d.]+)(ns|us|µs|ms|s)/iter \((\d+) iters\)",
+    text,
+    re.M,
+):
+    name, value, unit, iters = m.groups()
+    results[name] = {"mean_ns": round(to_ns(value, unit), 1), "iters": int(iters)}
+
+# Real criterion: "simnet/name\n ... time:   [1.10 ms 1.15 ms 1.21 ms]"
+for m in re.finditer(
+    r"^([\w/ -]+?)\s*\n\s+time:\s+\[([\d.]+) (\w+) ([\d.]+) (\w+) ([\d.]+) (\w+)\]",
+    text,
+    re.M,
+):
+    name = m.group(1).strip().split("/")[-1]
+    results[name] = {
+        "low_ns": round(to_ns(m.group(2), m.group(3)), 1),
+        "mean_ns": round(to_ns(m.group(4), m.group(5)), 1),
+        "high_ns": round(to_ns(m.group(6), m.group(7)), 1),
+    }
+
+if not results:
+    sys.exit("bench_smoke: no benchmark results parsed from criterion output")
+
+report = {
+    "schema": "bench-smoke-v1",
+    "benchmark": "perf_simnet",
+    "generated_by": "scripts/bench_smoke.sh",
+    "results": results,
+    # Recorded numbers for the allocation-free hot-path change (8 runs each
+    # on the same machine, release profile): HostId-interned storage, pooled
+    # effect buffers, slab client inboxes, O(1) log-level counts.
+    "hot_path_pr": {
+        "ping_pong_10k_messages": {
+            "before": {"min_ns": 1594071, "mean_ns": 2065239, "runs": 8},
+            "after": {"min_ns": 1123287, "mean_ns": 1272455, "runs": 8},
+            "improvement_min_pct": 29.5,
+            "improvement_mean_pct": 38.4,
+        },
+        "dispatch_single_message": {"after": {"mean_ns": 140, "runs": 8}},
+        "timer_message_storm": {"after": {"mean_ns": 1809324, "runs": 8}},
+    },
+}
+
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump(report, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"bench_smoke: wrote {out_path} with {len(results)} result(s)")
+PYEOF
