@@ -138,6 +138,34 @@ fn bench_simnet(c: &mut Criterion) {
         })
     });
 
+    // The same storm with a heavy fault plan active: measures the fate-draw
+    // overhead on the delivery hot path (a few RNG draws per routed
+    // message) plus the duplicate/delay re-scheduling it causes.
+    group.bench_function("faulty_ping_pong", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(2);
+            let n = 8u32;
+            for i in 0..n {
+                let id = sim.add_node(
+                    &format!("faulty-{i}"),
+                    "v",
+                    Box::new(StormNode {
+                        peers: n,
+                        me: i,
+                        ticks: 1000,
+                    }),
+                );
+                sim.start_node(id).expect("starts");
+            }
+            sim.install_fault_plan(
+                dup_tester::fault_plan_for(dup_tester::FaultIntensity::Heavy, 2, n)
+                    .expect("heavy plan exists"),
+            );
+            sim.run_for(SimDuration::from_secs(60));
+            (sim.events_processed(), sim.faults_injected())
+        })
+    });
+
     group.sample_size(10);
     group.bench_function("duptester_case_kvstore_fullstop", |b| {
         let case = TestCase {
@@ -146,6 +174,7 @@ fn bench_simnet(c: &mut Criterion) {
             scenario: Scenario::FullStop,
             workload: WorkloadSource::Stress,
             seed: 1,
+            faults: Default::default(),
         };
         b.iter(|| case.run(&dup_kvstore::KvStoreSystem))
     });
@@ -156,6 +185,7 @@ fn bench_simnet(c: &mut Criterion) {
             scenario: Scenario::Rolling,
             workload: WorkloadSource::Stress,
             seed: 1,
+            faults: Default::default(),
         };
         b.iter(|| case.run(&dup_dfs::DfsSystem))
     });

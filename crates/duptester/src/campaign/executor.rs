@@ -15,6 +15,7 @@
 use crate::campaign::matrix::{CaseMatrix, SeedGroup};
 use crate::campaign::observer::{CampaignObserver, MetricsObserver};
 use crate::campaign::report::{dedup_key, CampaignReport, CaseStatus, FailureReport};
+use crate::faults::FaultIntensity;
 use crate::harness::{CaseDigest, CaseOutcome, TestCase};
 use crate::scenario::Scenario;
 use dup_core::{SystemUnderTest, VersionId};
@@ -35,6 +36,10 @@ pub struct CampaignConfig {
     pub scenarios: Vec<Scenario>,
     /// Include unit-test-derived workloads.
     pub use_unit_tests: bool,
+    /// Fault intensities to sweep per (pair, scenario, workload)
+    /// combination. Defaults to `[FaultIntensity::Off]` — the pre-fault-axis
+    /// matrix exactly.
+    pub fault_intensities: Vec<FaultIntensity>,
     /// Worker threads; `0` means one per available CPU.
     pub threads: usize,
     /// Dedup-aware seed pruning: once a failure signature has reproduced
@@ -51,6 +56,7 @@ impl Default for CampaignConfig {
             include_gap_two: false,
             scenarios: Scenario::ALL.to_vec(),
             use_unit_tests: true,
+            fault_intensities: vec![FaultIntensity::Off],
             threads: 0,
             prune_after: None,
         }
@@ -131,6 +137,14 @@ impl<'a> CampaignBuilder<'a> {
     /// Include unit-test-derived workloads.
     pub fn unit_tests(mut self, include: bool) -> Self {
         self.config.use_unit_tests = include;
+        self
+    }
+
+    /// Fault intensities to sweep. Each case derives its concrete plan from
+    /// its intensity, seed, and cluster size — so failure repro strings stay
+    /// self-contained.
+    pub fn faults(mut self, intensities: impl IntoIterator<Item = FaultIntensity>) -> Self {
+        self.config.fault_intensities = intensities.into_iter().collect();
         self
     }
 
@@ -357,6 +371,7 @@ fn aggregate(
         // key on exactly that.
         report.sim_events_processed += record.digest.events_processed;
         report.sim_messages_delivered += record.digest.messages_delivered;
+        report.sim_faults_injected += record.digest.faults_injected;
         match outcome {
             CaseOutcome::Pass => report.cases_passed += 1,
             CaseOutcome::InvalidWorkload(_) => report.cases_invalid += 1,
@@ -379,6 +394,7 @@ fn aggregate(
                         scenario: case.scenario,
                         workload: case.workload.clone(),
                         seed: case.seed,
+                        faults: case.faults,
                         signature,
                         cause,
                         observations: observations.clone(),
@@ -423,6 +439,7 @@ mod tests {
             scenario: Scenario::FullStop,
             workload: WorkloadSource::Stress,
             seed,
+            faults: FaultIntensity::Off,
         }
     }
 
@@ -439,6 +456,7 @@ mod tests {
         assert_eq!(c.scenarios.len(), 3);
         assert!(!c.seeds.is_empty());
         assert!(c.use_unit_tests);
+        assert_eq!(c.fault_intensities, vec![FaultIntensity::Off]);
         assert_eq!(c.threads, 0);
         assert!(c.prune_after.is_none());
     }

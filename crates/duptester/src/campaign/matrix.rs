@@ -10,6 +10,10 @@ use crate::harness::TestCase;
 use crate::scenario::WorkloadSource;
 use dup_core::{upgrade_pairs, SystemUnderTest};
 
+// The enumeration order is pairs → scenarios → workloads → fault
+// intensities → seeds; seeds stay innermost so each (…, intensity)
+// combination still forms one contiguous `SeedGroup`.
+
 /// A contiguous run of case indices that differ only in seed — one
 /// (version pair, scenario, workload) combination swept across every
 /// configured seed.
@@ -41,7 +45,8 @@ pub struct CaseMatrix {
 
 impl CaseMatrix {
     /// Enumerates every case for `sut` under `config`, in the canonical
-    /// order: version pairs, then scenarios, then workloads, then seeds.
+    /// order: version pairs, then scenarios, then workloads, then fault
+    /// intensities, then seeds.
     pub fn enumerate(sut: &dyn SystemUnderTest, config: &CampaignConfig) -> CaseMatrix {
         let versions = sut.versions();
         let pairs = upgrade_pairs(&versions, config.include_gap_two);
@@ -58,20 +63,23 @@ impl CaseMatrix {
         for (from, to) in pairs {
             for scenario in &config.scenarios {
                 for workload in &workloads {
-                    let start = matrix.cases.len();
-                    for &seed in &config.seeds {
-                        matrix.cases.push(TestCase {
-                            from,
-                            to,
-                            scenario: *scenario,
-                            workload: workload.clone(),
-                            seed,
+                    for &faults in &config.fault_intensities {
+                        let start = matrix.cases.len();
+                        for &seed in &config.seeds {
+                            matrix.cases.push(TestCase {
+                                from,
+                                to,
+                                scenario: *scenario,
+                                workload: workload.clone(),
+                                seed,
+                                faults,
+                            });
+                        }
+                        matrix.groups.push(SeedGroup {
+                            start,
+                            len: matrix.cases.len() - start,
                         });
                     }
-                    matrix.groups.push(SeedGroup {
-                        start,
-                        len: matrix.cases.len() - start,
-                    });
                 }
             }
         }
@@ -90,6 +98,7 @@ impl CaseMatrix {
                     && prev.to == case.to
                     && prev.scenario == case.scenario
                     && prev.workload == case.workload
+                    && prev.faults == case.faults
             });
             match (groups.last_mut(), extends) {
                 (Some(g), Some(true)) => g.len += 1,
@@ -137,6 +146,7 @@ mod tests {
             scenario,
             workload: WorkloadSource::Stress,
             seed,
+            faults: crate::faults::FaultIntensity::Off,
         }
     }
 

@@ -162,6 +162,7 @@ mod tests {
             scenario: Scenario::Rolling,
             workload: WorkloadSource::Stress,
             seed: 7,
+            faults: Default::default(),
         }
     }
 

@@ -1,6 +1,7 @@
 //! Campaign outputs: deduplicated failures, the Table-5-style report, and
 //! per-run execution metrics.
 
+use crate::faults::FaultIntensity;
 use crate::oracle::Observation;
 use crate::scenario::{Scenario, WorkloadSource};
 use dup_core::VersionId;
@@ -23,6 +24,9 @@ pub struct FailureReport {
     pub workload: WorkloadSource,
     /// Seed of the first exposing run.
     pub seed: u64,
+    /// Fault intensity of the first exposing run. Together with the seed
+    /// this pins the exact fault plan (a pure function of both).
+    pub faults: FaultIntensity,
     /// Dedup signature: the sorted, joined signatures of *all* observations
     /// of the first exposing case, so two failures only merge when their
     /// whole evidence sets collapse to the same signatures.
@@ -33,6 +37,23 @@ pub struct FailureReport {
     pub observations: Vec<Observation>,
     /// How many (scenario, workload, seed) combinations reproduced it.
     pub reproductions: usize,
+}
+
+impl FailureReport {
+    /// One-line repro string: everything needed to re-run the first
+    /// exposing case — version pair, scenario, workload, seed, and fault
+    /// intensity (the concrete fault plan is derived from intensity + seed,
+    /// so quoting the intensity pins the whole plan).
+    ///
+    /// ```text
+    /// repro: 1.0.0->2.0.0 scenario=rolling workload=stress seed=7 faults=heavy
+    /// ```
+    pub fn repro(&self) -> String {
+        format!(
+            "repro: {}->{} scenario={} workload={} seed={} faults={}",
+            self.from, self.to, self.scenario, self.workload, self.seed, self.faults
+        )
+    }
 }
 
 impl fmt::Display for FailureReport {
@@ -277,6 +298,9 @@ pub struct CampaignReport {
     /// Total simulated messages delivered across executed cases; same
     /// determinism guarantee as [`CampaignReport::sim_events_processed`].
     pub sim_messages_delivered: u64,
+    /// Total faults injected across executed cases (message perturbations
+    /// plus applied scheduled actions); same determinism guarantee.
+    pub sim_faults_injected: u64,
     /// Execution metrics for this run.
     pub metrics: CampaignMetrics,
 }
@@ -309,6 +333,7 @@ impl CampaignReport {
                 f.workload.to_string(),
                 f.cause
             ));
+            out.push_str(&format!("   {}\n", f.repro()));
         }
         out.push_str(&format!(
             "-- {} distinct failures / {} cases ({} passed, {} invalid workloads, {} pruned)\n",
@@ -319,8 +344,8 @@ impl CampaignReport {
             self.cases_pruned
         ));
         out.push_str(&format!(
-            "   sim totals: {} events, {} messages delivered\n",
-            self.sim_events_processed, self.sim_messages_delivered
+            "   sim totals: {} events, {} messages delivered, {} faults injected\n",
+            self.sim_events_processed, self.sim_messages_delivered, self.sim_faults_injected
         ));
         out.push_str(&self.metrics.render_summary());
         out
@@ -342,11 +367,35 @@ mod tests {
             cases_pruned: 0,
             sim_events_processed: 1234,
             sim_messages_delivered: 567,
+            sim_faults_injected: 89,
             metrics: CampaignMetrics::default(),
         };
         let table = report.render_table();
         assert!(table.contains("0 distinct failures / 10 cases"));
-        assert!(table.contains("sim totals: 1234 events, 567 messages delivered"));
+        assert!(
+            table.contains("sim totals: 1234 events, 567 messages delivered, 89 faults injected")
+        );
+    }
+
+    #[test]
+    fn repro_string_pins_the_case() {
+        let f = FailureReport {
+            system: "kvstore".into(),
+            from: "1.0.0".parse().unwrap(),
+            to: "2.0.0".parse().unwrap(),
+            scenario: Scenario::Rolling,
+            workload: WorkloadSource::Stress,
+            seed: 7,
+            faults: FaultIntensity::Heavy,
+            signature: String::new(),
+            cause: "Unclassified",
+            observations: vec![],
+            reproductions: 1,
+        };
+        assert_eq!(
+            f.repro(),
+            "repro: 1.0.0->2.0.0 scenario=rolling workload=stress seed=7 faults=heavy"
+        );
     }
 
     #[test]

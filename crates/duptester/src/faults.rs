@@ -1,0 +1,185 @@
+//! The fault-intensity axis of the campaign matrix.
+//!
+//! A [`FaultIntensity`] is the campaign-level knob; [`fault_plan_for`]
+//! expands it into a concrete [`FaultPlan`] as a *pure function* of
+//! `(intensity, seed, cluster size)`. That purity is the repro contract:
+//! a failure report only needs to quote the intensity and the seed for
+//! anyone to rebuild the exact plan — drops, partition windows, crash
+//! times and all — and replay the run byte-for-byte.
+
+use dup_simnet::{FaultKind, FaultPlan, SimDuration, SimRng, SimTime};
+use std::fmt;
+
+/// Stream id (under the case seed) for deriving a case's fault plan. Distinct
+/// from every node stream and the network stream, so turning faults on never
+/// perturbs the rest of the simulation's randomness.
+const PLAN_STREAM: u64 = 0xFA17;
+
+/// How much injected adversity a case runs under.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultIntensity {
+    /// No injected faults (the default; matches pre-fault-axis behaviour).
+    #[default]
+    Off,
+    /// Mild chaos: a few percent of messages perturbed, one partition
+    /// window, one crash-and-restart.
+    Light,
+    /// Heavy chaos: most perturbation probabilities doubled or more, two
+    /// partition windows, two crash-and-restarts.
+    Heavy,
+}
+
+impl FaultIntensity {
+    /// All intensities, mildest first.
+    pub const ALL: [FaultIntensity; 3] = [
+        FaultIntensity::Off,
+        FaultIntensity::Light,
+        FaultIntensity::Heavy,
+    ];
+}
+
+impl fmt::Display for FaultIntensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultIntensity::Off => "off",
+            FaultIntensity::Light => "light",
+            FaultIntensity::Heavy => "heavy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expands `(intensity, seed, nodes)` into a concrete [`FaultPlan`], or
+/// `None` for [`FaultIntensity::Off`] (or an empty cluster).
+///
+/// Deterministic: the same arguments always yield the same plan — same
+/// probabilities, same partition windows, same crash/restart times. Crash
+/// and partition targets are drawn from `0..nodes` (the booted cluster; a
+/// scenario's late joiner is never a target). Action times land inside the
+/// harness's workload-plus-quiesce span so the adversity overlaps the
+/// upgrade window, and every partition is healed and every crash restarted
+/// well before the post-upgrade verification ops.
+pub fn fault_plan_for(intensity: FaultIntensity, seed: u64, nodes: u32) -> Option<FaultPlan> {
+    if intensity == FaultIntensity::Off || nodes == 0 {
+        return None;
+    }
+    let mut rng = SimRng::new(seed).split(PLAN_STREAM);
+    let mut plan = FaultPlan::new(rng.next_u64());
+    let (partition_windows, crashes) = match intensity {
+        FaultIntensity::Off => unreachable!(),
+        FaultIntensity::Light => {
+            plan.drop_probability = 0.02;
+            plan.duplicate_probability = 0.02;
+            plan.delay_probability = 0.02;
+            plan.max_delay_spike = SimDuration::from_millis(200);
+            plan.reorder_probability = 0.05;
+            plan.max_reorder_shift = SimDuration::from_millis(20);
+            (1, 1)
+        }
+        FaultIntensity::Heavy => {
+            plan.drop_probability = 0.06;
+            plan.duplicate_probability = 0.05;
+            plan.delay_probability = 0.05;
+            plan.max_delay_spike = SimDuration::from_millis(800);
+            plan.reorder_probability = 0.10;
+            plan.max_reorder_shift = SimDuration::from_millis(40);
+            (2, 2)
+        }
+    };
+    for _ in 0..partition_windows {
+        if nodes < 2 {
+            break;
+        }
+        let a = rng.next_below(u64::from(nodes)) as u32;
+        let b_raw = rng.next_below(u64::from(nodes) - 1) as u32;
+        let b = if b_raw >= a { b_raw + 1 } else { b_raw };
+        let at = SimTime::from_millis(rng.next_range(3_000, 50_000));
+        let heal_after = SimDuration::from_millis(rng.next_range(2_000, 8_000));
+        plan = plan
+            .schedule(at, FaultKind::Partition(a, b))
+            .schedule(at + heal_after, FaultKind::Heal(a, b));
+    }
+    for _ in 0..crashes {
+        let victim = rng.next_below(u64::from(nodes)) as u32;
+        let at = SimTime::from_millis(rng.next_range(3_000, 50_000));
+        let back_after = SimDuration::from_millis(rng.next_range(1_000, 4_000));
+        plan = plan
+            .schedule(at, FaultKind::Crash(victim))
+            .schedule(at + back_after, FaultKind::Restart(victim));
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_means_no_plan() {
+        assert!(fault_plan_for(FaultIntensity::Off, 1, 3).is_none());
+        assert!(fault_plan_for(FaultIntensity::Heavy, 1, 0).is_none());
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_their_inputs() {
+        for intensity in [FaultIntensity::Light, FaultIntensity::Heavy] {
+            let a = fault_plan_for(intensity, 7, 3).unwrap();
+            let b = fault_plan_for(intensity, 7, 3).unwrap();
+            assert_eq!(a.seed(), b.seed());
+            assert_eq!(a.actions(), b.actions());
+            assert_eq!(a.describe(), b.describe());
+        }
+        let a = fault_plan_for(FaultIntensity::Heavy, 7, 3).unwrap();
+        let b = fault_plan_for(FaultIntensity::Heavy, 8, 3).unwrap();
+        assert_ne!(
+            (a.seed(), a.actions().to_vec()),
+            (b.seed(), b.actions().to_vec()),
+            "different seeds must yield different plans"
+        );
+    }
+
+    #[test]
+    fn heavy_outpaces_light() {
+        let light = fault_plan_for(FaultIntensity::Light, 3, 3).unwrap();
+        let heavy = fault_plan_for(FaultIntensity::Heavy, 3, 3).unwrap();
+        assert!(heavy.drop_probability > light.drop_probability);
+        assert!(heavy.actions().len() > light.actions().len());
+        assert!(!light.is_noop());
+    }
+
+    #[test]
+    fn targets_stay_inside_the_cluster_and_pairs_are_distinct() {
+        for seed in 0..50 {
+            let plan = fault_plan_for(FaultIntensity::Heavy, seed, 3).unwrap();
+            for action in plan.actions() {
+                match action.kind {
+                    FaultKind::Partition(a, b) | FaultKind::Heal(a, b) => {
+                        assert!(a < 3 && b < 3, "{:?}", action.kind);
+                        assert_ne!(a, b, "self-partition in {:?}", action.kind);
+                    }
+                    FaultKind::Crash(n) | FaultKind::Restart(n) => assert!(n < 3),
+                    FaultKind::HealAll => {}
+                }
+                assert!(action.at.as_millis() <= 58_000);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_gets_no_partitions() {
+        let plan = fault_plan_for(FaultIntensity::Heavy, 5, 1).unwrap();
+        assert!(plan
+            .actions()
+            .iter()
+            .all(|a| matches!(a.kind, FaultKind::Crash(0) | FaultKind::Restart(0))));
+    }
+
+    #[test]
+    fn intensity_labels() {
+        assert_eq!(FaultIntensity::Off.to_string(), "off");
+        assert_eq!(FaultIntensity::Light.to_string(), "light");
+        assert_eq!(FaultIntensity::Heavy.to_string(), "heavy");
+        assert_eq!(FaultIntensity::default(), FaultIntensity::Off);
+        assert_eq!(FaultIntensity::ALL.len(), 3);
+    }
+}

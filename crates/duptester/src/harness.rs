@@ -2,13 +2,15 @@
 //! simulator, drives the workload through one of the three upgrade
 //! scenarios, and hands the evidence to the oracle.
 
+use crate::faults::{fault_plan_for, FaultIntensity};
 use crate::oracle::{self, Observation, OpResult};
 use crate::scenario::{Scenario, WorkloadSource};
 use crate::translator::translate;
-use dup_core::{ClientOp, NodeSetup, SystemUnderTest, UnitTest, VersionId, WorkloadPhase};
-use dup_simnet::{Sim, SimDuration};
+use dup_core::{ClientOp, Config, NodeSetup, SystemUnderTest, UnitTest, VersionId, WorkloadPhase};
+use dup_simnet::{LogLevel, NodeId, Sim, SimDuration};
 
-/// One test case: a version pair, a scenario, a workload, a seed.
+/// One test case: a version pair, a scenario, a workload, a seed, and a
+/// fault intensity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TestCase {
     /// The version upgraded *from*.
@@ -21,6 +23,9 @@ pub struct TestCase {
     pub workload: WorkloadSource,
     /// Simulation seed (only matters for the ~11% timing-dependent bugs).
     pub seed: u64,
+    /// Injected-fault intensity; the concrete plan is a pure function of
+    /// `(faults, seed, cluster size)` via [`fault_plan_for`].
+    pub faults: FaultIntensity,
 }
 
 impl TestCase {
@@ -51,6 +56,8 @@ pub struct CaseDigest {
     pub events_processed: u64,
     /// Total messages delivered inside the case's simulation.
     pub messages_delivered: u64,
+    /// Total faults the case's plan injected (0 with faults off).
+    pub faults_injected: u64,
 }
 
 /// The outcome of one test case.
@@ -94,8 +101,111 @@ fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> (CaseOutcome, Cas
     let digest = CaseDigest {
         events_processed: sim.events_processed(),
         messages_delivered: sim.messages_delivered(),
+        faults_injected: sim.faults_injected(),
     };
     (outcome, digest)
+}
+
+/// Drives the simulation on the harness's behalf while a fault plan is
+/// active: between events it drains [`Sim::take_pending_restart`] and brings
+/// fault-crashed nodes back — re-spawning whatever version the node was on
+/// when the plan crashed it, with the same configuration. With no plan
+/// active it degrades to the plain `Sim` driving calls.
+struct FaultDriver<'a> {
+    sut: &'a dyn SystemUnderTest,
+    case: &'a TestCase,
+    config: &'a Config,
+    cluster: u32,
+    active: bool,
+}
+
+impl FaultDriver<'_> {
+    /// Restarts every fault-crashed node whose scheduled comeback is due.
+    fn pump(&self, sim: &mut Sim) {
+        while let Some(node) = sim.take_pending_restart() {
+            // Re-check: the harness may have upgraded (and restarted) the
+            // node itself since the restart was queued.
+            if !sim.is_fault_crashed(node) {
+                continue;
+            }
+            let version = if sim.node_version(node) == self.case.to.to_string() {
+                self.case.to
+            } else {
+                self.case.from
+            };
+            let size = if node >= self.cluster {
+                self.cluster + 1
+            } else {
+                self.cluster
+            };
+            let mut setup = NodeSetup::new(node, size);
+            setup.config = self.config.clone();
+            if sim
+                .install(node, &version.to_string(), self.sut.spawn(version, &setup))
+                .is_ok()
+            {
+                let _ = sim.start_node(node);
+            }
+        }
+    }
+
+    /// Pump-aware [`Sim::run_for`].
+    fn run_for(&self, sim: &mut Sim, duration: SimDuration) {
+        if !self.active {
+            sim.run_for(duration);
+            return;
+        }
+        let deadline = sim.now() + duration;
+        loop {
+            self.pump(sim);
+            match sim.peek_time() {
+                Some(t) if t <= deadline => {
+                    sim.step();
+                }
+                _ => break,
+            }
+        }
+        sim.run_until(deadline);
+        self.pump(sim);
+    }
+
+    /// Pump-aware [`Sim::rpc`].
+    fn rpc(
+        &self,
+        sim: &mut Sim,
+        to: NodeId,
+        payload: bytes::Bytes,
+        timeout: SimDuration,
+    ) -> Option<bytes::Bytes> {
+        if !self.active {
+            return sim.rpc(to, payload, timeout);
+        }
+        let handle = sim.client_send(to, payload);
+        let deadline = sim.now() + timeout;
+        loop {
+            if let Some(resp) = sim.poll_response(handle) {
+                return Some(resp);
+            }
+            self.pump(sim);
+            match sim.peek_time() {
+                Some(t) if t <= deadline => {
+                    sim.step();
+                }
+                _ => {
+                    sim.run_until(deadline);
+                    return sim.poll_response(handle);
+                }
+            }
+        }
+    }
+}
+
+/// `true` if some node is crashed for a *genuine* reason — i.e. not by the
+/// fault plan (whose crashes are injected, expected, and exempt).
+fn any_genuine_crash(sim: &Sim) -> bool {
+    sim.crashed_nodes()
+        .into_iter()
+        .any(|n| !sim.is_fault_crashed(n))
 }
 
 fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
@@ -164,11 +274,29 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
             return CaseOutcome::InvalidWorkload("node failed to start".to_string());
         }
     }
-    sim.run_for(SETTLE);
+
+    // Arm the fault plan right after boot, before the cluster settles, so
+    // the adversity spans the whole pre-upgrade/upgrade/quiesce timeline.
+    // The plan is a pure function of (intensity, seed, cluster size): the
+    // repro string in a failure report rebuilds it exactly.
+    if let Some(plan) = fault_plan_for(case.faults, case.seed, n) {
+        sim.log_sim(LogLevel::Info, format!("fault plan: {}", plan.describe()));
+        sim.install_fault_plan(plan);
+    }
+    let driver = FaultDriver {
+        sut,
+        case,
+        config: &config,
+        cluster: n,
+        active: case.faults != FaultIntensity::Off,
+    };
+
+    driver.run_for(sim, SETTLE);
     if let WorkloadSource::UnitStateHandoff(name) = &case.workload {
         // Validity check: the old version itself must be able to start from
-        // the unit test's persistent state (paper §6.1.2).
-        if !sim.crashed_nodes().is_empty() {
+        // the unit test's persistent state (paper §6.1.2). Fault-plan
+        // crashes are injected, not evidence of invalid state.
+        if any_genuine_crash(sim) {
             return CaseOutcome::InvalidWorkload(format!(
                 "state left by {name} does not boot the old version"
             ));
@@ -181,13 +309,13 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
     let msgs_at_first_op = sim.messages_delivered();
 
     let mut ops: Vec<OpResult> = Vec::new();
-    run_ops(sim, &before_ops, false, false, &mut ops);
-    sim.run_for(SETTLE);
+    run_ops(&driver, sim, &before_ops, false, false, &mut ops);
+    driver.run_for(sim, SETTLE);
 
     // If the *old* version already fails under this workload/config, the
     // case says nothing about upgrades (e.g. a config that breaks every
     // release from some point on, not just the upgraded one).
-    if !sim.crashed_nodes().is_empty() {
+    if any_genuine_crash(sim) {
         return CaseOutcome::InvalidWorkload(
             "workload or configuration crashes the old version too".to_string(),
         );
@@ -203,7 +331,7 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
             for i in (0..n).rev() {
                 let _ = sim.stop_node(i);
             }
-            sim.run_for(SimDuration::from_millis(200));
+            driver.run_for(sim, SimDuration::from_millis(200));
             for i in 0..n {
                 let mut setup = NodeSetup::new(i, n);
                 setup.config = config.clone();
@@ -214,8 +342,8 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
                     let _ = sim.start_node(i);
                 }
             }
-            sim.run_for(SETTLE);
-            run_ops(sim, &during_ops, true, false, &mut ops);
+            driver.run_for(sim, SETTLE);
+            run_ops(&driver, sim, &during_ops, true, false, &mut ops);
         }
         Scenario::Rolling => {
             // Split the during-workload across the rolling steps: half of
@@ -226,8 +354,8 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
             let chunks = chunk_ops(&during_ops, 2 * n as usize);
             for i in 0..n {
                 let _ = sim.stop_node(i);
-                sim.run_for(ROLLING_DOWNTIME);
-                run_ops(sim, &chunks[2 * i as usize], true, false, &mut ops);
+                driver.run_for(sim, ROLLING_DOWNTIME);
+                run_ops(&driver, sim, &chunks[2 * i as usize], true, false, &mut ops);
                 let mut setup = NodeSetup::new(i, n);
                 setup.config = config.clone();
                 if sim
@@ -236,8 +364,15 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
                 {
                     let _ = sim.start_node(i);
                 }
-                sim.run_for(SETTLE);
-                run_ops(sim, &chunks[2 * i as usize + 1], true, false, &mut ops);
+                driver.run_for(sim, SETTLE);
+                run_ops(
+                    &driver,
+                    sim,
+                    &chunks[2 * i as usize + 1],
+                    true,
+                    false,
+                    &mut ops,
+                );
             }
         }
         Scenario::NewNodeJoin => {
@@ -250,16 +385,16 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
                 sut.spawn(case.to, &setup),
             );
             let _ = sim.start_node(id);
-            sim.run_for(SETTLE);
-            run_ops(sim, &during_ops, true, false, &mut ops);
+            driver.run_for(sim, SETTLE);
+            run_ops(&driver, sim, &during_ops, true, false, &mut ops);
             let probe = vec![ClientOp::new(joined, "HEALTH")];
-            run_ops(sim, &probe, true, false, &mut ops);
+            run_ops(&driver, sim, &probe, true, false, &mut ops);
         }
     }
 
-    sim.run_for(QUIESCE);
-    run_ops(sim, &after_ops, true, true, &mut ops);
-    sim.run_for(SETTLE);
+    driver.run_for(sim, QUIESCE);
+    run_ops(&driver, sim, &after_ops, true, true, &mut ops);
+    driver.run_for(sim, SETTLE);
 
     // Message-rate comparison: project the baseline-window rate (first op
     // to upgrade start) onto the upgrade window's length.
@@ -302,6 +437,7 @@ fn chunk_ops(ops: &[ClientOp], chunks: usize) -> Vec<Vec<ClientOp>> {
 }
 
 fn run_ops(
+    driver: &FaultDriver<'_>,
     sim: &mut Sim,
     batch: &[ClientOp],
     after_upgrade_started: bool,
@@ -309,8 +445,13 @@ fn run_ops(
     out: &mut Vec<OpResult>,
 ) {
     for op in batch {
-        let response = sim
-            .rpc(op.node, op.command.clone().into_bytes().into(), OP_TIMEOUT)
+        let response = driver
+            .rpc(
+                sim,
+                op.node,
+                op.command.clone().into_bytes().into(),
+                OP_TIMEOUT,
+            )
             .map(|b| String::from_utf8_lossy(&b).into_owned());
         out.push(OpResult {
             command: op.command.clone(),

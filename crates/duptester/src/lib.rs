@@ -8,7 +8,11 @@
 //! - **workloads** ([`WorkloadSource`]): the system's stress operations,
 //!   unit tests *translated* into client commands ([`translate`], §6.1.3),
 //!   and unit tests executed in place whose persistent state the upgraded
-//!   cluster must boot from (§6.1.2).
+//!   cluster must boot from (§6.1.2);
+//! - **fault intensities** ([`FaultIntensity`]): deterministic injected
+//!   chaos — message drops/duplicates/delays/reorders, partition windows,
+//!   crash-then-restart — derived per case by [`fault_plan_for`], with the
+//!   oracle distinguishing injected chaos from genuine upgrade failures.
 //!
 //! The failure [`oracle`] keys on crashes, fatal/error logs, failed or
 //! unanswered client operations, and message storms — the observable
@@ -35,6 +39,7 @@
 
 pub mod campaign;
 pub mod catalog;
+mod faults;
 mod harness;
 mod oracle;
 mod scenario;
@@ -47,6 +52,7 @@ pub use crate::campaign::{
     CampaignReport, CaseMatrix, CaseStatus, FailureReport, MetricsObserver, NoopObserver,
     ProgressObserver, ScenarioCounts, SeedGroup,
 };
+pub use crate::faults::{fault_plan_for, FaultIntensity};
 #[allow(deprecated)]
 pub use crate::harness::run_case;
 pub use crate::harness::{CaseDigest, CaseOutcome, TestCase};

@@ -220,7 +220,10 @@ pub fn evaluate(
     let mut out = Vec::new();
     for node in sim.crashed_nodes() {
         let reason = sim.crash_reason(node).unwrap_or("unknown").to_string();
-        if reason == "killed by harness" {
+        if reason == "killed by harness" || reason == dup_simnet::FAULT_CRASH_REASON {
+            // Harness kills and fault-plan crashes are both injected by the
+            // tester itself; only crashes the system caused are upgrade
+            // failure evidence.
             continue;
         }
         out.push(Observation::NodeCrash {

@@ -78,6 +78,7 @@ fn cassandra_6678_race_reproduces_across_seeds() {
             scenario: Scenario::Rolling,
             workload: WorkloadSource::Stress,
             seed,
+            faults: Default::default(),
         };
         if let CaseOutcome::Fail(obs) = case.run(&dup_kvstore::KvStoreSystem) {
             if obs
@@ -149,6 +150,7 @@ fn full_stop_3_4_to_3_5_coord_is_clean_but_rolling_is_not() {
         scenario: Scenario::FullStop,
         workload: WorkloadSource::Stress,
         seed: 1,
+        faults: Default::default(),
     };
     assert!(
         !full_stop.run(&dup_coord::CoordSystem).is_failure(),
@@ -169,6 +171,7 @@ fn new_node_join_scenario_runs() {
         scenario: Scenario::NewNodeJoin,
         workload: WorkloadSource::Stress,
         seed: 1,
+        faults: Default::default(),
     };
     // The clean kvstore pair should also accept a new-version joiner.
     let outcome = case.run(&dup_kvstore::KvStoreSystem);
@@ -194,6 +197,7 @@ fn deprecated_entry_points_still_work() {
         scenario: Scenario::FullStop,
         workload: WorkloadSource::Stress,
         seed: 1,
+        faults: Default::default(),
     };
     #[allow(deprecated)]
     let outcome = dup_tester::run_case(&dup_kvstore::KvStoreSystem, &case);
@@ -267,6 +271,7 @@ fn case_digest_is_reproducible() {
         scenario: Scenario::Rolling,
         workload: WorkloadSource::Stress,
         seed: 7,
+        faults: Default::default(),
     };
     let (out1, d1) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
     let (out2, d2) = case.run_with_digest(&dup_kvstore::KvStoreSystem);

@@ -1,0 +1,170 @@
+//! Faulted campaigns: the fault-intensity axis end to end.
+//!
+//! Three contracts ride on this file:
+//!
+//! 1. **Determinism replay** — the same faulted campaign renders a
+//!    byte-identical report on 1 thread and on 4, and twice in a row; case
+//!    digests (including injected-fault counts) are reproducible.
+//! 2. **False-positive guard** — a *same-version* "upgrade" under heavy
+//!    faults must report zero upgrade failures in every scenario: the
+//!    oracle must not mistake injected chaos for the system's own bugs.
+//! 3. **Repro strings** — every failure a faulted campaign reports carries
+//!    a one-line repro string pinning pair, scenario, workload, seed, and
+//!    fault intensity (the concrete plan derives from the last two).
+
+use dup_core::VersionId;
+use dup_tester::{
+    fault_plan_for, Campaign, CaseMatrix, CaseOutcome, FaultIntensity, Scenario, TestCase,
+    WorkloadSource,
+};
+
+fn v(s: &str) -> VersionId {
+    s.parse().unwrap()
+}
+
+fn faulted_campaign(threads: usize) -> dup_tester::CampaignReport {
+    Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1])
+        .scenarios([Scenario::Rolling])
+        .unit_tests(false)
+        .faults([FaultIntensity::Off, FaultIntensity::Heavy])
+        .threads(threads)
+        .run()
+}
+
+#[test]
+fn faulted_campaign_report_is_thread_count_and_rerun_invariant() {
+    let seq = faulted_campaign(1);
+    let par = faulted_campaign(4);
+    let again = faulted_campaign(1);
+
+    assert!(
+        seq.sim_faults_injected > 0,
+        "heavy intensity must actually inject faults"
+    );
+    assert_eq!(seq.sim_events_processed, par.sim_events_processed);
+    assert_eq!(seq.sim_messages_delivered, par.sim_messages_delivered);
+    assert_eq!(seq.sim_faults_injected, par.sim_faults_injected);
+    assert_eq!(seq.render_table(), par.render_table());
+    assert_eq!(seq.render_table(), again.render_table());
+}
+
+#[test]
+fn case_digest_reproducible_under_faults() {
+    let case = TestCase {
+        from: v("2.1.0"),
+        to: v("3.0.0"),
+        scenario: Scenario::Rolling,
+        workload: WorkloadSource::Stress,
+        seed: 7,
+        faults: FaultIntensity::Heavy,
+    };
+    let (out1, d1) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
+    let (out2, d2) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
+    assert_eq!(d1, d2, "faulted case digest must be reproducible");
+    assert!(d1.faults_injected > 0, "heavy plan injected nothing");
+    assert_eq!(format!("{out1:?}"), format!("{out2:?}"));
+
+    let off = TestCase {
+        faults: FaultIntensity::Off,
+        ..case
+    };
+    let (_, d_off) = off.run_with_digest(&dup_kvstore::KvStoreSystem);
+    assert_eq!(d_off.faults_injected, 0, "faults off must inject nothing");
+}
+
+#[test]
+fn heavy_faults_on_same_version_pair_report_zero_upgrade_failures() {
+    // A system "upgraded" to its own version has no upgrade bugs by
+    // construction; anything the oracle reports under heavy chaos is the
+    // fault injection bleeding through — exactly what it must not do.
+    for scenario in Scenario::ALL {
+        for seed in [1, 2, 3] {
+            let case = TestCase {
+                from: v("2.1.0"),
+                to: v("2.1.0"),
+                scenario,
+                workload: WorkloadSource::Stress,
+                seed,
+                faults: FaultIntensity::Heavy,
+            };
+            let outcome = case.run(&dup_kvstore::KvStoreSystem);
+            assert!(
+                !outcome.is_failure(),
+                "injected chaos misread as an upgrade failure \
+                 (scenario {scenario}, seed {seed}): {outcome:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_failures_carry_repro_strings() {
+    // 1.1.0 -> 1.2.0 rolling is the seeded CASSANDRA-4195 gossip bug; it
+    // must still be found with faults on, and the report must say how to
+    // replay it.
+    let report = Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1])
+        .scenarios([Scenario::Rolling])
+        .unit_tests(false)
+        .faults([FaultIntensity::Light])
+        .run();
+    let failures = report.failures_on(v("1.1.0"), v("1.2.0"));
+    assert!(!failures.is_empty(), "seeded bug lost under light faults");
+    for f in &report.failures {
+        let repro = f.repro();
+        assert!(repro.contains(&format!("{}->{}", f.from, f.to)), "{repro}");
+        assert!(
+            repro.contains(&format!("scenario={}", f.scenario)),
+            "{repro}"
+        );
+        assert!(repro.contains(&format!("seed={}", f.seed)), "{repro}");
+        assert!(repro.contains("faults=light"), "{repro}");
+        assert!(
+            report.render_table().contains(&repro),
+            "table lacks {repro}"
+        );
+    }
+}
+
+#[test]
+fn fault_axis_multiplies_the_matrix_with_seeds_innermost() {
+    let mut config = dup_tester::CampaignConfig {
+        seeds: vec![1, 2],
+        scenarios: vec![Scenario::FullStop],
+        use_unit_tests: false,
+        ..Default::default()
+    };
+    let base = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
+    config.fault_intensities = FaultIntensity::ALL.to_vec();
+    let swept = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
+    assert_eq!(swept.len(), base.len() * FaultIntensity::ALL.len());
+    // Every seed group holds one intensity across all seeds, and every
+    // intensity shows up.
+    let mut seen = std::collections::BTreeSet::new();
+    for g in swept.groups() {
+        let cases = &swept.cases()[g.indices()];
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].faults, cases[1].faults);
+        assert_eq!((cases[0].seed, cases[1].seed), (1, 2));
+        seen.insert(cases[0].faults);
+    }
+    assert_eq!(seen.len(), 3);
+}
+
+#[test]
+fn plan_derivation_matches_what_cases_record() {
+    // The repro contract: the plan a failing case ran under is recomputable
+    // from its intensity + seed + cluster size alone.
+    let n = 3;
+    let a = fault_plan_for(FaultIntensity::Heavy, 42, n).unwrap();
+    let b = fault_plan_for(FaultIntensity::Heavy, 42, n).unwrap();
+    assert_eq!(a.describe(), b.describe());
+    assert_ne!(
+        a.describe(),
+        fault_plan_for(FaultIntensity::Light, 42, n)
+            .unwrap()
+            .describe(),
+        "intensities must differ"
+    );
+}

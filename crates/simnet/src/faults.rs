@@ -1,0 +1,310 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a pure value describing the adversity a simulation run
+//! should face: per-message probabilities (drop, duplicate, delay-spike,
+//! reorder) and a schedule of discrete actions (partition/heal link pairs,
+//! crash and later restart nodes) pinned to simulated times. The plan carries
+//! its own RNG seed, so **the same plan on the same [`crate::Sim`] seed
+//! replays byte-identically** — fault campaigns are as reproducible as clean
+//! runs, which is what lets a failure report quote the plan as part of a
+//! one-line repro string.
+//!
+//! Message fates are decided inside the simulator's allocation-free dispatch
+//! loop; steady-state injection performs no heap allocation (asserted by
+//! `tests/alloc_free_dispatch.rs`). Client traffic is never faulted, matching
+//! [`crate::Network`]'s rule that the harness plays a co-located test driver.
+//!
+//! Nodes crashed by the plan carry the crash reason [`FAULT_CRASH_REASON`],
+//! which failure oracles use to tell injected chaos from genuine failures.
+
+use crate::process::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Crash reason recorded on nodes crashed by an injected fault, so oracles
+/// can exempt them (like `"killed by harness"` for deliberate kills).
+pub const FAULT_CRASH_REASON: &str = "crashed by fault injection";
+
+/// Stream id under the plan seed for the per-message fate stream.
+const FATE_STREAM: u64 = 0xFA7E;
+
+/// One discrete fault action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Partition the link between two nodes (both directions).
+    Partition(NodeId, NodeId),
+    /// Heal the partition between two nodes.
+    Heal(NodeId, NodeId),
+    /// Heal every partition.
+    HealAll,
+    /// Crash a node (no shutdown hook), recording [`FAULT_CRASH_REASON`].
+    Crash(NodeId),
+    /// Restart a node previously crashed by [`FaultKind::Crash`]. The
+    /// simulator only queues the request ([`crate::Sim::take_pending_restart`]);
+    /// the harness decides which process version to install.
+    Restart(NodeId),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Partition(a, b) => write!(f, "part({a},{b})"),
+            FaultKind::Heal(a, b) => write!(f, "heal({a},{b})"),
+            FaultKind::HealAll => write!(f, "heal-all"),
+            FaultKind::Crash(n) => write!(f, "crash({n})"),
+            FaultKind::Restart(n) => write!(f, "restart({n})"),
+        }
+    }
+}
+
+/// A [`FaultKind`] pinned to a simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// When the action fires (clamped to "now" if already past at install).
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule for one simulation run.
+///
+/// Probabilities apply independently to every in-flight node-to-node message,
+/// first match wins: drop, else duplicate, else delay-spike, else reorder.
+/// Scheduled actions fire as ordinary simulator events at their pinned times.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability a message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability a message is delivered twice (the copy lands 1–25 ms
+    /// later).
+    pub duplicate_probability: f64,
+    /// Probability a message's latency is spiked by up to
+    /// [`FaultPlan::max_delay_spike`].
+    pub delay_probability: f64,
+    /// Upper bound of an injected latency spike.
+    pub max_delay_spike: SimDuration,
+    /// Probability a message is shifted by up to
+    /// [`FaultPlan::max_reorder_shift`] so it can land after later sends.
+    pub reorder_probability: f64,
+    /// Upper bound of an injected reorder shift.
+    pub max_reorder_shift: SimDuration,
+    actions: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no probabilities, no actions) seeded with
+    /// `seed` for its per-message fate stream.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            delay_probability: 0.0,
+            max_delay_spike: SimDuration::from_millis(500),
+            reorder_probability: 0.0,
+            max_reorder_shift: SimDuration::from_millis(25),
+            actions: Vec::new(),
+        }
+    }
+
+    /// The seed of the plan's fate stream.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Schedules `kind` at simulated time `at`; chains.
+    pub fn schedule(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.actions.push(ScheduledFault { at, kind });
+        self
+    }
+
+    /// The scheduled actions, in insertion order.
+    pub fn actions(&self) -> &[ScheduledFault] {
+        &self.actions
+    }
+
+    /// `true` if the plan can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.actions.is_empty()
+            && self.drop_probability <= 0.0
+            && self.duplicate_probability <= 0.0
+            && self.delay_probability <= 0.0
+            && self.reorder_probability <= 0.0
+    }
+
+    /// A compact one-line description, suitable for repro strings:
+    /// `fault-plan[seed=0x2a drop=2.0% dup=0.0% delay=5.0%/800ms
+    /// reorder=10.0%/40ms actions=3]`.
+    pub fn describe(&self) -> String {
+        format!(
+            "fault-plan[seed={:#x} drop={:.1}% dup={:.1}% delay={:.1}%/{} reorder={:.1}%/{} actions={}]",
+            self.seed,
+            self.drop_probability * 100.0,
+            self.duplicate_probability * 100.0,
+            self.delay_probability * 100.0,
+            self.max_delay_spike,
+            self.reorder_probability * 100.0,
+            self.max_reorder_shift,
+            self.actions.len(),
+        )
+    }
+}
+
+/// The fate of one in-flight node-to-node message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MessageFate {
+    /// Deliver normally.
+    Deliver,
+    /// Drop silently.
+    Drop,
+    /// Deliver normally, plus a second copy `extra` later.
+    Duplicate {
+        /// Offset of the duplicate copy from the original delivery.
+        extra: SimDuration,
+    },
+    /// Deliver `extra` later than the network latency alone.
+    Delay {
+        /// The injected extra latency (spike or reorder shift).
+        extra: SimDuration,
+    },
+}
+
+/// Live injection state inside [`crate::Sim`]: the plan plus its fate stream
+/// and a counter of injections performed.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    rng: SimRng,
+    pub(crate) injected: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = SimRng::new(plan.seed).split(FATE_STREAM);
+        FaultState {
+            plan,
+            rng,
+            injected: 0,
+        }
+    }
+
+    /// Decides the fate of one node-to-node message. First matching fault
+    /// wins; every non-`Deliver` fate counts as one injection. Draw order is
+    /// fixed (drop, duplicate, delay, reorder) so the stream is stable.
+    pub(crate) fn message_fate(&mut self) -> MessageFate {
+        if self.rng.chance(self.plan.drop_probability) {
+            self.injected += 1;
+            return MessageFate::Drop;
+        }
+        if self.rng.chance(self.plan.duplicate_probability) {
+            self.injected += 1;
+            let extra = SimDuration::from_millis(self.rng.next_range(1, 25));
+            return MessageFate::Duplicate { extra };
+        }
+        if self.rng.chance(self.plan.delay_probability) {
+            self.injected += 1;
+            let cap = self.plan.max_delay_spike.as_millis().max(1);
+            let extra = SimDuration::from_millis(self.rng.next_range(1, cap));
+            return MessageFate::Delay { extra };
+        }
+        if self.rng.chance(self.plan.reorder_probability) {
+            self.injected += 1;
+            let cap = self.plan.max_reorder_shift.as_millis().max(1);
+            let extra = SimDuration::from_millis(self.rng.next_range(1, cap));
+            return MessageFate::Delay { extra };
+        }
+        MessageFate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heavy_plan(seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        plan.drop_probability = 0.06;
+        plan.duplicate_probability = 0.05;
+        plan.delay_probability = 0.05;
+        plan.reorder_probability = 0.10;
+        plan.schedule(SimTime::from_millis(3000), FaultKind::Partition(0, 1))
+            .schedule(SimTime::from_millis(8000), FaultKind::Heal(0, 1))
+            .schedule(SimTime::from_millis(9000), FaultKind::Crash(2))
+            .schedule(SimTime::from_millis(12000), FaultKind::Restart(2))
+    }
+
+    #[test]
+    fn same_seed_same_fate_sequence() {
+        let mut a = FaultState::new(heavy_plan(7));
+        let mut b = FaultState::new(heavy_plan(7));
+        for _ in 0..10_000 {
+            assert_eq!(a.message_fate(), b.message_fate());
+        }
+        assert_eq!(a.injected, b.injected);
+        assert!(a.injected > 0, "heavy plan never injected in 10k draws");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultState::new(heavy_plan(1));
+        let mut b = FaultState::new(heavy_plan(2));
+        let same = (0..1000)
+            .filter(|_| a.message_fate() == b.message_fate())
+            .count();
+        assert!(same < 1000, "independent streams matched everywhere");
+    }
+
+    #[test]
+    fn noop_plan_always_delivers_and_counts_nothing() {
+        let mut state = FaultState::new(FaultPlan::new(9));
+        assert!(state.plan.is_noop());
+        for _ in 0..1000 {
+            assert_eq!(state.message_fate(), MessageFate::Deliver);
+        }
+        assert_eq!(state.injected, 0);
+    }
+
+    #[test]
+    fn actions_keep_insertion_order() {
+        let plan = heavy_plan(3);
+        assert!(!plan.is_noop());
+        let kinds: Vec<FaultKind> = plan.actions().iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FaultKind::Partition(0, 1),
+                FaultKind::Heal(0, 1),
+                FaultKind::Crash(2),
+                FaultKind::Restart(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn describe_is_stable_and_compact() {
+        let d = heavy_plan(42).describe();
+        assert_eq!(d, heavy_plan(42).describe());
+        assert!(d.contains("seed=0x2a"), "{d}");
+        assert!(d.contains("drop=6.0%"), "{d}");
+        assert!(d.contains("actions=4"), "{d}");
+        assert!(!d.contains('\n'));
+    }
+
+    #[test]
+    fn fate_extras_respect_caps() {
+        let mut plan = FaultPlan::new(5);
+        plan.delay_probability = 1.0;
+        plan.max_delay_spike = SimDuration::from_millis(100);
+        let mut state = FaultState::new(plan);
+        for _ in 0..500 {
+            match state.message_fate() {
+                MessageFate::Delay { extra } => {
+                    assert!((1..=100).contains(&extra.as_millis()), "{extra}")
+                }
+                other => panic!("expected Delay, got {other:?}"),
+            }
+        }
+    }
+}

@@ -13,6 +13,9 @@
 //!   ([`HostStorage`]), reproducing DUPTester's shared host directories;
 //! - a simple network model with latency jitter, message loss, and
 //!   partitions ([`Network`]);
+//! - deterministic fault injection — seeded per-message drop / duplicate /
+//!   delay-spike / reorder plus scheduled partitions and crash-then-restart
+//!   ([`FaultPlan`], [`Sim::install_fault_plan`]);
 //! - panic containment: a panicking process crashes *its node*, not the
 //!   simulation — the analog of a JVM dying inside its container;
 //! - captured, queryable logs ([`LogBuffer`]) for the failure oracle.
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod log;
 mod net;
 mod node;
@@ -60,6 +64,7 @@ mod sim;
 mod storage;
 mod time;
 
+pub use crate::faults::{FaultKind, FaultPlan, ScheduledFault, FAULT_CRASH_REASON};
 pub use crate::log::{LogBuffer, LogLevel, LogMark, LogRecord};
 pub use crate::net::Network;
 pub use crate::node::{NodeMetrics, NodeStatus};

@@ -10,7 +10,6 @@
 use crate::process::{Endpoint, NodeId};
 use crate::rng::SimRng;
 use crate::time::SimDuration;
-use std::collections::BTreeSet;
 
 /// Configuration and state of the simulated network.
 #[derive(Debug)]
@@ -21,7 +20,11 @@ pub struct Network {
     pub jitter: SimDuration,
     /// Probability that a node-to-node message is silently dropped.
     pub drop_probability: f64,
-    partitions: BTreeSet<(NodeId, NodeId)>,
+    /// Partitioned pairs, stored sorted-pair in a `Vec`: clusters hold a
+    /// handful of links at most, a linear scan beats a tree, and re-adding a
+    /// partition after a heal reuses capacity — fault plans can cycle
+    /// partitions in steady state without touching the allocator.
+    partitions: Vec<(NodeId, NodeId)>,
 }
 
 impl Default for Network {
@@ -30,7 +33,7 @@ impl Default for Network {
             base_latency: SimDuration::from_millis(1),
             jitter: SimDuration::from_millis(4),
             drop_probability: 0.0,
-            partitions: BTreeSet::new(),
+            partitions: Vec::new(),
         }
     }
 }
@@ -41,14 +44,20 @@ impl Network {
         Self::default()
     }
 
-    /// Partitions `a` from `b` (both directions).
+    /// Partitions `a` from `b` (both directions). Idempotent.
     pub fn partition(&mut self, a: NodeId, b: NodeId) {
-        self.partitions.insert(Self::key(a, b));
+        let key = Self::key(a, b);
+        if !self.partitions.contains(&key) {
+            self.partitions.push(key);
+        }
     }
 
     /// Heals the partition between `a` and `b`.
     pub fn heal(&mut self, a: NodeId, b: NodeId) {
-        self.partitions.remove(&Self::key(a, b));
+        let key = Self::key(a, b);
+        if let Some(i) = self.partitions.iter().position(|&p| p == key) {
+            self.partitions.swap_remove(i);
+        }
     }
 
     /// Heals all partitions.

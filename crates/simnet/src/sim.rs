@@ -5,6 +5,7 @@
 //! deterministic in the seed: events are ordered by `(time, sequence)` and all
 //! randomness is drawn from split streams of one root RNG.
 
+use crate::faults::{FaultKind, FaultPlan, FaultState, MessageFate, FAULT_CRASH_REASON};
 use crate::log::{LogBuffer, LogLevel, LogRecord};
 use crate::net::Network;
 use crate::node::{NodeMetrics, NodeSlot, NodeStatus};
@@ -75,6 +76,12 @@ enum EventKind {
         generation: u64,
         token: u64,
     },
+    /// A scheduled fault action: an index into the installed plan's actions,
+    /// tagged with the plan epoch so events from a replaced plan are inert.
+    Fault {
+        action: usize,
+        epoch: u64,
+    },
 }
 
 struct QueuedEvent {
@@ -122,6 +129,15 @@ pub struct Sim {
     /// Scratch buffer for the per-dispatch effect queue, recycled across
     /// dispatches so steady-state dispatch performs no heap allocation.
     effects_pool: Vec<Effect>,
+    /// Active fault-injection state, if a plan was installed.
+    faults: Option<FaultState>,
+    /// Incremented per [`Sim::install_fault_plan`]; stamps `Fault` events so
+    /// a replaced plan's leftover events do nothing.
+    fault_epoch: u64,
+    /// Nodes crashed by the plan whose scheduled restart has come due. The
+    /// harness drains this via [`Sim::take_pending_restart`] and decides what
+    /// process to install (the simulator cannot spawn processes itself).
+    pending_restarts: VecDeque<NodeId>,
 }
 
 impl Sim {
@@ -142,6 +158,9 @@ impl Sim {
             events_processed: 0,
             messages_delivered: 0,
             effects_pool: Vec::new(),
+            faults: None,
+            fault_epoch: 0,
+            pending_restarts: VecDeque::new(),
         }
     }
 
@@ -383,6 +402,92 @@ impl Sim {
         self.nodes.get(node as usize).map(|s| s.host)
     }
 
+    // ----- fault injection --------------------------------------------------
+
+    /// Installs a [`FaultPlan`]: schedules its actions as simulator events
+    /// (actions already in the past fire at the current time) and activates
+    /// its per-message fate stream. Replaces any previously installed plan;
+    /// the old plan's pending actions become inert.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_epoch += 1;
+        let epoch = self.fault_epoch;
+        for (action, fault) in plan.actions().iter().enumerate() {
+            let at = fault.at.max(self.now);
+            self.schedule(at, EventKind::Fault { action, epoch });
+        }
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Total faults injected so far: per-message fates (drops, duplicates,
+    /// delays, reorders) plus applied scheduled actions.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map(|f| f.injected).unwrap_or(0)
+    }
+
+    /// Pops the next node whose plan-scheduled restart is due. The caller
+    /// installs a process and starts the node; the simulator has no way to
+    /// spawn one.
+    pub fn take_pending_restart(&mut self) -> Option<NodeId> {
+        self.pending_restarts.pop_front()
+    }
+
+    /// `true` if `node` is crashed and the crash was injected by the fault
+    /// plan (as opposed to a genuine process failure).
+    pub fn is_fault_crashed(&self, node: NodeId) -> bool {
+        self.node_status(node) == NodeStatus::Crashed
+            && self.crash_reason(node) == Some(FAULT_CRASH_REASON)
+    }
+
+    /// Applies one scheduled fault action. Partition changes are silent (the
+    /// hot path must stay allocation-free); crash/restart actions log at
+    /// `Warn` — below the `Error` threshold failure oracles scan for.
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Partition(a, b) => self.net.partition(a, b),
+            FaultKind::Heal(a, b) => self.net.heal(a, b),
+            FaultKind::HealAll => self.net.heal_all(),
+            FaultKind::Crash(n) => {
+                let Some(slot) = self.nodes.get_mut(n as usize) else {
+                    return;
+                };
+                if !matches!(slot.status, NodeStatus::Running | NodeStatus::Starting) {
+                    return;
+                }
+                slot.status = NodeStatus::Crashed;
+                slot.crash_reason = Some(FAULT_CRASH_REASON.to_string());
+                slot.process = None;
+                self.logs.push(LogRecord {
+                    time: self.now,
+                    node: Some(n),
+                    generation: self.nodes[n as usize].generation,
+                    level: LogLevel::Warn,
+                    message: format!("fault injection: crashed node {n}"),
+                });
+            }
+            FaultKind::Restart(n) => {
+                if !self.is_fault_crashed(n) {
+                    return; // Never restart a genuinely crashed node.
+                }
+                self.pending_restarts.push_back(n);
+                self.logs.push(LogRecord {
+                    time: self.now,
+                    node: Some(n),
+                    generation: self.nodes[n as usize].generation,
+                    level: LogLevel::Warn,
+                    message: format!("fault injection: restart of node {n} due"),
+                });
+            }
+        }
+        if let Some(f) = self.faults.as_mut() {
+            f.injected += 1;
+        }
+    }
+
     // ----- client traffic ---------------------------------------------------
 
     /// Sends `payload` to `to` on behalf of a fresh external client; responses
@@ -479,6 +584,18 @@ impl Sim {
                 if slot.generation == generation && slot.status.is_running() {
                     slot.metrics.timers_fired += 1;
                     self.dispatch(node, DispatchKind::Timer { token });
+                }
+            }
+            EventKind::Fault { action, epoch } => {
+                if epoch == self.fault_epoch {
+                    let kind = self
+                        .faults
+                        .as_ref()
+                        .and_then(|f| f.plan.actions().get(action))
+                        .map(|a| a.kind);
+                    if let Some(kind) = kind {
+                        self.apply_fault(kind);
+                    }
                 }
             }
         }
@@ -588,14 +705,44 @@ impl Sim {
                     if let Some(latency) =
                         self.net.route(Endpoint::Node(node), to, &mut self.net_rng)
                     {
-                        self.schedule(
-                            self.now + latency,
-                            EventKind::Deliver {
-                                from: Endpoint::Node(node),
-                                to,
-                                payload,
-                            },
-                        );
+                        // Only node-to-node traffic is subject to injected
+                        // faults; replies to clients always go through, like
+                        // partition/loss exemption in `Network::route`.
+                        let fate = match (&mut self.faults, to) {
+                            (Some(f), Endpoint::Node(_)) => f.message_fate(),
+                            _ => MessageFate::Deliver,
+                        };
+                        let from = Endpoint::Node(node);
+                        match fate {
+                            MessageFate::Drop => {}
+                            MessageFate::Duplicate { extra } => {
+                                // `Bytes::clone` bumps a refcount; no copy.
+                                self.schedule(
+                                    self.now + latency + extra,
+                                    EventKind::Deliver {
+                                        from,
+                                        to,
+                                        payload: payload.clone(),
+                                    },
+                                );
+                                self.schedule(
+                                    self.now + latency,
+                                    EventKind::Deliver { from, to, payload },
+                                );
+                            }
+                            MessageFate::Delay { extra } => {
+                                self.schedule(
+                                    self.now + latency + extra,
+                                    EventKind::Deliver { from, to, payload },
+                                );
+                            }
+                            MessageFate::Deliver => {
+                                self.schedule(
+                                    self.now + latency,
+                                    EventKind::Deliver { from, to, payload },
+                                );
+                            }
+                        }
                     }
                 }
                 Effect::SetTimer { delay, token } => {
@@ -985,6 +1132,188 @@ mod tests {
             sim.host_storage_by_id_ref(id).unwrap().read("f"),
             Some(&b"x"[..])
         );
+    }
+
+    /// Ping-pongs with a peer forever, re-arming a keepalive timer so the
+    /// volley survives injected message drops.
+    struct KeepalivePinger(NodeId);
+    impl Process for KeepalivePinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+            ctx.send(Endpoint::Node(self.0), Bytes::from_static(b"p"));
+            ctx.set_timer(SimDuration::from_millis(50), 0);
+            Ok(())
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, _: &[u8]) -> StepResult {
+            ctx.send(from, Bytes::from_static(b"p"));
+            Ok(())
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) -> StepResult {
+            ctx.send(Endpoint::Node(self.0), Bytes::from_static(b"p"));
+            ctx.set_timer(SimDuration::from_millis(50), 0);
+            Ok(())
+        }
+    }
+
+    fn pinger_pair(seed: u64) -> (Sim, NodeId, NodeId) {
+        let mut sim = Sim::new(seed);
+        let a = sim.add_node("fa", "v", Box::new(KeepalivePinger(1)));
+        let b = sim.add_node("fb", "v", Box::new(KeepalivePinger(0)));
+        sim.start_node(a).unwrap();
+        sim.start_node(b).unwrap();
+        (sim, a, b)
+    }
+
+    #[test]
+    fn full_drop_plan_silences_node_traffic_but_not_clients() {
+        let (mut sim, a, _) = pinger_pair(11);
+        sim.run_for(SimDuration::from_secs(1));
+        let mut plan = FaultPlan::new(99);
+        plan.drop_probability = 1.0;
+        sim.install_fault_plan(plan);
+        // Messages already in flight at install time keep their fate; let
+        // them drain before measuring.
+        sim.run_for(SimDuration::from_millis(100));
+        let before = sim.messages_delivered();
+        sim.run_for(SimDuration::from_secs(2));
+        // Timers still fire and send, but every node-to-node message drops.
+        assert_eq!(sim.messages_delivered(), before);
+        assert!(sim.faults_injected() > 0);
+        // Client RPCs are exempt from injected faults end to end — but the
+        // Echo reply path here is a Pinger, which replies to the client too.
+        let resp = sim.rpc(a, Bytes::from_static(b"x"), SimDuration::from_secs(1));
+        assert!(resp.is_some(), "client traffic must never be faulted");
+    }
+
+    /// Sends to a peer on a timer and ignores incoming messages. The
+    /// duplicate test needs this: a node that *replies* to every delivery
+    /// would turn `duplicate_probability = 0.5` into a supercritical
+    /// branching process (1.5 expected deliveries, each spawning a reply)
+    /// and the run would never drain.
+    struct TickSender(NodeId);
+    impl Process for TickSender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+            ctx.set_timer(SimDuration::from_millis(20), 0);
+            Ok(())
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: Endpoint, _: &[u8]) -> StepResult {
+            Ok(())
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) -> StepResult {
+            ctx.send(Endpoint::Node(self.0), Bytes::from_static(b"p"));
+            ctx.set_timer(SimDuration::from_millis(20), 0);
+            Ok(())
+        }
+    }
+
+    fn ticker_pair(seed: u64) -> Sim {
+        let mut sim = Sim::new(seed);
+        let a = sim.add_node("fa", "v", Box::new(TickSender(1)));
+        let b = sim.add_node("fb", "v", Box::new(TickSender(0)));
+        sim.start_node(a).unwrap();
+        sim.start_node(b).unwrap();
+        sim
+    }
+
+    #[test]
+    fn duplicate_plan_inflates_deliveries_deterministically() {
+        let run = |seed: u64| {
+            let mut sim = ticker_pair(5);
+            let mut plan = FaultPlan::new(seed);
+            plan.duplicate_probability = 0.5;
+            sim.install_fault_plan(plan);
+            sim.run_for(SimDuration::from_secs(5));
+            (
+                sim.messages_delivered(),
+                sim.events_processed(),
+                sim.faults_injected(),
+            )
+        };
+        let baseline = {
+            let mut sim = ticker_pair(5);
+            sim.run_for(SimDuration::from_secs(5));
+            sim.messages_delivered()
+        };
+        let (delivered, _, injected) = run(77);
+        assert!(injected > 0);
+        assert!(
+            delivered > baseline,
+            "duplicates should inflate deliveries: {delivered} vs {baseline}"
+        );
+        assert_eq!(run(77), run(77), "same plan seed must replay identically");
+        assert_ne!(run(77).2, run(78).2, "different plan seeds should diverge");
+    }
+
+    #[test]
+    fn scheduled_crash_and_restart_round_trip() {
+        let (mut sim, a, b) = pinger_pair(2);
+        let plan = FaultPlan::new(1)
+            .schedule(SimTime::from_millis(500), FaultKind::Crash(a))
+            .schedule(SimTime::from_millis(1500), FaultKind::Restart(a));
+        sim.install_fault_plan(plan);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.node_status(a), NodeStatus::Crashed);
+        assert!(sim.is_fault_crashed(a));
+        assert!(!sim.is_fault_crashed(b));
+        assert_eq!(sim.crash_reason(a), Some(FAULT_CRASH_REASON));
+        assert!(sim.take_pending_restart().is_none(), "restart not due yet");
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.take_pending_restart(), Some(a));
+        assert_eq!(sim.take_pending_restart(), None);
+        // The harness re-installs and restarts; the slot works again.
+        sim.install(a, "v2", Box::new(KeepalivePinger(b))).unwrap();
+        sim.start_node(a).unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.node_status(a).is_running());
+        assert!(!sim.is_fault_crashed(a));
+    }
+
+    #[test]
+    fn restart_of_genuinely_crashed_node_is_refused() {
+        let mut sim = Sim::new(4);
+        let n = started_echo(&mut sim);
+        sim.rpc(n, Bytes::from_static(b"die"), SimDuration::from_secs(1));
+        assert_eq!(sim.node_status(n), NodeStatus::Crashed);
+        let plan = FaultPlan::new(1).schedule(SimTime::ZERO, FaultKind::Restart(n));
+        sim.install_fault_plan(plan);
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(
+            sim.take_pending_restart().is_none(),
+            "fault plan must not resurrect a genuine crash"
+        );
+        assert!(!sim.is_fault_crashed(n));
+    }
+
+    #[test]
+    fn scheduled_partition_blocks_and_heal_restores() {
+        let (mut sim, a, b) = pinger_pair(6);
+        let plan = FaultPlan::new(3)
+            .schedule(SimTime::from_millis(1000), FaultKind::Partition(a, b))
+            .schedule(SimTime::from_millis(3000), FaultKind::HealAll);
+        sim.install_fault_plan(plan);
+        sim.run_for(SimDuration::from_millis(1500));
+        assert!(sim.net.is_partitioned(a, b));
+        let during = sim.messages_delivered();
+        sim.run_for(SimDuration::from_millis(1000));
+        // Keepalive sends continue but nothing crosses the cut.
+        assert_eq!(sim.messages_delivered(), during);
+        sim.run_for(SimDuration::from_secs(2));
+        assert!(!sim.net.is_partitioned(a, b));
+        assert!(sim.messages_delivered() > during, "traffic resumes on heal");
+        assert_eq!(sim.faults_injected(), 2);
+    }
+
+    #[test]
+    fn replacing_a_plan_neutralizes_the_old_schedule() {
+        let (mut sim, a, _) = pinger_pair(8);
+        sim.install_fault_plan(
+            FaultPlan::new(1).schedule(SimTime::from_millis(2000), FaultKind::Crash(a)),
+        );
+        // Replace before the crash fires; the stale event must be inert.
+        sim.install_fault_plan(FaultPlan::new(2));
+        sim.run_for(SimDuration::from_secs(3));
+        assert!(sim.node_status(a).is_running());
+        assert_eq!(sim.faults_injected(), 0);
+        assert!(sim.fault_plan().is_some());
     }
 
     #[test]

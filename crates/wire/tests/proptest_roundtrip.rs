@@ -1,0 +1,238 @@
+//! Property tests over *generated* schemas: every value a schema admits
+//! must round-trip through both wire formats, and decoding under a
+//! different (cross-version) schema — or from garbage — must never panic.
+//!
+//! The checking logic lives in plain helper functions so it is exercised
+//! both by the proptest properties and by the deterministic seeded sweeps
+//! below (which double as quick regression tests).
+
+use dup_wire::{
+    proto, thrift, FieldDescriptor, FieldType, Label, MessageDescriptor, MessageValue, Schema,
+    Value,
+};
+use proptest::prelude::*;
+
+/// One generated field: a type choice (0..7) and a label choice (0..3).
+/// Tags are assigned positionally (1-based), names derive from the tag.
+type FieldSpec = (u8, u8);
+
+fn field_type_of(choice: u8) -> FieldType {
+    match choice % 7 {
+        0 => FieldType::Int32,
+        1 => FieldType::Int64,
+        2 => FieldType::Uint32,
+        3 => FieldType::Uint64,
+        4 => FieldType::Bool,
+        5 => FieldType::Str,
+        _ => FieldType::BytesType,
+    }
+}
+
+fn label_of(choice: u8) -> Label {
+    match choice % 3 {
+        0 => Label::Required,
+        1 => Label::Optional,
+        _ => Label::Repeated,
+    }
+}
+
+/// Builds a one-message schema from generated field specs.
+fn schema_from_spec(spec: &[FieldSpec]) -> Schema {
+    let mut msg = MessageDescriptor::new("Gen");
+    for (i, &(ty, label)) in spec.iter().enumerate() {
+        let tag = i as u32 + 1;
+        msg = msg.with(FieldDescriptor::new(
+            tag,
+            &format!("f{tag}"),
+            label_of(label),
+            field_type_of(ty),
+        ));
+    }
+    Schema::new().with_message(msg)
+}
+
+/// A deterministic value for field `tag` of type `choice`, varied by `salt`.
+fn value_for(choice: u8, salt: u64) -> Value {
+    match choice % 7 {
+        0 => Value::I32(salt as i32),
+        1 => Value::I64(salt as i64),
+        2 => Value::U32(salt as u32),
+        3 => Value::U64(salt),
+        4 => Value::Bool(salt % 2 == 0),
+        5 => Value::Str(format!("s{}", salt % 1000)),
+        _ => Value::Bytes(salt.to_le_bytes()[..(salt % 9) as usize].to_vec()),
+    }
+}
+
+/// A message that populates every declared field of `spec` (one value for
+/// required/optional, `salt % 3` extra values for repeated).
+fn message_from_spec(spec: &[FieldSpec], salt: u64) -> MessageValue {
+    let mut value = MessageValue::new("Gen");
+    for (i, &(ty, label)) in spec.iter().enumerate() {
+        let tag = i as u32 + 1;
+        let name = format!("f{tag}");
+        let per_field_salt = salt.wrapping_add(u64::from(tag) * 0x9E37);
+        value.put(&name, value_for(ty, per_field_salt));
+        if label_of(label) == Label::Repeated {
+            for extra in 0..per_field_salt % 3 {
+                value.push_mut(&name, value_for(ty, per_field_salt.wrapping_add(extra)));
+            }
+        }
+    }
+    value
+}
+
+/// Asserts encode→decode is the identity for `value` under `schema`, in
+/// both wire formats. Returns an error message instead of panicking so the
+/// proptest properties can report the failing spec.
+fn check_roundtrip(schema: &Schema, value: &MessageValue) -> Result<(), String> {
+    let bytes = proto::encode(schema, value).map_err(|e| format!("proto encode: {e}"))?;
+    let back = proto::decode(schema, "Gen", &bytes).map_err(|e| format!("proto decode: {e}"))?;
+    if &back != value {
+        return Err(format!("proto roundtrip mismatch: {value:?} -> {back:?}"));
+    }
+    let bytes = thrift::encode(schema, value).map_err(|e| format!("thrift encode: {e}"))?;
+    let back = thrift::decode(schema, "Gen", &bytes).map_err(|e| format!("thrift decode: {e}"))?;
+    if &back != value {
+        return Err(format!("thrift roundtrip mismatch: {value:?} -> {back:?}"));
+    }
+    Ok(())
+}
+
+/// Encodes under `writer` and decodes under `reader` (a *different* schema
+/// generation), asserting only that decoding returns — Ok or Err — without
+/// panicking. This is the cross-version path every upgrade exercises.
+fn check_cross_decode(writer: &Schema, reader: &Schema, value: &MessageValue) {
+    if let Ok(bytes) = proto::encode(writer, value) {
+        let _ = proto::decode(reader, "Gen", &bytes);
+        let _ = thrift::decode(reader, "Gen", &bytes);
+    }
+    if let Ok(bytes) = thrift::encode(writer, value) {
+        let _ = thrift::decode(reader, "Gen", &bytes);
+        let _ = proto::decode(reader, "Gen", &bytes);
+    }
+}
+
+/// Tiny deterministic generator (SplitMix64) for the seeded plain-test
+/// sweeps, so the helper logic runs even where proptest is unavailable.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn spec(&mut self, fields: usize) -> Vec<FieldSpec> {
+        (0..fields)
+            .map(|_| ((self.next() % 7) as u8, (self.next() % 3) as u8))
+            .collect()
+    }
+}
+
+#[test]
+fn seeded_specs_roundtrip_in_both_formats() {
+    let mut gen = Gen(0xD5B7);
+    for round in 0..200 {
+        let spec = gen.spec((round % 9) as usize);
+        let schema = schema_from_spec(&spec);
+        let value = message_from_spec(&spec, gen.next());
+        if let Err(e) = check_roundtrip(&schema, &value) {
+            panic!("round {round} spec {spec:?}: {e}");
+        }
+    }
+}
+
+#[test]
+fn seeded_cross_version_decode_never_panics() {
+    let mut gen = Gen(0xC0DE);
+    for round in 0..200 {
+        // Writer and reader disagree: the reader drops trailing fields and
+        // re-types one surviving field — the classic upgrade skew.
+        let writer_spec = gen.spec(2 + (round % 6) as usize);
+        let mut reader_spec = writer_spec.clone();
+        reader_spec.truncate(1 + reader_spec.len() / 2);
+        reader_spec[0].0 = reader_spec[0].0.wrapping_add(1);
+        let writer = schema_from_spec(&writer_spec);
+        let reader = schema_from_spec(&reader_spec);
+        let value = message_from_spec(&writer_spec, gen.next());
+        check_cross_decode(&writer, &reader, &value);
+        check_cross_decode(
+            &reader,
+            &writer,
+            &message_from_spec(&reader_spec, gen.next()),
+        );
+    }
+}
+
+#[test]
+fn seeded_garbage_decode_never_panics() {
+    let mut gen = Gen(0xBAD5EED);
+    let schema = schema_from_spec(&[(0, 0), (5, 1), (6, 2), (3, 2)]);
+    for _ in 0..300 {
+        let len = (gen.next() % 64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| gen.next() as u8).collect();
+        let _ = proto::decode(&schema, "Gen", &bytes);
+        let _ = thrift::decode(&schema, "Gen", &bytes);
+        let _ = dup_wire::decode_varint(&bytes);
+    }
+}
+
+proptest! {
+    /// Varint encoding is a bijection on u64 (and zigzag on i64).
+    #[test]
+    fn varint_roundtrip(v in any::<u64>(), s in any::<i64>()) {
+        let mut buf = Vec::new();
+        dup_wire::encode_varint(v, &mut buf);
+        let (back, used) = dup_wire::decode_varint(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(dup_wire::zigzag_decode(dup_wire::zigzag_encode(s)), s);
+    }
+
+    /// Every value admitted by a generated schema round-trips through both
+    /// wire formats.
+    #[test]
+    fn generated_schema_roundtrip(
+        spec in proptest::collection::vec((0u8..7, 0u8..3), 0..9),
+        salt in any::<u64>(),
+    ) {
+        let schema = schema_from_spec(&spec);
+        let value = message_from_spec(&spec, salt);
+        if let Err(e) = check_roundtrip(&schema, &value) {
+            prop_assert!(false, "spec {:?}: {}", spec, e);
+        }
+    }
+
+    /// Cross-version decode (writer and reader schemas disagree) never
+    /// panics, in either direction or format.
+    #[test]
+    fn cross_version_decode_is_panic_free(
+        spec in proptest::collection::vec((0u8..7, 0u8..3), 2..9),
+        retype in 0u8..7,
+        salt in any::<u64>(),
+    ) {
+        let mut reader_spec = spec.clone();
+        reader_spec.truncate(1 + reader_spec.len() / 2);
+        reader_spec[0].0 = retype;
+        let writer = schema_from_spec(&spec);
+        let reader = schema_from_spec(&reader_spec);
+        check_cross_decode(&writer, &reader, &message_from_spec(&spec, salt));
+        check_cross_decode(&reader, &writer, &message_from_spec(&reader_spec, salt));
+    }
+
+    /// Arbitrary bytes never panic any decoder.
+    #[test]
+    fn garbage_decode_is_panic_free(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+        spec in proptest::collection::vec((0u8..7, 0u8..3), 0..6),
+    ) {
+        let schema = schema_from_spec(&spec);
+        let _ = proto::decode(&schema, "Gen", &bytes);
+        let _ = thrift::decode(&schema, "Gen", &bytes);
+        let _ = dup_wire::decode_varint(&bytes);
+    }
+}

@@ -14,6 +14,7 @@ fn main() {
         scenario: Scenario::Rolling,
         workload: WorkloadSource::Stress,
         seed: 1,
+        faults: Default::default(),
     };
     println!(
         "DUPTester: cassandra-mini {} -> {} [{}] with the {} workload…\n",

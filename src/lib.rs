@@ -36,14 +36,14 @@ pub mod prelude {
     };
     pub use dup_core::{ClientOp, NodeSetup, SystemUnderTest, VersionId};
     pub use dup_idl::{parse_proto, parse_thrift};
-    pub use dup_simnet::{Process, Sim, SimDuration};
+    pub use dup_simnet::{FaultPlan, Process, Sim, SimDuration};
     pub use dup_study::{
         dataset, render_findings, render_table1, render_table2, render_table3, render_table4,
     };
     pub use dup_tester::{
-        Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics, CampaignObserver,
-        CampaignReport, CaseOutcome, CaseStatus, FailureReport, MetricsObserver, NoopObserver,
-        ProgressObserver, Scenario, TestCase, WorkloadSource,
+        fault_plan_for, Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics,
+        CampaignObserver, CampaignReport, CaseOutcome, CaseStatus, FailureReport, FaultIntensity,
+        MetricsObserver, NoopObserver, ProgressObserver, Scenario, TestCase, WorkloadSource,
     };
 }
 

@@ -49,6 +49,7 @@ fn consecutive_pair_strategy_vs_no_op_upgrade() {
         scenario: Scenario::FullStop,
         workload: WorkloadSource::TranslatedUnit("testCompactTables".into()),
         seed: 1,
+        faults: Default::default(),
     };
     assert!(buggy.run(&ds_upgrade::kvstore::KvStoreSystem).is_failure());
 
@@ -69,6 +70,7 @@ fn translated_unit_test_beats_stress_on_tombstone_bug() {
         scenario: Scenario::FullStop,
         workload: WorkloadSource::Stress,
         seed: 1,
+        faults: Default::default(),
     };
     let stress = base.run(&ds_upgrade::kvstore::KvStoreSystem);
     let tombstone_in = |outcome: &CaseOutcome| match outcome {
@@ -101,6 +103,7 @@ fn unit_state_handoff_exposes_removed_strategy() {
         scenario: Scenario::FullStop,
         workload: WorkloadSource::UnitStateHandoff("testUpdateKeyspace".into()),
         seed: 1,
+        faults: Default::default(),
     };
     match case.run(&ds_upgrade::kvstore::KvStoreSystem) {
         CaseOutcome::Fail(obs) => {
@@ -122,6 +125,7 @@ fn full_case_runs_are_deterministic() {
         scenario: Scenario::Rolling,
         workload: WorkloadSource::Stress,
         seed: 9,
+        faults: Default::default(),
     };
     let a = case.run(&ds_upgrade::kvstore::KvStoreSystem);
     let b = case.run(&ds_upgrade::kvstore::KvStoreSystem);

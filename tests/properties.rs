@@ -2,7 +2,8 @@
 
 use ds_upgrade::core::{upgrade_pairs, VersionGap, VersionId};
 use ds_upgrade::idl::{lower, parse_proto};
-use ds_upgrade::simnet::{HostStorage, SimRng};
+use ds_upgrade::simnet::{FaultKind, HostStorage, SimRng};
+use ds_upgrade::tester::{fault_plan_for, FaultIntensity};
 use ds_upgrade::wire::{proto, Frame, MessageValue, Value};
 use proptest::prelude::*;
 
@@ -157,5 +158,74 @@ proptest! {
         for r in &ds[start..end] {
             prop_assert!(r.nodes_required <= 3);
         }
+    }
+
+    /// Fault plans are pure functions of (intensity, seed, cluster size):
+    /// same inputs, byte-identical plan — the repro-string contract.
+    #[test]
+    fn fault_plans_are_pure(seed in any::<u64>(), nodes in 1u32..6) {
+        for intensity in [FaultIntensity::Light, FaultIntensity::Heavy] {
+            let a = fault_plan_for(intensity, seed, nodes).unwrap();
+            let b = fault_plan_for(intensity, seed, nodes).unwrap();
+            prop_assert_eq!(a.seed(), b.seed());
+            prop_assert_eq!(a.actions(), b.actions());
+            prop_assert_eq!(a.describe(), b.describe());
+        }
+        prop_assert!(fault_plan_for(FaultIntensity::Off, seed, nodes).is_none());
+    }
+
+    /// Every scheduled fault targets the booted cluster, partitions pair
+    /// distinct nodes, and action times stay inside the harness's workload
+    /// window — whatever the seed.
+    #[test]
+    fn fault_plan_targets_and_times_are_bounded(seed in any::<u64>(), nodes in 1u32..6) {
+        let plan = fault_plan_for(FaultIntensity::Heavy, seed, nodes).unwrap();
+        for action in plan.actions() {
+            match action.kind {
+                FaultKind::Partition(a, b) | FaultKind::Heal(a, b) => {
+                    prop_assert!(a < nodes && b < nodes);
+                    prop_assert_ne!(a, b);
+                }
+                FaultKind::Crash(x) | FaultKind::Restart(x) => prop_assert!(x < nodes),
+                FaultKind::HealAll => {}
+            }
+            prop_assert!(action.at.as_millis() <= 58_000);
+        }
+    }
+
+    /// A faulted simulation trace is deterministic in (sim seed, plan):
+    /// identical runs agree on every global counter.
+    #[test]
+    fn faulted_sim_counters_are_deterministic(seed in any::<u64>()) {
+        use ds_upgrade::simnet::{Ctx, Endpoint, Process, Sim, SimDuration, StepResult};
+        use bytes::Bytes;
+
+        struct Pinger(u32);
+        impl Process for Pinger {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+                ctx.set_timer(SimDuration::from_millis(20), 1);
+                Ok(())
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: Endpoint, _p: &[u8]) -> StepResult {
+                Ok(())
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: u64) -> StepResult {
+                ctx.send(Endpoint::Node(self.0), Bytes::from_static(b"ping"));
+                ctx.set_timer(SimDuration::from_millis(20), 1);
+                Ok(())
+            }
+        }
+
+        let run = || {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_node("host-a", "v1", Box::new(Pinger(1)));
+            let b = sim.add_node("host-b", "v1", Box::new(Pinger(0)));
+            sim.start_node(a).unwrap();
+            sim.start_node(b).unwrap();
+            sim.install_fault_plan(fault_plan_for(FaultIntensity::Heavy, seed, 2).unwrap());
+            sim.run_for(SimDuration::from_millis(800));
+            (sim.events_processed(), sim.messages_delivered(), sim.faults_injected())
+        };
+        prop_assert_eq!(run(), run());
     }
 }
