@@ -158,8 +158,13 @@ fn bench_simnet(c: &mut Criterion) {
                 sim.start_node(id).expect("starts");
             }
             sim.install_fault_plan(
-                dup_tester::fault_plan_for(dup_tester::FaultIntensity::Heavy, 2, n)
-                    .expect("heavy plan exists"),
+                dup_tester::fault_plan_for(
+                    dup_tester::FaultIntensity::Heavy,
+                    dup_tester::Durability::Strict,
+                    2,
+                    n,
+                )
+                .expect("heavy plan exists"),
             );
             sim.run_for(SimDuration::from_secs(60));
             (sim.events_processed(), sim.faults_injected())
@@ -175,6 +180,7 @@ fn bench_simnet(c: &mut Criterion) {
             workload: WorkloadSource::Stress,
             seed: 1,
             faults: Default::default(),
+            durability: Default::default(),
         };
         b.iter(|| case.run(&dup_kvstore::KvStoreSystem))
     });
@@ -186,8 +192,26 @@ fn bench_simnet(c: &mut Criterion) {
             workload: WorkloadSource::Stress,
             seed: 1,
             faults: Default::default(),
+            durability: Default::default(),
         };
         b.iter(|| case.run(&dup_dfs::DfsSystem))
+    });
+
+    // The worst-case campaign entry: a rolling upgrade under a heavy fault
+    // plan with torn durability — crash points, restarts, and per-crash
+    // storage materialization all active. This is what the crash-durability
+    // axis adds to a case's price tag relative to the plain fullstop bench.
+    group.bench_function("crashy_upgrade", |b| {
+        let case = TestCase {
+            from: "2.1.0".parse::<VersionId>().expect("parses"),
+            to: "3.0.0".parse().expect("parses"),
+            scenario: Scenario::Rolling,
+            workload: WorkloadSource::Stress,
+            seed: 1,
+            faults: dup_tester::FaultIntensity::Heavy,
+            durability: dup_tester::Durability::Torn,
+        };
+        b.iter(|| case.run(&dup_kvstore::KvStoreSystem))
     });
 
     group.finish();

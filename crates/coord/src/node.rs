@@ -206,6 +206,9 @@ impl CoordNode {
             "snapshot",
             Frame::new(1, "snapshot", body).encode().to_vec(),
         );
+        // Snapshots are fsynced before they count (ZooKeeper syncs the
+        // snapshot file before updating the epoch).
+        ctx.flush("snapshot");
         Ok(())
     }
 

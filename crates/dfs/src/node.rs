@@ -92,6 +92,8 @@ impl NameNode {
         let bytes = codec::encode_fsimage(self.version, &self.namespace)
             .map_err(|e| Fatal::new(format!("cannot write fsimage: {e}")))?;
         ctx.storage().write("fsimage", bytes);
+        // The checkpoint is only a checkpoint once it is on disk.
+        ctx.flush("fsimage");
         Ok(())
     }
 
@@ -636,6 +638,7 @@ impl Process for DataNode {
             debug_assert_eq!(n, trash.len());
         }
         ctx.storage().write("dn_version", own.into_bytes());
+        ctx.flush("dn_version");
         ctx.info(format!(
             "DataNode {} (dn-{}) started",
             self.version, self.setup.index
@@ -674,6 +677,10 @@ impl Process for DataNode {
                 let data = &frame.body[8..];
                 ctx.storage()
                     .write(&format!("blocks/{block}"), data.to_vec());
+                // Flush before acking: an acked replica the NameNode counts
+                // on must survive a crash, or replica accounting would blame
+                // the upgrade for an injected-crash artifact.
+                ctx.flush(&format!("blocks/{block}"));
                 ctx.send(
                     self.namenode(),
                     Frame::new(lv, "block_ack", block.to_be_bytes().to_vec()).encode(),
@@ -707,6 +714,9 @@ impl Process for DataNode {
                     .map(<[u8]>::to_vec)
                 {
                     ctx.storage().write(&format!("trash/{block}"), data);
+                    // Trash must be durable before the live replica goes
+                    // away, or a crash in between loses the block entirely.
+                    ctx.flush(&format!("trash/{block}"));
                     ctx.storage().delete(&format!("blocks/{block}"));
                 }
             }

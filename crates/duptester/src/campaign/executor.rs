@@ -17,9 +17,12 @@ use crate::campaign::observer::{CampaignObserver, MetricsObserver};
 use crate::campaign::report::{dedup_key, CampaignReport, CaseStatus, FailureReport};
 use crate::faults::FaultIntensity;
 use crate::harness::{CaseDigest, CaseOutcome, TestCase};
+use crate::oracle::Observation;
 use crate::scenario::Scenario;
 use dup_core::{SystemUnderTest, VersionId};
+use dup_simnet::Durability;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -40,6 +43,10 @@ pub struct CampaignConfig {
     /// combination. Defaults to `[FaultIntensity::Off]` — the pre-fault-axis
     /// matrix exactly.
     pub fault_intensities: Vec<FaultIntensity>,
+    /// Storage durability modes to sweep per (pair, scenario, workload,
+    /// intensity) combination. Defaults to `[Durability::Strict]` — the
+    /// pre-durability-axis matrix exactly.
+    pub durabilities: Vec<Durability>,
     /// Worker threads; `0` means one per available CPU.
     pub threads: usize,
     /// Dedup-aware seed pruning: once a failure signature has reproduced
@@ -57,6 +64,7 @@ impl Default for CampaignConfig {
             scenarios: Scenario::ALL.to_vec(),
             use_unit_tests: true,
             fault_intensities: vec![FaultIntensity::Off],
+            durabilities: vec![Durability::Strict],
             threads: 0,
             prune_after: None,
         }
@@ -141,10 +149,18 @@ impl<'a> CampaignBuilder<'a> {
     }
 
     /// Fault intensities to sweep. Each case derives its concrete plan from
-    /// its intensity, seed, and cluster size — so failure repro strings stay
-    /// self-contained.
+    /// its intensity, durability, seed, and cluster size — so failure repro
+    /// strings stay self-contained.
     pub fn faults(mut self, intensities: impl IntoIterator<Item = FaultIntensity>) -> Self {
         self.config.fault_intensities = intensities.into_iter().collect();
+        self
+    }
+
+    /// Storage durability modes to sweep. Non-strict modes buffer writes
+    /// until the system flushes and let the seeded crash materializer drop
+    /// or tear the unflushed tail on every crash.
+    pub fn durabilities(mut self, modes: impl IntoIterator<Item = Durability>) -> Self {
+        self.config.durabilities = modes.into_iter().collect();
         self
     }
 
@@ -319,7 +335,19 @@ fn run_group(
             continue;
         }
         let t0 = Instant::now();
-        let (outcome, digest) = case.run_with_digest(sut);
+        // Contain panics: a buggy SUT adapter (or harness) must cost one
+        // case, not the whole campaign. The closure owns no state the rest
+        // of the run observes (each case builds its own Sim), so resuming
+        // after an unwind is sound despite AssertUnwindSafe.
+        let (outcome, digest) = match catch_unwind(AssertUnwindSafe(|| case.run_with_digest(sut))) {
+            Ok(pair) => pair,
+            Err(payload) => (
+                CaseOutcome::Fail(vec![Observation::HarnessPanic {
+                    message: panic_message(payload.as_ref()),
+                }]),
+                CaseDigest::default(),
+            ),
+        };
         let wall = t0.elapsed();
         let status = match &outcome {
             CaseOutcome::Pass => CaseStatus::Passed,
@@ -332,7 +360,19 @@ fn run_group(
                         prune_rest = true;
                     }
                 }
-                CaseStatus::Failed
+                if observations
+                    .iter()
+                    .any(|o| matches!(o, Observation::HarnessPanic { .. }))
+                {
+                    CaseStatus::Panicked
+                } else if observations
+                    .iter()
+                    .any(|o| matches!(o, Observation::CaseHung { .. }))
+                {
+                    CaseStatus::Hung
+                } else {
+                    CaseStatus::Failed
+                }
             }
         };
         fan.case_done(index, case, status, wall);
@@ -342,6 +382,18 @@ fn run_group(
         });
     }
     out
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Folds per-case records into the deduplicated report, in case-index order.
@@ -395,6 +447,7 @@ fn aggregate(
                         workload: case.workload.clone(),
                         seed: case.seed,
                         faults: case.faults,
+                        durability: case.durability,
                         signature,
                         cause,
                         observations: observations.clone(),
@@ -407,15 +460,6 @@ fn aggregate(
         }
     }
     report
-}
-
-/// Runs a full campaign over `sut`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Campaign::builder(sut)` (or `Campaign::new(sut, config)`) and `.run()` instead"
-)]
-pub fn run_campaign(sut: &dyn SystemUnderTest, config: &CampaignConfig) -> CampaignReport {
-    Campaign::new(sut, config.clone()).run()
 }
 
 #[cfg(test)]
@@ -440,6 +484,7 @@ mod tests {
             workload: WorkloadSource::Stress,
             seed,
             faults: FaultIntensity::Off,
+            durability: Durability::Strict,
         }
     }
 
@@ -457,6 +502,7 @@ mod tests {
         assert!(!c.seeds.is_empty());
         assert!(c.use_unit_tests);
         assert_eq!(c.fault_intensities, vec![FaultIntensity::Off]);
+        assert_eq!(c.durabilities, vec![Durability::Strict]);
         assert_eq!(c.threads, 0);
         assert!(c.prune_after.is_none());
     }

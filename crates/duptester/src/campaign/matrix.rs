@@ -11,8 +11,9 @@ use crate::scenario::WorkloadSource;
 use dup_core::{upgrade_pairs, SystemUnderTest};
 
 // The enumeration order is pairs → scenarios → workloads → fault
-// intensities → seeds; seeds stay innermost so each (…, intensity)
-// combination still forms one contiguous `SeedGroup`.
+// intensities → durabilities → seeds; seeds stay innermost so each
+// (…, intensity, durability) combination still forms one contiguous
+// `SeedGroup`.
 
 /// A contiguous run of case indices that differ only in seed — one
 /// (version pair, scenario, workload) combination swept across every
@@ -46,7 +47,7 @@ pub struct CaseMatrix {
 impl CaseMatrix {
     /// Enumerates every case for `sut` under `config`, in the canonical
     /// order: version pairs, then scenarios, then workloads, then fault
-    /// intensities, then seeds.
+    /// intensities, then durability modes, then seeds.
     pub fn enumerate(sut: &dyn SystemUnderTest, config: &CampaignConfig) -> CaseMatrix {
         let versions = sut.versions();
         let pairs = upgrade_pairs(&versions, config.include_gap_two);
@@ -64,21 +65,24 @@ impl CaseMatrix {
             for scenario in &config.scenarios {
                 for workload in &workloads {
                     for &faults in &config.fault_intensities {
-                        let start = matrix.cases.len();
-                        for &seed in &config.seeds {
-                            matrix.cases.push(TestCase {
-                                from,
-                                to,
-                                scenario: *scenario,
-                                workload: workload.clone(),
-                                seed,
-                                faults,
+                        for &durability in &config.durabilities {
+                            let start = matrix.cases.len();
+                            for &seed in &config.seeds {
+                                matrix.cases.push(TestCase {
+                                    from,
+                                    to,
+                                    scenario: *scenario,
+                                    workload: workload.clone(),
+                                    seed,
+                                    faults,
+                                    durability,
+                                });
+                            }
+                            matrix.groups.push(SeedGroup {
+                                start,
+                                len: matrix.cases.len() - start,
                             });
                         }
-                        matrix.groups.push(SeedGroup {
-                            start,
-                            len: matrix.cases.len() - start,
-                        });
                     }
                 }
             }
@@ -99,6 +103,7 @@ impl CaseMatrix {
                     && prev.scenario == case.scenario
                     && prev.workload == case.workload
                     && prev.faults == case.faults
+                    && prev.durability == case.durability
             });
             match (groups.last_mut(), extends) {
                 (Some(g), Some(true)) => g.len += 1,
@@ -147,6 +152,7 @@ mod tests {
             workload: WorkloadSource::Stress,
             seed,
             faults: crate::faults::FaultIntensity::Off,
+            durability: dup_simnet::Durability::Strict,
         }
     }
 

@@ -18,8 +18,6 @@ pub mod matrix;
 pub mod observer;
 pub mod report;
 
-#[allow(deprecated)]
-pub use executor::run_campaign;
 pub use executor::{Campaign, CampaignBuilder, CampaignConfig};
 pub use matrix::{CaseMatrix, SeedGroup};
 pub use observer::{CampaignObserver, MetricsObserver, NoopObserver, ProgressObserver};

@@ -163,6 +163,7 @@ mod tests {
             workload: WorkloadSource::Stress,
             seed: 7,
             faults: Default::default(),
+            durability: Default::default(),
         }
     }
 

@@ -5,6 +5,7 @@ use crate::faults::FaultIntensity;
 use crate::oracle::Observation;
 use crate::scenario::{Scenario, WorkloadSource};
 use dup_core::VersionId;
+use dup_simnet::Durability;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -24,9 +25,12 @@ pub struct FailureReport {
     pub workload: WorkloadSource,
     /// Seed of the first exposing run.
     pub seed: u64,
-    /// Fault intensity of the first exposing run. Together with the seed
-    /// this pins the exact fault plan (a pure function of both).
+    /// Fault intensity of the first exposing run. Together with the
+    /// durability and the seed this pins the exact fault plan (a pure
+    /// function of all three).
     pub faults: FaultIntensity,
+    /// Storage durability mode of the first exposing run.
+    pub durability: Durability,
     /// Dedup signature: the sorted, joined signatures of *all* observations
     /// of the first exposing case, so two failures only merge when their
     /// whole evidence sets collapse to the same signatures.
@@ -41,17 +45,24 @@ pub struct FailureReport {
 
 impl FailureReport {
     /// One-line repro string: everything needed to re-run the first
-    /// exposing case — version pair, scenario, workload, seed, and fault
-    /// intensity (the concrete fault plan is derived from intensity + seed,
-    /// so quoting the intensity pins the whole plan).
+    /// exposing case — version pair, scenario, workload, seed, fault
+    /// intensity, and durability mode (the concrete fault plan, crash
+    /// points included, is derived from intensity + durability + seed, so
+    /// quoting them pins the whole plan).
     ///
     /// ```text
-    /// repro: 1.0.0->2.0.0 scenario=rolling workload=stress seed=7 faults=heavy
+    /// repro: 1.0.0->2.0.0 scenario=rolling workload=stress seed=7 faults=heavy durability=torn
     /// ```
     pub fn repro(&self) -> String {
         format!(
-            "repro: {}->{} scenario={} workload={} seed={} faults={}",
-            self.from, self.to, self.scenario, self.workload, self.seed, self.faults
+            "repro: {}->{} scenario={} workload={} seed={} faults={} durability={}",
+            self.from,
+            self.to,
+            self.scenario,
+            self.workload,
+            self.seed,
+            self.faults,
+            self.durability
         )
     }
 }
@@ -97,6 +108,11 @@ pub enum CaseStatus {
     Invalid,
     /// Skipped by dedup-aware seed pruning (never executed).
     Pruned,
+    /// The harness panicked while executing the case; the executor contained
+    /// the panic and isolated it into a failure report.
+    Panicked,
+    /// The case exceeded its event budget and was cut off by the watchdog.
+    Hung,
 }
 
 impl fmt::Display for CaseStatus {
@@ -106,6 +122,8 @@ impl fmt::Display for CaseStatus {
             CaseStatus::Failed => "failed",
             CaseStatus::Invalid => "invalid",
             CaseStatus::Pruned => "pruned",
+            CaseStatus::Panicked => "panicked",
+            CaseStatus::Hung => "hung",
         };
         f.write_str(s)
     }
@@ -122,6 +140,10 @@ pub struct ScenarioCounts {
     pub invalid: usize,
     /// Cases skipped by seed pruning.
     pub pruned: usize,
+    /// Cases whose harness execution panicked.
+    pub panicked: usize,
+    /// Cases cut off by the event-budget watchdog.
+    pub hung: usize,
 }
 
 impl ScenarioCounts {
@@ -131,6 +153,8 @@ impl ScenarioCounts {
             CaseStatus::Failed => self.failed += 1,
             CaseStatus::Invalid => self.invalid += 1,
             CaseStatus::Pruned => self.pruned += 1,
+            CaseStatus::Panicked => self.panicked += 1,
+            CaseStatus::Hung => self.hung += 1,
         }
     }
 }
@@ -181,7 +205,7 @@ impl CampaignMetrics {
         self.case_status[index] = status;
         self.per_scenario.entry(scenario).or_default().bump(status);
         match status {
-            CaseStatus::Failed => self.failing_cases += 1,
+            CaseStatus::Failed | CaseStatus::Panicked | CaseStatus::Hung => self.failing_cases += 1,
             CaseStatus::Pruned => self.pruned_seeds += 1,
             _ => {}
         }
@@ -238,12 +262,14 @@ impl CampaignMetrics {
         let mut out = String::new();
         for (scenario, c) in &self.per_scenario {
             out.push_str(&format!(
-                "   {:<14} {:>4} passed {:>4} failed {:>4} invalid {:>4} pruned\n",
+                "   {:<14} {:>4} passed {:>4} failed {:>4} invalid {:>4} pruned {:>4} panicked {:>4} hung\n",
                 scenario.to_string(),
                 c.passed,
                 c.failed,
                 c.invalid,
-                c.pruned
+                c.pruned,
+                c.panicked,
+                c.hung
             ));
         }
         out.push_str(&format!(
@@ -387,6 +413,7 @@ mod tests {
             workload: WorkloadSource::Stress,
             seed: 7,
             faults: FaultIntensity::Heavy,
+            durability: Durability::Torn,
             signature: String::new(),
             cause: "Unclassified",
             observations: vec![],
@@ -394,7 +421,7 @@ mod tests {
         };
         assert_eq!(
             f.repro(),
-            "repro: 1.0.0->2.0.0 scenario=rolling workload=stress seed=7 faults=heavy"
+            "repro: 1.0.0->2.0.0 scenario=rolling workload=stress seed=7 faults=heavy durability=torn"
         );
     }
 

@@ -1,13 +1,15 @@
 //! The fault-intensity axis of the campaign matrix.
 //!
 //! A [`FaultIntensity`] is the campaign-level knob; [`fault_plan_for`]
-//! expands it into a concrete [`FaultPlan`] as a *pure function* of
-//! `(intensity, seed, cluster size)`. That purity is the repro contract:
-//! a failure report only needs to quote the intensity and the seed for
-//! anyone to rebuild the exact plan — drops, partition windows, crash
-//! times and all — and replay the run byte-for-byte.
+//! expands it (together with the storage [`Durability`] axis) into a
+//! concrete [`FaultPlan`] as a *pure function* of
+//! `(intensity, durability, seed, cluster size)`. That purity is the repro
+//! contract: a failure report only needs to quote the intensity, the
+//! durability, and the seed for anyone to rebuild the exact plan — drops,
+//! partition windows, crash times, crash points and all — and replay the
+//! run byte-for-byte.
 
-use dup_simnet::{FaultKind, FaultPlan, SimDuration, SimRng, SimTime};
+use dup_simnet::{CrashPointKind, Durability, FaultKind, FaultPlan, SimDuration, SimRng, SimTime};
 use std::fmt;
 
 /// Stream id (under the case seed) for deriving a case's fault plan. Distinct
@@ -49,24 +51,38 @@ impl fmt::Display for FaultIntensity {
     }
 }
 
-/// Expands `(intensity, seed, nodes)` into a concrete [`FaultPlan`], or
-/// `None` for [`FaultIntensity::Off`] (or an empty cluster).
+/// Expands `(intensity, durability, seed, nodes)` into a concrete
+/// [`FaultPlan`], or `None` when there is nothing to inject — i.e. for
+/// [`FaultIntensity::Off`] under [`Durability::Strict`] (or an empty
+/// cluster).
 ///
 /// Deterministic: the same arguments always yield the same plan — same
-/// probabilities, same partition windows, same crash/restart times. Crash
-/// and partition targets are drawn from `0..nodes` (the booted cluster; a
-/// scenario's late joiner is never a target). Action times land inside the
-/// harness's workload-plus-quiesce span so the adversity overlaps the
-/// upgrade window, and every partition is healed and every crash restarted
-/// well before the post-upgrade verification ops.
-pub fn fault_plan_for(intensity: FaultIntensity, seed: u64, nodes: u32) -> Option<FaultPlan> {
-    if intensity == FaultIntensity::Off || nodes == 0 {
+/// probabilities, same partition windows, same crash/restart times, same
+/// crash points. Crash and partition targets are drawn from `0..nodes` (the
+/// booted cluster; a scenario's late joiner is never a target). Action times
+/// land inside the harness's workload-plus-quiesce span so the adversity
+/// overlaps the upgrade window, and every partition is healed and every
+/// crash restarted well before the post-upgrade verification ops.
+///
+/// Under a non-strict durability the plan additionally carries the
+/// durability mode plus two state-triggered [`dup_simnet::CrashPoint`]s: one
+/// that turns a graceful upgrade stop into a crash (mid-upgrade), and one
+/// that kills a node between a write and its flush (unflushed-write). Their
+/// draws come *after* every intensity draw, so adding the durability axis
+/// never shifts an existing plan's randomness.
+pub fn fault_plan_for(
+    intensity: FaultIntensity,
+    durability: Durability,
+    seed: u64,
+    nodes: u32,
+) -> Option<FaultPlan> {
+    if (intensity == FaultIntensity::Off && durability == Durability::Strict) || nodes == 0 {
         return None;
     }
     let mut rng = SimRng::new(seed).split(PLAN_STREAM);
     let mut plan = FaultPlan::new(rng.next_u64());
     let (partition_windows, crashes) = match intensity {
-        FaultIntensity::Off => unreachable!(),
+        FaultIntensity::Off => (0, 0),
         FaultIntensity::Light => {
             plan.drop_probability = 0.02;
             plan.duplicate_probability = 0.02;
@@ -107,6 +123,26 @@ pub fn fault_plan_for(intensity: FaultIntensity, seed: u64, nodes: u32) -> Optio
             .schedule(at, FaultKind::Crash(victim))
             .schedule(at + back_after, FaultKind::Restart(victim));
     }
+    // Durability draws come last so the axis composes with (rather than
+    // perturbs) the intensity draws above.
+    if durability != Durability::Strict {
+        plan.durability = durability;
+        let mid_victim = rng.next_below(u64::from(nodes)) as u32;
+        plan = plan.crash_point(
+            mid_victim,
+            CrashPointKind::MidUpgrade,
+            SimTime::from_millis(0),
+            SimTime::from_millis(120_000),
+        );
+        let wal_victim = rng.next_below(u64::from(nodes)) as u32;
+        let after = rng.next_range(3_000, 50_000);
+        plan = plan.crash_point(
+            wal_victim,
+            CrashPointKind::UnflushedWrite,
+            SimTime::from_millis(after),
+            SimTime::from_millis(after + 8_000),
+        );
+    }
     Some(plan)
 }
 
@@ -116,21 +152,21 @@ mod tests {
 
     #[test]
     fn off_means_no_plan() {
-        assert!(fault_plan_for(FaultIntensity::Off, 1, 3).is_none());
-        assert!(fault_plan_for(FaultIntensity::Heavy, 1, 0).is_none());
+        assert!(fault_plan_for(FaultIntensity::Off, Durability::Strict, 1, 3).is_none());
+        assert!(fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 1, 0).is_none());
     }
 
     #[test]
     fn plans_are_pure_functions_of_their_inputs() {
         for intensity in [FaultIntensity::Light, FaultIntensity::Heavy] {
-            let a = fault_plan_for(intensity, 7, 3).unwrap();
-            let b = fault_plan_for(intensity, 7, 3).unwrap();
+            let a = fault_plan_for(intensity, Durability::Strict, 7, 3).unwrap();
+            let b = fault_plan_for(intensity, Durability::Strict, 7, 3).unwrap();
             assert_eq!(a.seed(), b.seed());
             assert_eq!(a.actions(), b.actions());
             assert_eq!(a.describe(), b.describe());
         }
-        let a = fault_plan_for(FaultIntensity::Heavy, 7, 3).unwrap();
-        let b = fault_plan_for(FaultIntensity::Heavy, 8, 3).unwrap();
+        let a = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 7, 3).unwrap();
+        let b = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 8, 3).unwrap();
         assert_ne!(
             (a.seed(), a.actions().to_vec()),
             (b.seed(), b.actions().to_vec()),
@@ -140,8 +176,8 @@ mod tests {
 
     #[test]
     fn heavy_outpaces_light() {
-        let light = fault_plan_for(FaultIntensity::Light, 3, 3).unwrap();
-        let heavy = fault_plan_for(FaultIntensity::Heavy, 3, 3).unwrap();
+        let light = fault_plan_for(FaultIntensity::Light, Durability::Strict, 3, 3).unwrap();
+        let heavy = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 3, 3).unwrap();
         assert!(heavy.drop_probability > light.drop_probability);
         assert!(heavy.actions().len() > light.actions().len());
         assert!(!light.is_noop());
@@ -150,7 +186,7 @@ mod tests {
     #[test]
     fn targets_stay_inside_the_cluster_and_pairs_are_distinct() {
         for seed in 0..50 {
-            let plan = fault_plan_for(FaultIntensity::Heavy, seed, 3).unwrap();
+            let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, seed, 3).unwrap();
             for action in plan.actions() {
                 match action.kind {
                     FaultKind::Partition(a, b) | FaultKind::Heal(a, b) => {
@@ -167,7 +203,7 @@ mod tests {
 
     #[test]
     fn single_node_cluster_gets_no_partitions() {
-        let plan = fault_plan_for(FaultIntensity::Heavy, 5, 1).unwrap();
+        let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 5, 1).unwrap();
         assert!(plan
             .actions()
             .iter()
@@ -181,5 +217,42 @@ mod tests {
         assert_eq!(FaultIntensity::Heavy.to_string(), "heavy");
         assert_eq!(FaultIntensity::default(), FaultIntensity::Off);
         assert_eq!(FaultIntensity::ALL.len(), 3);
+    }
+
+    #[test]
+    fn durability_axis_rides_along_without_shifting_intensity_draws() {
+        for intensity in [FaultIntensity::Light, FaultIntensity::Heavy] {
+            let strict = fault_plan_for(intensity, Durability::Strict, 7, 3).unwrap();
+            let torn = fault_plan_for(intensity, Durability::Torn, 7, 3).unwrap();
+            // Same seed and identical scheduled actions: the durability
+            // draws come after every intensity draw.
+            assert_eq!(strict.seed(), torn.seed());
+            assert_eq!(strict.actions(), torn.actions());
+            assert_eq!(strict.crash_points().len(), 0);
+            assert_eq!(torn.crash_points().len(), 2);
+            assert_eq!(torn.durability, Durability::Torn);
+        }
+    }
+
+    #[test]
+    fn durability_alone_yields_a_plan_with_crash_points() {
+        let plan = fault_plan_for(FaultIntensity::Off, Durability::Buffered, 9, 3).unwrap();
+        assert!(plan.actions().is_empty());
+        assert!(!plan.is_noop());
+        assert_eq!(plan.durability, Durability::Buffered);
+        let kinds: Vec<_> = plan.crash_points().iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![CrashPointKind::MidUpgrade, CrashPointKind::UnflushedWrite]
+        );
+        for point in plan.crash_points() {
+            assert!(point.node < 3);
+            assert!(point.after <= point.not_after);
+            assert!(point.not_after.as_millis() <= 120_000);
+        }
+        // Still a pure function of its inputs.
+        let again = fault_plan_for(FaultIntensity::Off, Durability::Buffered, 9, 3).unwrap();
+        assert_eq!(plan.crash_points(), again.crash_points());
+        assert!(fault_plan_for(FaultIntensity::Off, Durability::Strict, 9, 3).is_none());
     }
 }

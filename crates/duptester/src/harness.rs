@@ -7,10 +7,10 @@ use crate::oracle::{self, Observation, OpResult};
 use crate::scenario::{Scenario, WorkloadSource};
 use crate::translator::translate;
 use dup_core::{ClientOp, Config, NodeSetup, SystemUnderTest, UnitTest, VersionId, WorkloadPhase};
-use dup_simnet::{LogLevel, NodeId, Sim, SimDuration};
+use dup_simnet::{Durability, LogLevel, NodeId, Sim, SimDuration};
 
-/// One test case: a version pair, a scenario, a workload, a seed, and a
-/// fault intensity.
+/// One test case: a version pair, a scenario, a workload, a seed, a fault
+/// intensity, and a storage durability mode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TestCase {
     /// The version upgraded *from*.
@@ -24,8 +24,12 @@ pub struct TestCase {
     /// Simulation seed (only matters for the ~11% timing-dependent bugs).
     pub seed: u64,
     /// Injected-fault intensity; the concrete plan is a pure function of
-    /// `(faults, seed, cluster size)` via [`fault_plan_for`].
+    /// `(faults, durability, seed, cluster size)` via [`fault_plan_for`].
     pub faults: FaultIntensity,
+    /// Storage durability mode the case's hosts run under. Non-strict modes
+    /// buffer writes until an explicit flush and let the crash materializer
+    /// drop or tear the unflushed tail on every crash.
+    pub durability: Durability,
 }
 
 impl TestCase {
@@ -88,16 +92,24 @@ const ROLLING_DOWNTIME: SimDuration = SimDuration::from_millis(3600);
 /// heartbeat stalls, storms) to surface.
 const QUIESCE: SimDuration = SimDuration::from_secs(75);
 const OP_TIMEOUT: SimDuration = SimDuration::from_secs(3);
-
-/// Runs one test case against `sut`.
-#[deprecated(since = "0.2.0", note = "use `TestCase::run(&sut)` instead")]
-pub fn run_case(sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
-    execute_case(sut, case).0
-}
+/// Watchdog: hard ceiling on simulator events per case. A healthy case
+/// (even heavy-fault stress on the chattiest system) stays well under one
+/// million events; a case that hits the ceiling is runaway — a livelock,
+/// a restart storm, a timer loop — and is reported as hung instead of
+/// spinning the worker thread forever.
+const EVENT_BUDGET: u64 = 2_000_000;
 
 fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> (CaseOutcome, CaseDigest) {
     let mut sim = Sim::new(case.seed);
-    let outcome = execute_case_in(&mut sim, sut, case);
+    sim.set_event_budget(EVENT_BUDGET);
+    let mut outcome = execute_case_in(&mut sim, sut, case);
+    if sim.budget_exhausted() {
+        // The case ran away; whatever the oracle saw is untrustworthy
+        // evidence from a truncated run. Report the non-termination itself.
+        outcome = CaseOutcome::Fail(vec![Observation::CaseHung {
+            events: sim.events_processed(),
+        }]);
+    }
     let digest = CaseDigest {
         events_processed: sim.events_processed(),
         messages_delivered: sim.messages_delivered(),
@@ -277,9 +289,9 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
 
     // Arm the fault plan right after boot, before the cluster settles, so
     // the adversity spans the whole pre-upgrade/upgrade/quiesce timeline.
-    // The plan is a pure function of (intensity, seed, cluster size): the
-    // repro string in a failure report rebuilds it exactly.
-    if let Some(plan) = fault_plan_for(case.faults, case.seed, n) {
+    // The plan is a pure function of (intensity, durability, seed, cluster
+    // size): the repro string in a failure report rebuilds it exactly.
+    if let Some(plan) = fault_plan_for(case.faults, case.durability, case.seed, n) {
         sim.log_sim(LogLevel::Info, format!("fault plan: {}", plan.describe()));
         sim.install_fault_plan(plan);
     }
@@ -288,7 +300,7 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
         case,
         config: &config,
         cluster: n,
-        active: case.faults != FaultIntensity::Off,
+        active: case.faults != FaultIntensity::Off || case.durability != Durability::Strict,
     };
 
     driver.run_for(sim, SETTLE);

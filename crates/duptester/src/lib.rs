@@ -12,7 +12,11 @@
 //! - **fault intensities** ([`FaultIntensity`]): deterministic injected
 //!   chaos — message drops/duplicates/delays/reorders, partition windows,
 //!   crash-then-restart — derived per case by [`fault_plan_for`], with the
-//!   oracle distinguishing injected chaos from genuine upgrade failures.
+//!   oracle distinguishing injected chaos from genuine upgrade failures;
+//! - **durability modes** ([`Durability`]): whether host storage is
+//!   write-through (strict), buffered until an explicit flush, or buffered
+//!   with torn-tail crashes — with state-triggered crash points that kill
+//!   nodes mid-upgrade or between a write and its flush.
 //!
 //! The failure [`oracle`] keys on crashes, fatal/error logs, failed or
 //! unanswered client operations, and message storms — the observable
@@ -22,7 +26,10 @@
 //! with a report byte-identical to a sequential run — and produces a
 //! deduplicated, Table-5-style [`CampaignReport`] with per-case
 //! [`CampaignMetrics`]; [`catalog`] holds the ground-truth seeded-bug list
-//! so recall can be measured.
+//! so recall can be measured. The executor is self-protecting: a panicking
+//! case is contained by `catch_unwind` and a runaway case is cut off by an
+//! event-budget watchdog, each isolated into its own [`FailureReport`]
+//! while the remaining cases complete.
 //!
 //! ```no_run
 //! use dup_tester::{Campaign, Scenario};
@@ -45,17 +52,14 @@ mod oracle;
 mod scenario;
 mod translator;
 
-#[allow(deprecated)]
-pub use crate::campaign::run_campaign;
 pub use crate::campaign::{
     dedup_key, Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics, CampaignObserver,
     CampaignReport, CaseMatrix, CaseStatus, FailureReport, MetricsObserver, NoopObserver,
     ProgressObserver, ScenarioCounts, SeedGroup,
 };
 pub use crate::faults::{fault_plan_for, FaultIntensity};
-#[allow(deprecated)]
-pub use crate::harness::run_case;
 pub use crate::harness::{CaseDigest, CaseOutcome, TestCase};
 pub use crate::oracle::{evaluate, Observation, OpResult};
 pub use crate::scenario::{Scenario, WorkloadSource};
 pub use crate::translator::{translate, Translation};
+pub use dup_simnet::{CrashPoint, CrashPointKind, Durability};

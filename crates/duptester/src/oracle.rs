@@ -46,6 +46,21 @@ pub enum Observation {
         /// Messages observed in an equally long pre-upgrade window.
         baseline: u64,
     },
+    /// The harness itself panicked while executing the case (a bug in the
+    /// system-under-test adapter or the harness, not in the upgrade). The
+    /// campaign executor contains the panic and isolates it here so the
+    /// remaining cases still run.
+    HarnessPanic {
+        /// The panic payload, as text.
+        message: String,
+    },
+    /// The case exceeded its simulator event budget and was cut off: the
+    /// run never terminated on its own (livelock, restart storm, timer
+    /// loop).
+    CaseHung {
+        /// Events the simulator had processed when the watchdog fired.
+        events: u64,
+    },
 }
 
 impl Observation {
@@ -63,6 +78,8 @@ impl Observation {
                 format!("timeout:{verb}")
             }
             Observation::MessageStorm { .. } => "storm".to_string(),
+            Observation::HarnessPanic { message } => format!("panic:{message}"),
+            Observation::CaseHung { .. } => "hung".to_string(),
         };
         // Strip digits so differing ids/epochs/offsets collapse together.
         let cleaned: String = raw
@@ -82,6 +99,8 @@ impl Observation {
             Observation::FailedOp { response, .. } => response.as_str(),
             Observation::Unresponsive { .. } => return "Node Unresponsive",
             Observation::MessageStorm { .. } => return "Perf. Degradation",
+            Observation::HarnessPanic { .. } => return "Harness Panic",
+            Observation::CaseHung { .. } => return "Non-termination",
         };
         let syntax_markers = [
             "deserialize",
@@ -170,6 +189,12 @@ impl fmt::Display for Observation {
                     f,
                     "message storm: {messages} messages vs {baseline} baseline"
                 )
+            }
+            Observation::HarnessPanic { message } => {
+                write!(f, "harness panicked while running the case: {message}")
+            }
+            Observation::CaseHung { events } => {
+                write!(f, "case did not terminate within {events} simulator events")
             }
         }
     }
@@ -356,6 +381,20 @@ mod tests {
             response: "ERR corrupt sstable row: input truncated".into(),
         };
         assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn panic_and_hang_observations_classify_and_sign() {
+        let p = Observation::HarnessPanic {
+            message: "index out of bounds: the len is 3 but the index is 7".into(),
+        };
+        assert_eq!(p.classify(), "Harness Panic");
+        assert!(p.signature().starts_with("panic:"));
+        assert!(!p.signature().contains('7'), "digits are stripped");
+        let h = Observation::CaseHung { events: 2_000_000 };
+        assert_eq!(h.classify(), "Non-termination");
+        assert_eq!(h.signature(), "hung");
+        assert!(h.to_string().contains("did not terminate"));
     }
 
     #[test]

@@ -79,6 +79,7 @@ fn cassandra_6678_race_reproduces_across_seeds() {
             workload: WorkloadSource::Stress,
             seed,
             faults: Default::default(),
+            durability: Default::default(),
         };
         if let CaseOutcome::Fail(obs) = case.run(&dup_kvstore::KvStoreSystem) {
             if obs
@@ -151,6 +152,7 @@ fn full_stop_3_4_to_3_5_coord_is_clean_but_rolling_is_not() {
         workload: WorkloadSource::Stress,
         seed: 1,
         faults: Default::default(),
+        durability: Default::default(),
     };
     assert!(
         !full_stop.run(&dup_coord::CoordSystem).is_failure(),
@@ -172,39 +174,11 @@ fn new_node_join_scenario_runs() {
         workload: WorkloadSource::Stress,
         seed: 1,
         faults: Default::default(),
+        durability: Default::default(),
     };
     // The clean kvstore pair should also accept a new-version joiner.
     let outcome = case.run(&dup_kvstore::KvStoreSystem);
     assert!(!outcome.is_failure(), "unexpected failure: {outcome:?}");
-}
-
-#[test]
-fn deprecated_entry_points_still_work() {
-    #[allow(deprecated)]
-    let report = dup_tester::run_campaign(
-        &dup_kvstore::KvStoreSystem,
-        &dup_tester::CampaignConfig {
-            seeds: vec![1],
-            scenarios: vec![Scenario::FullStop],
-            use_unit_tests: false,
-            ..Default::default()
-        },
-    );
-    assert!(report.cases_run > 0);
-    let case = TestCase {
-        from: v("2.1.0"),
-        to: v("3.0.0"),
-        scenario: Scenario::FullStop,
-        workload: WorkloadSource::Stress,
-        seed: 1,
-        faults: Default::default(),
-    };
-    #[allow(deprecated)]
-    let outcome = dup_tester::run_case(&dup_kvstore::KvStoreSystem, &case);
-    assert_eq!(
-        format!("{outcome:?}"),
-        format!("{:?}", case.run(&dup_kvstore::KvStoreSystem))
-    );
 }
 
 /// The tentpole contract: a parallel campaign reports byte-identically to a
@@ -272,6 +246,7 @@ fn case_digest_is_reproducible() {
         workload: WorkloadSource::Stress,
         seed: 7,
         faults: Default::default(),
+        durability: Default::default(),
     };
     let (out1, d1) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
     let (out2, d2) = case.run_with_digest(&dup_kvstore::KvStoreSystem);

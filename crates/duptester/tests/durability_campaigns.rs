@@ -1,0 +1,287 @@
+//! The crash-durability axis and the self-protecting executor, end to end.
+//!
+//! Four contracts ride on this file:
+//!
+//! 1. **Determinism replay** — a campaign sweeping durability modes renders
+//!    a byte-identical report on 1 thread and on 4, and twice in a row; the
+//!    crash-materialized storage images a torn-durability run leaves behind
+//!    are byte-identical across replays of the same seed and plan.
+//! 2. **False-positive guard** — a *same-version* "upgrade" under heavy
+//!    faults and torn durability must report zero upgrade failures in every
+//!    scenario: injected crashes and torn tails are the tester's own chaos,
+//!    not the system's bugs.
+//! 3. **Panic isolation** — a case whose harness execution panics costs that
+//!    one case (reported `Panicked`, with a repro string); sibling cases
+//!    complete normally.
+//! 4. **Watchdog** — a case that never terminates is cut off at the event
+//!    budget and reported `Hung` instead of wedging a worker thread.
+
+use dup_core::{ClientOp, NodeSetup, SystemUnderTest, VersionId, WorkloadPhase};
+use dup_simnet::{Ctx, Endpoint, Process, Sim, SimDuration, StepResult};
+use dup_tester::{
+    fault_plan_for, Campaign, CaseStatus, Durability, FaultIntensity, Scenario, TestCase,
+    WorkloadSource,
+};
+
+fn v(s: &str) -> VersionId {
+    s.parse().unwrap()
+}
+
+fn durability_campaign(threads: usize) -> dup_tester::CampaignReport {
+    Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1])
+        .scenarios([Scenario::Rolling])
+        .unit_tests(false)
+        .faults([FaultIntensity::Heavy])
+        .durabilities([Durability::Strict, Durability::Buffered, Durability::Torn])
+        .threads(threads)
+        .run()
+}
+
+#[test]
+fn durability_campaign_report_is_thread_count_and_rerun_invariant() {
+    let seq = durability_campaign(1);
+    let par = durability_campaign(4);
+    let again = durability_campaign(1);
+
+    assert!(seq.cases_run >= 3, "durability axis did not multiply cases");
+    assert_eq!(seq.sim_events_processed, par.sim_events_processed);
+    assert_eq!(seq.sim_messages_delivered, par.sim_messages_delivered);
+    assert_eq!(seq.sim_faults_injected, par.sim_faults_injected);
+    assert_eq!(seq.failures, par.failures);
+    assert_eq!(seq.render_table(), par.render_table());
+    assert_eq!(seq.render_table(), again.render_table());
+    // Every reported failure pins its durability mode in the repro string.
+    for f in &seq.failures {
+        assert!(
+            f.repro().contains("durability="),
+            "repro lacks the durability axis: {}",
+            f.repro()
+        );
+    }
+}
+
+/// Boots a same-version kvstore cluster under a torn-durability heavy fault
+/// plan, lets the plan crash nodes, and returns every host's
+/// crash-materialized storage image.
+fn torn_storage_images(seed: u64) -> Vec<(String, Vec<(String, Vec<u8>)>)> {
+    let sut = &dup_kvstore::KvStoreSystem;
+    let n = sut.cluster_size();
+    let mut sim = Sim::new(seed);
+    for i in 0..n {
+        let mut setup = NodeSetup::new(i, n);
+        setup.config = sut.default_config();
+        let id = sim.add_node(&format!("host-{i}"), "2.1.0", sut.spawn(v("2.1.0"), &setup));
+        sim.start_node(id).expect("node starts");
+    }
+    let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Torn, seed, n)
+        .expect("heavy+torn always yields a plan");
+    sim.install_fault_plan(plan);
+    sim.run_for(SimDuration::from_secs(30));
+    assert!(sim.faults_injected() > 0, "plan injected nothing");
+    (0..n)
+        .map(|i| {
+            let host = format!("host-{i}");
+            let files = match sim.host_storage_ref(&host) {
+                Some(storage) => storage
+                    .list("")
+                    .into_iter()
+                    .map(|path| {
+                        let bytes = storage.read(&path).expect("listed file reads").to_vec();
+                        (path, bytes)
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
+            (host, files)
+        })
+        .collect()
+}
+
+#[test]
+fn crash_materialized_storage_images_replay_byte_identically() {
+    for seed in [1, 7] {
+        let one = torn_storage_images(seed);
+        let two = torn_storage_images(seed);
+        assert!(
+            one.iter().any(|(_, files)| !files.is_empty()),
+            "seed {seed}: no host wrote any files"
+        );
+        assert_eq!(one, two, "seed {seed}: recovery images diverged");
+    }
+}
+
+#[test]
+fn heavy_torn_crashes_on_same_version_pair_report_zero_upgrade_failures() {
+    // A system "upgraded" to its own version has no upgrade bugs by
+    // construction; anything the oracle reports under heavy faults *plus*
+    // mid-upgrade crash points and torn tails is injected chaos bleeding
+    // through — exactly what the flush points at commit boundaries and the
+    // crash-exempt oracle rules must prevent.
+    for scenario in Scenario::ALL {
+        for seed in [1, 2, 3] {
+            let case = TestCase {
+                from: v("2.1.0"),
+                to: v("2.1.0"),
+                scenario,
+                workload: WorkloadSource::Stress,
+                seed,
+                faults: FaultIntensity::Heavy,
+                durability: Durability::Torn,
+            };
+            let outcome = case.run(&dup_kvstore::KvStoreSystem);
+            assert!(
+                !outcome.is_failure(),
+                "injected crash misread as an upgrade failure \
+                 (scenario {scenario}, seed {seed}): {outcome:?}"
+            );
+        }
+    }
+}
+
+// ---- toy systems for the self-protection contracts ------------------------
+
+/// Replies `OK` to every client command; otherwise inert.
+struct Echo;
+
+impl Process for Echo {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) -> StepResult {
+        Ok(())
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, _payload: &[u8]) -> StepResult {
+        ctx.send(from, bytes::Bytes::from_static(b"OK"));
+        Ok(())
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _id: u64) -> StepResult {
+        Ok(())
+    }
+}
+
+/// A buggy SUT adapter: workload generation panics for one specific seed.
+struct PanickySut;
+
+impl SystemUnderTest for PanickySut {
+    fn name(&self) -> &'static str {
+        "panicky-toy"
+    }
+    fn versions(&self) -> Vec<VersionId> {
+        vec![v("1.0.0"), v("2.0.0")]
+    }
+    fn cluster_size(&self) -> u32 {
+        1
+    }
+    fn spawn(&self, _version: VersionId, _setup: &NodeSetup) -> Box<dyn Process> {
+        Box::new(Echo)
+    }
+    fn stress_workload(
+        &self,
+        seed: u64,
+        phase: WorkloadPhase,
+        _client_version: VersionId,
+    ) -> Vec<ClientOp> {
+        if seed == 2 && phase == WorkloadPhase::BeforeUpgrade {
+            panic!("deliberate toy panic for seed 2");
+        }
+        vec![ClientOp::new(0, "HEALTH")]
+    }
+}
+
+#[test]
+fn panicking_case_is_isolated_and_siblings_complete() {
+    let run = |threads: usize| {
+        Campaign::builder(&PanickySut)
+            .seeds([1, 2, 3])
+            .scenarios([Scenario::FullStop])
+            .unit_tests(false)
+            .threads(threads)
+            .run()
+    };
+    let report = run(1);
+    assert_eq!(report.cases_run, 3, "all cases must execute");
+    assert_eq!(report.cases_passed, 2, "sibling cases must pass");
+    let panicked: Vec<_> = report
+        .metrics
+        .case_status
+        .iter()
+        .filter(|s| **s == CaseStatus::Panicked)
+        .collect();
+    assert_eq!(panicked.len(), 1, "{:?}", report.metrics.case_status);
+    let failure = report
+        .failures
+        .iter()
+        .find(|f| f.cause == "Harness Panic")
+        .expect("the panic surfaces as a failure report");
+    assert_eq!(failure.seed, 2);
+    assert!(failure.signature.contains("panic"), "{}", failure.signature);
+    assert!(failure.repro().contains("seed=2"), "{}", failure.repro());
+    assert!(
+        report.render_table().contains(&failure.repro()),
+        "table lacks the panic repro"
+    );
+    // Panics are deterministic: the parallel report is byte-identical.
+    assert_eq!(report.render_table(), run(4).render_table());
+}
+
+/// A runaway SUT: every node spins a zero-delay timer forever, so no phase
+/// of the harness timeline can ever drain the event queue.
+struct Spinner;
+
+impl Process for Spinner {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+        ctx.set_timer(SimDuration::from_millis(0), 1);
+        Ok(())
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, _payload: &[u8]) -> StepResult {
+        ctx.send(from, bytes::Bytes::from_static(b"OK"));
+        Ok(())
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: u64) -> StepResult {
+        ctx.set_timer(SimDuration::from_millis(0), 1);
+        Ok(())
+    }
+}
+
+/// A SUT whose nodes never quiesce.
+struct RunawaySut;
+
+impl SystemUnderTest for RunawaySut {
+    fn name(&self) -> &'static str {
+        "runaway-toy"
+    }
+    fn versions(&self) -> Vec<VersionId> {
+        vec![v("1.0.0"), v("2.0.0")]
+    }
+    fn cluster_size(&self) -> u32 {
+        1
+    }
+    fn spawn(&self, _version: VersionId, _setup: &NodeSetup) -> Box<dyn Process> {
+        Box::new(Spinner)
+    }
+    fn stress_workload(
+        &self,
+        _seed: u64,
+        _phase: WorkloadPhase,
+        _client_version: VersionId,
+    ) -> Vec<ClientOp> {
+        vec![ClientOp::new(0, "HEALTH")]
+    }
+}
+
+#[test]
+fn runaway_case_is_cut_off_and_reported_hung() {
+    let report = Campaign::builder(&RunawaySut)
+        .seeds([1])
+        .scenarios([Scenario::FullStop])
+        .unit_tests(false)
+        .threads(1)
+        .run();
+    assert_eq!(report.cases_run, 1);
+    assert_eq!(report.metrics.case_status, vec![CaseStatus::Hung]);
+    let failure = report
+        .failures
+        .first()
+        .expect("the hang surfaces as a failure report");
+    assert_eq!(failure.cause, "Non-termination");
+    assert_eq!(failure.signature, "hung");
+    assert!(failure.repro().contains("seed=1"), "{}", failure.repro());
+}

@@ -9,12 +9,13 @@
 //!    faults must report zero upgrade failures in every scenario: the
 //!    oracle must not mistake injected chaos for the system's own bugs.
 //! 3. **Repro strings** — every failure a faulted campaign reports carries
-//!    a one-line repro string pinning pair, scenario, workload, seed, and
-//!    fault intensity (the concrete plan derives from the last two).
+//!    a one-line repro string pinning pair, scenario, workload, seed, fault
+//!    intensity, and durability mode (the concrete plan derives from the
+//!    last three).
 
 use dup_core::VersionId;
 use dup_tester::{
-    fault_plan_for, Campaign, CaseMatrix, CaseOutcome, FaultIntensity, Scenario, TestCase,
+    fault_plan_for, Campaign, CaseMatrix, Durability, FaultIntensity, Scenario, TestCase,
     WorkloadSource,
 };
 
@@ -58,6 +59,7 @@ fn case_digest_reproducible_under_faults() {
         workload: WorkloadSource::Stress,
         seed: 7,
         faults: FaultIntensity::Heavy,
+        durability: Default::default(),
     };
     let (out1, d1) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
     let (out2, d2) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
@@ -67,6 +69,7 @@ fn case_digest_reproducible_under_faults() {
 
     let off = TestCase {
         faults: FaultIntensity::Off,
+        durability: Default::default(),
         ..case
     };
     let (_, d_off) = off.run_with_digest(&dup_kvstore::KvStoreSystem);
@@ -87,6 +90,7 @@ fn heavy_faults_on_same_version_pair_report_zero_upgrade_failures() {
                 workload: WorkloadSource::Stress,
                 seed,
                 faults: FaultIntensity::Heavy,
+                durability: Default::default(),
             };
             let outcome = case.run(&dup_kvstore::KvStoreSystem);
             assert!(
@@ -157,12 +161,12 @@ fn plan_derivation_matches_what_cases_record() {
     // The repro contract: the plan a failing case ran under is recomputable
     // from its intensity + seed + cluster size alone.
     let n = 3;
-    let a = fault_plan_for(FaultIntensity::Heavy, 42, n).unwrap();
-    let b = fault_plan_for(FaultIntensity::Heavy, 42, n).unwrap();
+    let a = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 42, n).unwrap();
+    let b = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 42, n).unwrap();
     assert_eq!(a.describe(), b.describe());
     assert_ne!(
         a.describe(),
-        fault_plan_for(FaultIntensity::Light, 42, n)
+        fault_plan_for(FaultIntensity::Light, Durability::Strict, 42, n)
             .unwrap()
             .describe(),
         "intensities must differ"

@@ -111,6 +111,9 @@ impl KvNode {
         let bytes = codec::encode_schema_state(self.version, &self.state)
             .expect("own schema state always encodes");
         ctx.storage().write("schema", bytes);
+        // Schema commits are fsynced: losing one to a crash would fake a
+        // data-loss bug no real release has.
+        ctx.flush("schema");
     }
 
     fn wedge(&mut self, ctx: &mut Ctx<'_>, reason: String) {
@@ -384,8 +387,16 @@ impl Process for KvNode {
                 .read(&seg)
                 .expect("listed file exists")
                 .to_vec();
-            let header = Frame::decode(&bytes)
-                .map_err(|e| Fatal::new(format!("corrupt commit log segment {seg}: {e}")))?;
+            let header = match Frame::decode(&bytes) {
+                Ok(h) => h,
+                Err(e) => {
+                    // A torn tail from a mid-write crash is expected under
+                    // buffered durability; real commit log replay skips the
+                    // truncated remainder rather than refusing to boot.
+                    ctx.warn(format!("skipping torn commit log segment {seg}: {e}"));
+                    continue;
+                }
+            };
             let seg_fmt: u32 = header.kind.parse().unwrap_or(0);
             if seg_fmt > own_cl {
                 return Err(Fatal::new(format!(
@@ -406,6 +417,9 @@ impl Process for KvNode {
                     .encode()
                     .to_vec(),
             );
+            // The header hits disk immediately — that is what poisons the
+            // downgrade even when the boot aborts a moment later.
+            ctx.flush(&seg);
         }
 
         // 3. Load the schema file left by the previous generation.
@@ -463,6 +477,7 @@ impl Process for KvNode {
                     .encode()
                     .to_vec(),
             );
+            ctx.flush(&seg);
         }
 
         self.persist_schema(ctx);
@@ -550,6 +565,10 @@ impl Process for KvNode {
                 if self.stuck.is_none() {
                     self.broadcast_gossip(ctx);
                 }
+                // Periodic-sync commit log: everything buffered since the
+                // last tick becomes durable here, so only the most recent
+                // appends are exposed to torn-tail crashes.
+                ctx.flush_all();
                 ctx.set_timer(GOSSIP_INTERVAL, TOKEN_GOSSIP);
             }
             TOKEN_STUCK_RETRY => {

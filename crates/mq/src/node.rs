@@ -50,6 +50,8 @@ impl Broker {
         let idx = self.next_index(ctx, topic);
         ctx.storage()
             .write(&Self::record_path(topic, idx), value.as_bytes().to_vec());
+        // Durable-on-ack: the produce reply below promises the record.
+        ctx.flush(&Self::record_path(topic, idx));
         let batch = ReplicaBatch {
             topic: topic.to_string(),
             offset: idx,
@@ -103,6 +105,7 @@ impl Broker {
             Ok(bytes) => {
                 ctx.storage()
                     .write(&format!("offsets/{group}.{topic}"), bytes);
+                ctx.flush(&format!("offsets/{group}.{topic}"));
                 "OK".to_string()
             }
             Err(e) => {
@@ -179,6 +182,7 @@ impl Process for Broker {
                                 &Self::record_path(&batch.topic, batch.offset),
                                 batch.payload,
                             );
+                            ctx.flush(&Self::record_path(&batch.topic, batch.offset));
                         }
                         Err(e) => {
                             ctx.error(format!("corrupt replica batch from broker-{n}: {e}"));

@@ -19,6 +19,7 @@
 
 use crate::process::NodeId;
 use crate::rng::SimRng;
+use crate::storage::Durability;
 use crate::time::{SimDuration, SimTime};
 use std::fmt;
 
@@ -28,6 +29,11 @@ pub const FAULT_CRASH_REASON: &str = "crashed by fault injection";
 
 /// Stream id under the plan seed for the per-message fate stream.
 const FATE_STREAM: u64 = 0xFA7E;
+
+/// Stream id under the plan seed for the crash-materializer stream.
+/// Separate from [`FATE_STREAM`] so crash outcomes never shift message
+/// fates (and vice versa) — the two schedules stay independently stable.
+const CRASH_STREAM: u64 = 0xC4A5;
 
 /// One discrete fault action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +73,53 @@ pub struct ScheduledFault {
     pub kind: FaultKind,
 }
 
+/// The trigger condition of a [`CrashPoint`].
+///
+/// Unlike a [`FaultKind::Crash`] pinned to a wall-clock instant, a crash
+/// point fires when the *simulation* reaches a hazardous state — which is
+/// how real upgrade failures trigger (paper §5: nodes dying partway through
+/// the upgrade procedure itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPointKind {
+    /// Crash the host mid-rolling-upgrade: after the old version was asked
+    /// to stop (its shutdown hook has run) but before the new version
+    /// boots. The harness's install+start continues the upgrade from the
+    /// crash-materialized storage image.
+    MidUpgrade,
+    /// Crash the host right after a handler leaves unflushed bytes on disk
+    /// — between a write and its flush. The node is restarted
+    /// [`FaultPlan::crash_point_restart`] later at the version it was
+    /// running.
+    UnflushedWrite,
+}
+
+impl fmt::Display for CrashPointKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashPointKind::MidUpgrade => write!(f, "mid-upgrade"),
+            CrashPointKind::UnflushedWrite => write!(f, "unflushed-write"),
+        }
+    }
+}
+
+/// A state-triggered crash armed for one node inside a time window.
+///
+/// The point fires (once) on the first matching hazard inside
+/// `[after, not_after]`; if the hazard never occurs in the window, the
+/// point simply never fires — the run is still deterministic because the
+/// crash-materializer RNG stream is only consumed on actual crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The node whose host crashes.
+    pub node: NodeId,
+    /// What hazard triggers the crash.
+    pub kind: CrashPointKind,
+    /// Earliest simulated time the point may fire.
+    pub after: SimTime,
+    /// Latest simulated time the point may fire.
+    pub not_after: SimTime,
+}
+
 /// A deterministic fault schedule for one simulation run.
 ///
 /// Probabilities apply independently to every in-flight node-to-node message,
@@ -90,7 +143,14 @@ pub struct FaultPlan {
     pub reorder_probability: f64,
     /// Upper bound of an injected reorder shift.
     pub max_reorder_shift: SimDuration,
+    /// Crash-durability mode applied to every host while this plan is
+    /// installed (see [`Durability`]).
+    pub durability: Durability,
+    /// How long after an [`CrashPointKind::UnflushedWrite`] crash the
+    /// simulator requests the node's restart.
+    pub crash_point_restart: SimDuration,
     actions: Vec<ScheduledFault>,
+    crash_points: Vec<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -105,7 +165,10 @@ impl FaultPlan {
             max_delay_spike: SimDuration::from_millis(500),
             reorder_probability: 0.0,
             max_reorder_shift: SimDuration::from_millis(25),
+            durability: Durability::Strict,
+            crash_point_restart: SimDuration::from_secs(2),
             actions: Vec::new(),
+            crash_points: Vec::new(),
         }
     }
 
@@ -125,9 +188,34 @@ impl FaultPlan {
         &self.actions
     }
 
+    /// Arms a state-triggered crash for `node` inside `[after, not_after]`;
+    /// chains.
+    pub fn crash_point(
+        mut self,
+        node: NodeId,
+        kind: CrashPointKind,
+        after: SimTime,
+        not_after: SimTime,
+    ) -> Self {
+        self.crash_points.push(CrashPoint {
+            node,
+            kind,
+            after,
+            not_after,
+        });
+        self
+    }
+
+    /// The armed crash points, in insertion order.
+    pub fn crash_points(&self) -> &[CrashPoint] {
+        &self.crash_points
+    }
+
     /// `true` if the plan can never inject anything.
     pub fn is_noop(&self) -> bool {
         self.actions.is_empty()
+            && self.crash_points.is_empty()
+            && self.durability == Durability::Strict
             && self.drop_probability <= 0.0
             && self.duplicate_probability <= 0.0
             && self.delay_probability <= 0.0
@@ -139,7 +227,7 @@ impl FaultPlan {
     /// reorder=10.0%/40ms actions=3]`.
     pub fn describe(&self) -> String {
         format!(
-            "fault-plan[seed={:#x} drop={:.1}% dup={:.1}% delay={:.1}%/{} reorder={:.1}%/{} actions={}]",
+            "fault-plan[seed={:#x} drop={:.1}% dup={:.1}% delay={:.1}%/{} reorder={:.1}%/{} actions={} durability={} crash-points={}]",
             self.seed,
             self.drop_probability * 100.0,
             self.duplicate_probability * 100.0,
@@ -148,6 +236,8 @@ impl FaultPlan {
             self.reorder_probability * 100.0,
             self.max_reorder_shift,
             self.actions.len(),
+            self.durability,
+            self.crash_points.len(),
         )
     }
 }
@@ -177,17 +267,56 @@ pub(crate) enum MessageFate {
 pub(crate) struct FaultState {
     pub(crate) plan: FaultPlan,
     rng: SimRng,
+    /// The crash-materializer stream: consumed only when a host actually
+    /// crashes, independent of message fates.
+    pub(crate) crash_rng: SimRng,
+    /// Per-[`CrashPoint`] fired flags (each point fires at most once).
+    consumed: Vec<bool>,
     pub(crate) injected: u64,
 }
 
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> Self {
         let rng = SimRng::new(plan.seed).split(FATE_STREAM);
+        let crash_rng = SimRng::new(plan.seed).split(CRASH_STREAM);
+        let consumed = vec![false; plan.crash_points.len()];
         FaultState {
             plan,
             rng,
+            crash_rng,
+            consumed,
             injected: 0,
         }
+    }
+
+    /// Cheap pre-check: is an unconsumed crash point armed for `node` of
+    /// `kind` whose window contains `now`? Does not consume the point.
+    pub(crate) fn wants(&self, node: NodeId, kind: CrashPointKind, now: SimTime) -> bool {
+        self.plan
+            .crash_points
+            .iter()
+            .zip(&self.consumed)
+            .any(|(p, &used)| {
+                !used && p.node == node && p.kind == kind && p.after <= now && now <= p.not_after
+            })
+    }
+
+    /// Fires the first matching crash point, marking it consumed and
+    /// counting one injection. Returns `false` if none is armed.
+    pub(crate) fn take_crash_point(
+        &mut self,
+        node: NodeId,
+        kind: CrashPointKind,
+        now: SimTime,
+    ) -> bool {
+        for (p, used) in self.plan.crash_points.iter().zip(&mut self.consumed) {
+            if !*used && p.node == node && p.kind == kind && p.after <= now && now <= p.not_after {
+                *used = true;
+                self.injected += 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Decides the fate of one node-to-node message. First matching fault
@@ -290,6 +419,60 @@ mod tests {
         assert!(d.contains("drop=6.0%"), "{d}");
         assert!(d.contains("actions=4"), "{d}");
         assert!(!d.contains('\n'));
+    }
+
+    #[test]
+    fn crash_points_fire_once_inside_their_window() {
+        let plan = FaultPlan::new(4).crash_point(
+            1,
+            CrashPointKind::UnflushedWrite,
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+        );
+        assert!(!plan.is_noop());
+        assert_eq!(plan.crash_points().len(), 1);
+        let mut state = FaultState::new(plan);
+        // Outside the window / wrong node / wrong kind: nothing fires.
+        assert!(!state.wants(1, CrashPointKind::UnflushedWrite, SimTime::from_millis(50)));
+        assert!(!state.take_crash_point(
+            1,
+            CrashPointKind::UnflushedWrite,
+            SimTime::from_millis(50)
+        ));
+        assert!(!state.take_crash_point(
+            2,
+            CrashPointKind::UnflushedWrite,
+            SimTime::from_millis(150)
+        ));
+        assert!(!state.take_crash_point(1, CrashPointKind::MidUpgrade, SimTime::from_millis(150)));
+        assert_eq!(state.injected, 0);
+        // Inside: fires exactly once.
+        assert!(state.wants(1, CrashPointKind::UnflushedWrite, SimTime::from_millis(150)));
+        assert!(state.take_crash_point(
+            1,
+            CrashPointKind::UnflushedWrite,
+            SimTime::from_millis(150)
+        ));
+        assert!(!state.wants(1, CrashPointKind::UnflushedWrite, SimTime::from_millis(150)));
+        assert!(!state.take_crash_point(
+            1,
+            CrashPointKind::UnflushedWrite,
+            SimTime::from_millis(150)
+        ));
+        assert_eq!(state.injected, 1);
+    }
+
+    #[test]
+    fn durability_alone_makes_a_plan_active() {
+        let mut plan = FaultPlan::new(11);
+        assert!(plan.is_noop());
+        plan.durability = Durability::Torn;
+        assert!(!plan.is_noop());
+        assert!(
+            plan.describe().contains("durability=torn"),
+            "{}",
+            plan.describe()
+        );
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! - deterministic fault injection — seeded per-message drop / duplicate /
 //!   delay-spike / reorder plus scheduled partitions and crash-then-restart
 //!   ([`FaultPlan`], [`Sim::install_fault_plan`]);
+//! - a crash-durability model: writes buffer until an explicit flush, and a
+//!   seeded crash materializer drops or tears the unflushed tail on every
+//!   crash ([`Durability`], [`Ctx::flush`]), with state-triggered
+//!   [`CrashPoint`]s that kill hosts mid-upgrade or between a write and its
+//!   flush;
 //! - panic containment: a panicking process crashes *its node*, not the
 //!   simulation — the analog of a JVM dying inside its container;
 //! - captured, queryable logs ([`LogBuffer`]) for the failure oracle.
@@ -64,12 +69,14 @@ mod sim;
 mod storage;
 mod time;
 
-pub use crate::faults::{FaultKind, FaultPlan, ScheduledFault, FAULT_CRASH_REASON};
+pub use crate::faults::{
+    CrashPoint, CrashPointKind, FaultKind, FaultPlan, ScheduledFault, FAULT_CRASH_REASON,
+};
 pub use crate::log::{LogBuffer, LogLevel, LogMark, LogRecord};
 pub use crate::net::Network;
 pub use crate::node::{NodeMetrics, NodeStatus};
 pub use crate::process::{Ctx, Endpoint, Fatal, NodeId, Process, StepResult};
 pub use crate::rng::SimRng;
 pub use crate::sim::{ClientHandle, Sim, SimError};
-pub use crate::storage::{HostId, HostStorage, StorageMap};
+pub use crate::storage::{Durability, HostId, HostStorage, StorageMap};
 pub use crate::time::{SimDuration, SimTime};

@@ -132,6 +132,18 @@ impl<'a> Ctx<'a> {
         self.storage
     }
 
+    /// Flushes one file to durable storage (the `fsync(2)` analog).
+    /// Equivalent to `ctx.storage().flush(path)`; a no-op under
+    /// [`crate::Durability::Strict`], where everything is already durable.
+    pub fn flush(&mut self, path: &str) {
+        self.storage.flush(path);
+    }
+
+    /// Flushes every file this host has written (the `sync(2)` analog).
+    pub fn flush_all(&mut self) {
+        self.storage.flush_all();
+    }
+
     /// This node's deterministic RNG stream.
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng

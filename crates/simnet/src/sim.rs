@@ -5,7 +5,9 @@
 //! deterministic in the seed: events are ordered by `(time, sequence)` and all
 //! randomness is drawn from split streams of one root RNG.
 
-use crate::faults::{FaultKind, FaultPlan, FaultState, MessageFate, FAULT_CRASH_REASON};
+use crate::faults::{
+    CrashPointKind, FaultKind, FaultPlan, FaultState, MessageFate, FAULT_CRASH_REASON,
+};
 use crate::log::{LogBuffer, LogLevel, LogRecord};
 use crate::net::Network;
 use crate::node::{NodeMetrics, NodeSlot, NodeStatus};
@@ -82,6 +84,12 @@ enum EventKind {
         action: usize,
         epoch: u64,
     },
+    /// A due restart after a crash-point crash: re-queues the node for the
+    /// harness if it is still fault-crashed. Epoch-tagged like `Fault`.
+    PointRestart {
+        node: NodeId,
+        epoch: u64,
+    },
 }
 
 struct QueuedEvent {
@@ -138,6 +146,10 @@ pub struct Sim {
     /// harness drains this via [`Sim::take_pending_restart`] and decides what
     /// process to install (the simulator cannot spawn processes itself).
     pending_restarts: VecDeque<NodeId>,
+    /// Remaining event budget, if one was set: the watchdog against
+    /// non-terminating cases. At zero, [`Sim::step`] refuses to run and
+    /// [`Sim::peek_time`] reports no pending events.
+    event_budget: Option<u64>,
 }
 
 impl Sim {
@@ -161,7 +173,23 @@ impl Sim {
             faults: None,
             fault_epoch: 0,
             pending_restarts: VecDeque::new(),
+            event_budget: None,
         }
+    }
+
+    /// Caps the total number of further events this simulation may process.
+    /// Once the budget is spent, [`Sim::step`] returns `false` and
+    /// [`Sim::peek_time`] reports no pending events, so every driver loop
+    /// terminates — the virtual-time watchdog for non-terminating cases.
+    /// Check [`Sim::budget_exhausted`] afterwards to tell "quiesced" from
+    /// "cut off".
+    pub fn set_event_budget(&mut self, max_events: u64) {
+        self.event_budget = Some(max_events);
+    }
+
+    /// `true` once a budget set via [`Sim::set_event_budget`] hit zero.
+    pub fn budget_exhausted(&self) -> bool {
+        self.event_budget == Some(0)
     }
 
     /// Current simulated time.
@@ -310,10 +338,35 @@ impl Sim {
                 self.dispatch(node, DispatchKind::Shutdown);
                 // A shutdown handler may itself crash the node; only mark
                 // stopped if it survived.
-                let slot = &mut self.nodes[node as usize];
-                if slot.status == NodeStatus::Running {
-                    slot.status = NodeStatus::Stopped;
+                if self.nodes[node as usize].status == NodeStatus::Running {
+                    let host = self.nodes[node as usize].host;
+                    // An armed mid-upgrade crash point fires here: the old
+                    // version has shut down, and the host dies before the
+                    // next version boots.
+                    let fired = self.faults.as_mut().is_some_and(|f| {
+                        f.take_crash_point(node, CrashPointKind::MidUpgrade, self.now)
+                    });
+                    let slot = &mut self.nodes[node as usize];
                     slot.process = None;
+                    if fired {
+                        slot.status = NodeStatus::Crashed;
+                        slot.crash_reason = Some(FAULT_CRASH_REASON.to_string());
+                        let generation = slot.generation;
+                        self.logs.push(LogRecord {
+                            time: self.now,
+                            node: Some(node),
+                            generation,
+                            level: LogLevel::Warn,
+                            message: format!("crash point: node {node} crashed mid-upgrade"),
+                        });
+                        self.crash_materialize_host(host);
+                    } else {
+                        slot.status = NodeStatus::Stopped;
+                        // A graceful stop syncs buffered storage (a clean
+                        // daemon exit flushes before the container is torn
+                        // down).
+                        self.storage.by_id_mut(host).flush_all();
+                    }
                 }
                 Ok(())
             }
@@ -333,6 +386,8 @@ impl Sim {
         slot.status = NodeStatus::Crashed;
         slot.crash_reason = Some("killed by harness".to_string());
         slot.process = None;
+        let host = slot.host;
+        self.crash_materialize_host(host);
         Ok(())
     }
 
@@ -415,6 +470,9 @@ impl Sim {
             let at = fault.at.max(self.now);
             self.schedule(at, EventKind::Fault { action, epoch });
         }
+        // The plan's durability axis applies to every host, current and
+        // future, for as long as the plan is installed.
+        self.storage.set_mode(plan.durability);
         self.faults = Some(FaultState::new(plan));
     }
 
@@ -461,6 +519,7 @@ impl Sim {
                 slot.status = NodeStatus::Crashed;
                 slot.crash_reason = Some(FAULT_CRASH_REASON.to_string());
                 slot.process = None;
+                let host = slot.host;
                 self.logs.push(LogRecord {
                     time: self.now,
                     node: Some(n),
@@ -468,6 +527,7 @@ impl Sim {
                     level: LogLevel::Warn,
                     message: format!("fault injection: crashed node {n}"),
                 });
+                self.crash_materialize_host(host);
             }
             FaultKind::Restart(n) => {
                 if !self.is_fault_crashed(n) {
@@ -485,6 +545,19 @@ impl Sim {
         }
         if let Some(f) = self.faults.as_mut() {
             f.injected += 1;
+        }
+    }
+
+    /// Resolves a host's unflushed storage against the plan's
+    /// crash-materializer stream. Called on **every** crash — scheduled
+    /// fault, harness kill, genuine process failure, crash point — so the
+    /// recovery image is always crash-consistent. A no-op without a plan
+    /// (no plan means strict durability: nothing is ever unflushed).
+    fn crash_materialize_host(&mut self, host: HostId) {
+        if let Some(f) = self.faults.as_mut() {
+            self.storage
+                .by_id_mut(host)
+                .crash_materialize(&mut f.crash_rng);
         }
     }
 
@@ -541,9 +614,15 @@ impl Sim {
 
     /// Processes the next event, if any; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
+        if self.budget_exhausted() {
+            return false;
+        }
         let Some(Reverse(event)) = self.queue.pop() else {
             return false;
         };
+        if let Some(budget) = self.event_budget.as_mut() {
+            *budget -= 1;
+        }
         debug_assert!(event.time >= self.now, "time went backwards");
         self.now = event.time;
         self.events_processed += 1;
@@ -598,6 +677,18 @@ impl Sim {
                     }
                 }
             }
+            EventKind::PointRestart { node, epoch } => {
+                if epoch == self.fault_epoch && self.is_fault_crashed(node) {
+                    self.pending_restarts.push_back(node);
+                    self.logs.push(LogRecord {
+                        time: self.now,
+                        node: Some(node),
+                        generation: self.nodes[node as usize].generation,
+                        level: LogLevel::Warn,
+                        message: format!("crash point: restart of node {node} due"),
+                    });
+                }
+            }
         }
         true
     }
@@ -634,8 +725,13 @@ impl Sim {
         Ok(())
     }
 
-    /// The timestamp of the next queued event.
+    /// The timestamp of the next queued event. Reports `None` once the
+    /// event budget is exhausted, so deadline loops built on peek+step
+    /// terminate instead of spinning on events that will never run.
     pub fn peek_time(&self) -> Option<SimTime> {
+        if self.budget_exhausted() {
+            return None;
+        }
         self.queue.peek().map(|Reverse(e)| e.time)
     }
 
@@ -762,6 +858,7 @@ impl Sim {
         let slot = &mut self.nodes[node as usize];
         slot.metrics.messages_sent += sent;
 
+        let mut crashed = false;
         match result {
             Ok(Ok(())) => {
                 if stop_requested {
@@ -781,9 +878,11 @@ impl Sim {
                     level: LogLevel::Fatal,
                     message: fatal.message,
                 });
+                crashed = true;
             }
             Err(panic) => {
                 let msg = panic_message(&panic);
+                let slot = &mut self.nodes[node as usize];
                 slot.status = NodeStatus::Crashed;
                 slot.crash_reason = Some(msg.clone());
                 self.logs.push(LogRecord {
@@ -793,7 +892,48 @@ impl Sim {
                     level: LogLevel::Fatal,
                     message: format!("panic: {msg}"),
                 });
+                crashed = true;
             }
+        }
+
+        if crashed {
+            // A dying process never got to fsync: resolve its unflushed
+            // state now, before anything can observe the storage.
+            self.crash_materialize_host(host);
+        } else if stop_requested {
+            // A graceful self-stop syncs buffered storage, like stop_node.
+            self.storage.by_id_mut(host).flush_all();
+        } else if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.wants(node, CrashPointKind::UnflushedWrite, self.now))
+            && self.nodes[node as usize].status.is_running()
+            && self.storage.by_id_mut(host).has_unflushed()
+        {
+            // An armed unflushed-write crash point fires: the handler left
+            // dirty bytes behind and the host dies before flushing them.
+            if let Some(f) = self.faults.as_mut() {
+                f.take_crash_point(node, CrashPointKind::UnflushedWrite, self.now);
+            }
+            let restart = self
+                .faults
+                .as_ref()
+                .map(|f| f.plan.crash_point_restart)
+                .unwrap_or(SimDuration::from_secs(2));
+            let epoch = self.fault_epoch;
+            let slot = &mut self.nodes[node as usize];
+            slot.status = NodeStatus::Crashed;
+            slot.crash_reason = Some(FAULT_CRASH_REASON.to_string());
+            slot.process = None;
+            self.logs.push(LogRecord {
+                time: self.now,
+                node: Some(node),
+                generation,
+                level: LogLevel::Warn,
+                message: format!("crash point: node {node} crashed with unflushed writes"),
+            });
+            self.crash_materialize_host(host);
+            self.schedule(self.now + restart, EventKind::PointRestart { node, epoch });
         }
     }
 }
@@ -1314,6 +1454,125 @@ mod tests {
         assert!(sim.node_status(a).is_running());
         assert_eq!(sim.faults_injected(), 0);
         assert!(sim.fault_plan().is_some());
+    }
+
+    #[test]
+    fn event_budget_halts_the_run() {
+        let (mut sim, a, b) = pinger_pair(9);
+        sim.run_for(SimDuration::from_millis(100));
+        assert!(!sim.budget_exhausted());
+        sim.set_event_budget(50);
+        sim.run_for(SimDuration::from_secs(60));
+        assert!(sim.budget_exhausted());
+        assert!(sim.peek_time().is_none(), "exhausted budget hides events");
+        assert!(!sim.step(), "exhausted budget refuses to step");
+        // Time still advanced to the deadline; nodes are untouched.
+        assert_eq!(sim.now().as_millis(), 60_100);
+        assert!(sim.node_status(a).is_running());
+        assert!(sim.node_status(b).is_running());
+    }
+
+    /// Appends to a WAL on every timer tick without flushing.
+    struct LazyWriter;
+    impl Process for LazyWriter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+            ctx.set_timer(SimDuration::from_millis(10), 0);
+            Ok(())
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: Endpoint, _: &[u8]) -> StepResult {
+            Ok(())
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) -> StepResult {
+            ctx.storage().append("wal", b"record;");
+            ctx.set_timer(SimDuration::from_millis(10), 0);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn mid_upgrade_crash_point_fires_between_stop_and_boot() {
+        let mut sim = Sim::new(21);
+        let n = sim.add_node("h", "v1", Box::new(LazyWriter));
+        sim.start_node(n).unwrap();
+        let mut plan = FaultPlan::new(5).crash_point(
+            n,
+            CrashPointKind::MidUpgrade,
+            SimTime::ZERO,
+            SimTime::from_millis(60_000),
+        );
+        plan.durability = crate::Durability::Buffered;
+        sim.install_fault_plan(plan);
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.host_storage_ref("h").unwrap().has_unflushed());
+        // The stop-for-upgrade becomes a crash: old version down, host dies
+        // before the new version boots.
+        sim.stop_node(n).unwrap();
+        assert_eq!(sim.node_status(n), NodeStatus::Crashed);
+        assert!(sim.is_fault_crashed(n));
+        assert!(sim.faults_injected() > 0);
+        // The recovery image is crash-consistent (materialized, not dirty).
+        assert!(!sim.host_storage_ref("h").unwrap().has_unflushed());
+        // The upgrade continues from the crashed slot.
+        sim.install(n, "v2", Box::new(LazyWriter)).unwrap();
+        sim.start_node(n).unwrap();
+        sim.run_for(SimDuration::from_millis(100));
+        assert!(sim.node_status(n).is_running());
+        // A second stop finds the point consumed: graceful, and flushed.
+        sim.stop_node(n).unwrap();
+        assert_eq!(sim.node_status(n), NodeStatus::Stopped);
+        assert!(!sim.host_storage_ref("h").unwrap().has_unflushed());
+    }
+
+    #[test]
+    fn unflushed_write_crash_point_crashes_and_schedules_restart() {
+        let mut sim = Sim::new(22);
+        let n = sim.add_node("h", "v1", Box::new(LazyWriter));
+        sim.start_node(n).unwrap();
+        let mut plan = FaultPlan::new(6).crash_point(
+            n,
+            CrashPointKind::UnflushedWrite,
+            SimTime::from_millis(100),
+            SimTime::from_millis(60_000),
+        );
+        plan.durability = crate::Durability::Torn;
+        sim.install_fault_plan(plan);
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.node_status(n), NodeStatus::Crashed);
+        assert!(sim.is_fault_crashed(n));
+        assert!(sim.take_pending_restart().is_none(), "restart not due yet");
+        sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(sim.take_pending_restart(), Some(n));
+        // The torn image holds a prefix of the append stream.
+        let wal = sim.host_storage_ref("h").unwrap().read("wal");
+        if let Some(bytes) = wal {
+            let full: Vec<u8> = b"record;".repeat(64);
+            assert!(full.starts_with(bytes), "torn WAL is not a write prefix");
+        }
+    }
+
+    #[test]
+    fn graceful_stop_flushes_buffered_storage() {
+        let mut sim = Sim::new(23);
+        let n = sim.add_node("h", "v1", Box::new(LazyWriter));
+        sim.start_node(n).unwrap();
+        let mut plan = FaultPlan::new(7);
+        plan.durability = crate::Durability::Torn;
+        sim.install_fault_plan(plan);
+        sim.run_for(SimDuration::from_secs(1));
+        let written = sim
+            .host_storage_ref("h")
+            .unwrap()
+            .read("wal")
+            .unwrap()
+            .to_vec();
+        assert!(sim.host_storage_ref("h").unwrap().has_unflushed());
+        sim.stop_node(n).unwrap();
+        assert_eq!(sim.node_status(n), NodeStatus::Stopped);
+        // The clean shutdown synced everything: nothing at risk, bytes intact.
+        let storage = sim.host_storage_ref("h").unwrap();
+        assert!(!storage.has_unflushed());
+        assert_eq!(storage.read("wal"), Some(&written[..]));
+        assert_eq!(storage.read_durable("wal"), Some(&written[..]));
     }
 
     #[test]

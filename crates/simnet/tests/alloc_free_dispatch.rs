@@ -7,7 +7,10 @@
 //! contains exactly ONE `#[test]`: the allocation counter is process-global,
 //! and a second test running on a parallel test thread would pollute it.
 
-use dup_simnet::{Ctx, Endpoint, FaultKind, FaultPlan, Process, Sim, SimDuration, StepResult};
+use dup_simnet::{
+    Ctx, Durability, Endpoint, FaultKind, FaultPlan, HostStorage, Process, Sim, SimDuration,
+    SimRng, StepResult,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -236,4 +239,54 @@ fn steady_state_dispatch_allocates_nothing() {
     );
     assert!(sim.node_status(c).is_running());
     assert!(sim.node_status(d).is_running());
+
+    // ---- phase 3: buffered durability — flush + crash materialization ----
+    //
+    // The crash-durability model rides the same discipline: an append lands
+    // in the file's existing buffer, `flush` is metadata-only, and
+    // `crash_materialize` resolves the unflushed tail in place (truncate,
+    // never reallocate). Warmed once, an append/flush/crash cycle must not
+    // touch the allocator. Write-replacement is excluded: `write` takes an
+    // owned `Vec` by design (the allocation is the caller's), and its
+    // crash atomicity is covered by the storage unit tests.
+    let mut storage = HostStorage::new();
+    storage.set_durability(Durability::Torn);
+    let chunk = [0xA5u8; 64];
+    // Warm-up: establish backing capacity well beyond what the measured
+    // loop can reach. The 1 MiB append sizes the buffer exactly; the next
+    // append forces one amortized doubling (~2 MiB capacity), while the
+    // measured loop grows the durable base by at most 128 bytes/iteration
+    // (~256 KiB total).
+    let big = vec![0u8; 1 << 20];
+    storage.append("wal", &big);
+    storage.append("wal", &chunk);
+    storage.flush("wal");
+    drop(big);
+    let mut rng = SimRng::new(0xD00D);
+    // One full warm cycle so every branch of the measured loop has run.
+    storage.append("wal", &chunk);
+    storage.flush("wal");
+    storage.append("wal", &chunk);
+    storage.crash_materialize(&mut rng);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..2_000 {
+        storage.append("wal", &chunk); // lands in the write buffer
+        storage.flush("wal"); // metadata-only: the tail becomes durable
+        storage.append("wal", &chunk); // an unflushed tail at risk
+        storage.crash_materialize(&mut rng); // torn in place
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "durability cycle allocated {} times over 2000 crash cycles",
+        after - before
+    );
+    assert!(
+        !storage.has_unflushed(),
+        "crash materialization must leave no unflushed state"
+    );
+    let wal = storage.read("wal").expect("wal survives every crash");
+    assert!(wal.len() >= (1 << 20), "durable base lost");
 }

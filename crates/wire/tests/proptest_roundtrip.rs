@@ -7,8 +7,8 @@
 //! below (which double as quick regression tests).
 
 use dup_wire::{
-    proto, thrift, FieldDescriptor, FieldType, Label, MessageDescriptor, MessageValue, Schema,
-    Value,
+    proto, thrift, FieldDescriptor, FieldType, Frame, Label, MessageDescriptor, MessageValue,
+    Schema, Value,
 };
 use proptest::prelude::*;
 
@@ -113,6 +113,25 @@ fn check_cross_decode(writer: &Schema, reader: &Schema, value: &MessageValue) {
     }
 }
 
+/// Decodes every truncation of `value`'s encoding, asserting only that no
+/// prefix panics a decoder. This is the torn-tail shape a mid-crash append
+/// stream leaves behind (`Durability::Torn` in the simulator): a recovering
+/// node reads a *prefix* of a record it wrote and must surface an error,
+/// not a crash.
+fn check_torn_prefixes(schema: &Schema, value: &MessageValue) {
+    if let Ok(bytes) = proto::encode(schema, value) {
+        for cut in 0..bytes.len() {
+            let _ = proto::decode(schema, "Gen", &bytes[..cut]);
+            let _ = thrift::decode(schema, "Gen", &bytes[..cut]);
+        }
+    }
+    if let Ok(bytes) = thrift::encode(schema, value) {
+        for cut in 0..bytes.len() {
+            let _ = thrift::decode(schema, "Gen", &bytes[..cut]);
+        }
+    }
+}
+
 /// Tiny deterministic generator (SplitMix64) for the seeded plain-test
 /// sweeps, so the helper logic runs even where proptest is unavailable.
 struct Gen(u64);
@@ -181,6 +200,32 @@ fn seeded_garbage_decode_never_panics() {
     }
 }
 
+#[test]
+fn seeded_torn_prefixes_never_panic_any_decoder() {
+    let mut gen = Gen(0x70A2);
+    for round in 0..100 {
+        let spec = gen.spec(1 + (round % 6) as usize);
+        let schema = schema_from_spec(&spec);
+        check_torn_prefixes(&schema, &message_from_spec(&spec, gen.next()));
+        // Framed records tear too. Frames carry no body length, so a cut
+        // past the header decodes to a body *prefix*; a cut inside the
+        // header must be an error — either way, never a panic.
+        let body: Vec<u8> = (0..gen.next() % 48).map(|_| gen.next() as u8).collect();
+        let frame = Frame::new(gen.next() as u32, "rec", body);
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            if let Ok(torn) = Frame::decode(&bytes[..cut]) {
+                assert_eq!(torn.version, frame.version, "round {round} cut {cut}");
+                assert_eq!(torn.kind, frame.kind, "round {round} cut {cut}");
+                assert!(
+                    frame.body.starts_with(&torn.body),
+                    "round {round} cut {cut}: torn body is not a prefix"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     /// Varint encoding is a bijection on u64 (and zigzag on i64).
     #[test]
@@ -234,5 +279,28 @@ proptest! {
         let _ = proto::decode(&schema, "Gen", &bytes);
         let _ = thrift::decode(&schema, "Gen", &bytes);
         let _ = dup_wire::decode_varint(&bytes);
+    }
+
+    /// Every truncation of a valid encoding — the shape a `Durability::Torn`
+    /// crash leaves at the end of an append stream — decodes to an error or
+    /// a strict prefix, never a panic.
+    #[test]
+    fn torn_prefix_decode_is_panic_free(
+        spec in proptest::collection::vec((0u8..7, 0u8..3), 1..7),
+        salt in any::<u64>(),
+        version in any::<u32>(),
+        body in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let schema = schema_from_spec(&spec);
+        check_torn_prefixes(&schema, &message_from_spec(&spec, salt));
+        let frame = Frame::new(version, "rec", body);
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            if let Ok(torn) = Frame::decode(&bytes[..cut]) {
+                prop_assert_eq!(torn.version, frame.version);
+                prop_assert_eq!(&torn.kind, &frame.kind);
+                prop_assert!(frame.body.starts_with(&torn.body), "cut {}", cut);
+            }
+        }
     }
 }

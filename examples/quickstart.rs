@@ -15,6 +15,7 @@ fn main() {
         workload: WorkloadSource::Stress,
         seed: 1,
         faults: Default::default(),
+        durability: Default::default(),
     };
     println!(
         "DUPTester: cassandra-mini {} -> {} [{}] with the {} workload…\n",

@@ -64,8 +64,9 @@ for m in re.finditer(
 
 if not results:
     sys.exit("bench_smoke: no benchmark results parsed from criterion output")
-if "faulty_ping_pong" not in results:
-    print("bench_smoke: warning: faulty_ping_pong missing from results", file=sys.stderr)
+for expected in ("faulty_ping_pong", "crashy_upgrade"):
+    if expected not in results:
+        print(f"bench_smoke: warning: {expected} missing from results", file=sys.stderr)
 
 report = {
     "schema": "bench-smoke-v1",

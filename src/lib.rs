@@ -42,8 +42,9 @@ pub mod prelude {
     };
     pub use dup_tester::{
         fault_plan_for, Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics,
-        CampaignObserver, CampaignReport, CaseOutcome, CaseStatus, FailureReport, FaultIntensity,
-        MetricsObserver, NoopObserver, ProgressObserver, Scenario, TestCase, WorkloadSource,
+        CampaignObserver, CampaignReport, CaseOutcome, CaseStatus, Durability, FailureReport,
+        FaultIntensity, MetricsObserver, NoopObserver, ProgressObserver, Scenario, TestCase,
+        WorkloadSource,
     };
 }
 

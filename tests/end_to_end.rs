@@ -50,6 +50,7 @@ fn consecutive_pair_strategy_vs_no_op_upgrade() {
         workload: WorkloadSource::TranslatedUnit("testCompactTables".into()),
         seed: 1,
         faults: Default::default(),
+        durability: Default::default(),
     };
     assert!(buggy.run(&ds_upgrade::kvstore::KvStoreSystem).is_failure());
 
@@ -71,6 +72,7 @@ fn translated_unit_test_beats_stress_on_tombstone_bug() {
         workload: WorkloadSource::Stress,
         seed: 1,
         faults: Default::default(),
+        durability: Default::default(),
     };
     let stress = base.run(&ds_upgrade::kvstore::KvStoreSystem);
     let tombstone_in = |outcome: &CaseOutcome| match outcome {
@@ -104,6 +106,7 @@ fn unit_state_handoff_exposes_removed_strategy() {
         workload: WorkloadSource::UnitStateHandoff("testUpdateKeyspace".into()),
         seed: 1,
         faults: Default::default(),
+        durability: Default::default(),
     };
     match case.run(&ds_upgrade::kvstore::KvStoreSystem) {
         CaseOutcome::Fail(obs) => {
@@ -126,6 +129,7 @@ fn full_case_runs_are_deterministic() {
         workload: WorkloadSource::Stress,
         seed: 9,
         faults: Default::default(),
+        durability: Default::default(),
     };
     let a = case.run(&ds_upgrade::kvstore::KvStoreSystem);
     let b = case.run(&ds_upgrade::kvstore::KvStoreSystem);

@@ -3,7 +3,7 @@
 use ds_upgrade::core::{upgrade_pairs, VersionGap, VersionId};
 use ds_upgrade::idl::{lower, parse_proto};
 use ds_upgrade::simnet::{FaultKind, HostStorage, SimRng};
-use ds_upgrade::tester::{fault_plan_for, FaultIntensity};
+use ds_upgrade::tester::{fault_plan_for, Durability, FaultIntensity};
 use ds_upgrade::wire::{proto, Frame, MessageValue, Value};
 use proptest::prelude::*;
 
@@ -135,6 +135,70 @@ proptest! {
         prop_assert_eq!(listed.len(), expected.len());
     }
 
+    /// Crash-durability invariant 1: bytes flushed before a crash survive
+    /// byte-identical, and whatever survives of an append stream is a prefix
+    /// of what was written — a torn tail only ever shortens the unflushed
+    /// suffix, whatever the seed or mode.
+    #[test]
+    fn flushed_bytes_survive_any_crash(
+        seed in any::<u64>(),
+        head in proptest::collection::vec(any::<u8>(), 0..48),
+        tail in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        for mode in [Durability::Buffered, Durability::Torn] {
+            let mut s = HostStorage::new();
+            s.set_durability(mode);
+            s.append("wal", &head);
+            s.flush("wal");
+            s.append("wal", &tail);
+            s.crash_materialize(&mut SimRng::new(seed));
+            let bytes = s.read("wal").expect("flushed file must survive");
+            prop_assert!(bytes.starts_with(&head), "{mode}: durable prefix corrupted");
+            let mut written = head.clone();
+            written.extend_from_slice(&tail);
+            prop_assert!(written.starts_with(bytes), "{mode}: survivor is not a prefix");
+            if mode == Durability::Buffered {
+                // All-or-nothing: no partial tails in buffered mode.
+                prop_assert!(
+                    bytes.len() == head.len() || bytes.len() == written.len(),
+                    "buffered crash left a partial tail"
+                );
+            }
+        }
+    }
+
+    /// Crash-durability invariant 2: materialization is a pure function of
+    /// (storage state, RNG seed) — same inputs, byte-identical recovery
+    /// image, whatever mix of writes, appends, and flushes preceded it.
+    #[test]
+    fn crash_materializer_is_pure(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(
+            (prop_oneof![Just(0u8), Just(1), Just(2)], "[a-b]/[a-z]{1,3}",
+             proptest::collection::vec(any::<u8>(), 0..12)), 0..24),
+    ) {
+        let build = || {
+            let mut s = HostStorage::new();
+            s.set_durability(Durability::Torn);
+            for (op, path, data) in &ops {
+                match op {
+                    0 => s.write(path, data.clone()),
+                    1 => s.append(path, data),
+                    _ => s.flush(path),
+                }
+            }
+            s
+        };
+        let mut a = build();
+        let mut b = build();
+        a.crash_materialize(&mut SimRng::new(seed));
+        b.crash_materialize(&mut SimRng::new(seed));
+        prop_assert_eq!(a.list(""), b.list(""));
+        for path in a.list("") {
+            prop_assert_eq!(a.read(&path), b.read(&path), "{}", path);
+        }
+    }
+
     /// Deterministic RNG streams: same seed, same draws; bounded draws stay
     /// in range.
     #[test]
@@ -165,13 +229,13 @@ proptest! {
     #[test]
     fn fault_plans_are_pure(seed in any::<u64>(), nodes in 1u32..6) {
         for intensity in [FaultIntensity::Light, FaultIntensity::Heavy] {
-            let a = fault_plan_for(intensity, seed, nodes).unwrap();
-            let b = fault_plan_for(intensity, seed, nodes).unwrap();
+            let a = fault_plan_for(intensity, Durability::Strict, seed, nodes).unwrap();
+            let b = fault_plan_for(intensity, Durability::Strict, seed, nodes).unwrap();
             prop_assert_eq!(a.seed(), b.seed());
             prop_assert_eq!(a.actions(), b.actions());
             prop_assert_eq!(a.describe(), b.describe());
         }
-        prop_assert!(fault_plan_for(FaultIntensity::Off, seed, nodes).is_none());
+        prop_assert!(fault_plan_for(FaultIntensity::Off, Durability::Strict, seed, nodes).is_none());
     }
 
     /// Every scheduled fault targets the booted cluster, partitions pair
@@ -179,7 +243,7 @@ proptest! {
     /// window — whatever the seed.
     #[test]
     fn fault_plan_targets_and_times_are_bounded(seed in any::<u64>(), nodes in 1u32..6) {
-        let plan = fault_plan_for(FaultIntensity::Heavy, seed, nodes).unwrap();
+        let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, seed, nodes).unwrap();
         for action in plan.actions() {
             match action.kind {
                 FaultKind::Partition(a, b) | FaultKind::Heal(a, b) => {
@@ -222,7 +286,7 @@ proptest! {
             let b = sim.add_node("host-b", "v1", Box::new(Pinger(0)));
             sim.start_node(a).unwrap();
             sim.start_node(b).unwrap();
-            sim.install_fault_plan(fault_plan_for(FaultIntensity::Heavy, seed, 2).unwrap());
+            sim.install_fault_plan(fault_plan_for(FaultIntensity::Heavy, Durability::Strict, seed, 2).unwrap());
             sim.run_for(SimDuration::from_millis(800));
             (sim.events_processed(), sim.messages_delivered(), sim.faults_injected())
         };
