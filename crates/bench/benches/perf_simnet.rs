@@ -138,6 +138,36 @@ fn bench_simnet(c: &mut Criterion) {
         })
     });
 
+    // The same workload with the causal trace recorder active: the delta
+    // against ping_pong_10k_messages is the per-event recording overhead
+    // (ring-slot stores, no allocation). The acceptance bar is <=5% mean.
+    group.bench_function("traced_ping_pong", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            sim.enable_trace(dup_simnet::TraceConfig::default());
+            let a = sim.add_node(
+                "a",
+                "v",
+                Box::new(Pinger {
+                    peer: 1,
+                    remaining: 5000,
+                }),
+            );
+            let bn = sim.add_node(
+                "b",
+                "v",
+                Box::new(Pinger {
+                    peer: 0,
+                    remaining: 5000,
+                }),
+            );
+            sim.start_node(a).expect("starts");
+            sim.start_node(bn).expect("starts");
+            sim.run_for(SimDuration::from_secs(60));
+            sim.messages_delivered()
+        })
+    });
+
     // The same storm with a heavy fault plan active: measures the fate-draw
     // overhead on the delivery hot path (a few RNG draws per routed
     // message) plus the duplicate/delay re-scheduling it causes.

@@ -20,7 +20,7 @@ use crate::harness::{CaseDigest, CaseOutcome, TestCase};
 use crate::oracle::Observation;
 use crate::scenario::Scenario;
 use dup_core::{SystemUnderTest, VersionId};
-use dup_simnet::Durability;
+use dup_simnet::{Durability, TraceConfig, TraceSlice};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,6 +54,10 @@ pub struct CampaignConfig {
     /// the group's remaining seeds are skipped (and counted as pruned).
     /// `None` disables pruning.
     pub prune_after: Option<usize>,
+    /// Causal trace recording. `Some` enables the simulator's trace ring for
+    /// every case and attaches a causal [`TraceSlice`] to each distinct
+    /// failure's report; `None` (the default) runs untraced.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -67,6 +71,7 @@ impl Default for CampaignConfig {
             durabilities: vec![Durability::Strict],
             threads: 0,
             prune_after: None,
+            trace: None,
         }
     }
 }
@@ -78,6 +83,9 @@ impl Default for CampaignConfig {
 struct CaseRecord {
     outcome: Option<CaseOutcome>,
     digest: CaseDigest,
+    /// The failing case's causal slice; `None` for passes, pruned cases, and
+    /// untraced campaigns.
+    slice: Option<TraceSlice>,
 }
 
 /// Fans callbacks out to the engine's internal metrics collector plus the
@@ -107,6 +115,20 @@ impl FanOut<'_> {
         if let Some(user) = self.user {
             user.on_failure_found(index, case, failure);
         }
+    }
+
+    fn trace_slice(&self, index: usize, case: &TestCase, slice: &TraceSlice) {
+        self.metrics.on_trace_slice(index, case, slice);
+        if let Some(user) = self.user {
+            user.on_trace_slice(index, case, slice);
+        }
+    }
+
+    /// Per-case trace counters go straight to the engine's metrics
+    /// collector: every traced case counts, not just the failing ones.
+    fn trace_counts(&self, digest: &CaseDigest) {
+        self.metrics
+            .record_trace(digest.trace_events_recorded, digest.trace_events_dropped);
     }
 }
 
@@ -173,6 +195,15 @@ impl<'a> CampaignBuilder<'a> {
     /// Enables dedup-aware seed pruning after `k` in-group reproductions.
     pub fn prune_after(mut self, k: usize) -> Self {
         self.config.prune_after = Some(k.max(1));
+        self
+    }
+
+    /// Enables causal trace recording for every case: each distinct failure
+    /// report carries a bounded [`TraceSlice`] whose lineage chain ends at
+    /// the violating observation, and observers see it via
+    /// [`CampaignObserver::on_trace_slice`].
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.config.trace = Some(config);
         self
     }
 
@@ -331,6 +362,7 @@ fn run_group(
             out.push(CaseRecord {
                 outcome: None,
                 digest: CaseDigest::default(),
+                slice: None,
             });
             continue;
         }
@@ -339,15 +371,18 @@ fn run_group(
         // case, not the whole campaign. The closure owns no state the rest
         // of the run observes (each case builds its own Sim), so resuming
         // after an unwind is sound despite AssertUnwindSafe.
-        let (outcome, digest) = match catch_unwind(AssertUnwindSafe(|| case.run_with_digest(sut))) {
-            Ok(pair) => pair,
-            Err(payload) => (
-                CaseOutcome::Fail(vec![Observation::HarnessPanic {
-                    message: panic_message(payload.as_ref()),
-                }]),
-                CaseDigest::default(),
-            ),
-        };
+        let (outcome, digest, slice) =
+            match catch_unwind(AssertUnwindSafe(|| case.run_traced(sut, config.trace))) {
+                Ok(triple) => triple,
+                Err(payload) => (
+                    CaseOutcome::Fail(vec![Observation::HarnessPanic {
+                        message: panic_message(payload.as_ref()),
+                    }]),
+                    CaseDigest::default(),
+                    None,
+                ),
+            };
+        fan.trace_counts(&digest);
         let wall = t0.elapsed();
         let status = match &outcome {
             CaseOutcome::Pass => CaseStatus::Passed,
@@ -379,6 +414,7 @@ fn run_group(
         out.push(CaseRecord {
             outcome: Some(outcome),
             digest,
+            slice,
         });
     }
     out
@@ -452,9 +488,13 @@ fn aggregate(
                         cause,
                         observations: observations.clone(),
                         reproductions: 1,
+                        trace: record.slice.clone(),
                     });
                     let failure = report.failures.last().expect("just pushed");
                     fan.failure_found(index, case, failure);
+                    if let Some(slice) = &failure.trace {
+                        fan.trace_slice(index, case, slice);
+                    }
                 }
             }
         }
@@ -492,6 +532,7 @@ mod tests {
         CaseRecord {
             outcome: Some(CaseOutcome::Fail(observations)),
             digest: CaseDigest::default(),
+            slice: None,
         }
     }
 
@@ -505,6 +546,7 @@ mod tests {
         assert_eq!(c.durabilities, vec![Durability::Strict]);
         assert_eq!(c.threads, 0);
         assert!(c.prune_after.is_none());
+        assert!(c.trace.is_none());
     }
 
     #[test]
@@ -539,6 +581,7 @@ mod tests {
             CaseRecord {
                 outcome: None,
                 digest: CaseDigest::default(),
+                slice: None,
             },
         ];
         let metrics = MetricsObserver::new();

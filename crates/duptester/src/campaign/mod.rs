@@ -22,5 +22,6 @@ pub use executor::{Campaign, CampaignBuilder, CampaignConfig};
 pub use matrix::{CaseMatrix, SeedGroup};
 pub use observer::{CampaignObserver, MetricsObserver, NoopObserver, ProgressObserver};
 pub use report::{
-    dedup_key, CampaignMetrics, CampaignReport, CaseStatus, FailureReport, ScenarioCounts,
+    dedup_key, CampaignMetrics, CampaignReport, CaseStatus, FailureReport, RenderOptions,
+    ScenarioCounts,
 };

@@ -11,6 +11,7 @@
 
 use crate::campaign::report::{CampaignMetrics, CaseStatus, FailureReport};
 use crate::harness::TestCase;
+use dup_simnet::TraceSlice;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -36,6 +37,13 @@ pub trait CampaignObserver: Send + Sync {
     fn on_failure_found(&self, index: usize, case: &TestCase, failure: &FailureReport) {
         let _ = (index, case, failure);
     }
+
+    /// The causal trace slice of a distinct failure's first exposing case.
+    /// Fires immediately after the matching `on_failure_found`, only when the
+    /// campaign ran with tracing enabled.
+    fn on_trace_slice(&self, index: usize, case: &TestCase, slice: &TraceSlice) {
+        let _ = (index, case, slice);
+    }
 }
 
 impl<T: CampaignObserver + ?Sized> CampaignObserver for Arc<T> {
@@ -49,6 +57,10 @@ impl<T: CampaignObserver + ?Sized> CampaignObserver for Arc<T> {
 
     fn on_failure_found(&self, index: usize, case: &TestCase, failure: &FailureReport) {
         (**self).on_failure_found(index, case, failure);
+    }
+
+    fn on_trace_slice(&self, index: usize, case: &TestCase, slice: &TraceSlice) {
+        (**self).on_trace_slice(index, case, slice);
     }
 }
 
@@ -126,6 +138,16 @@ impl MetricsObserver {
         self.metrics.lock().expect("metrics lock").clone()
     }
 
+    /// Accumulates one executed case's trace counters. The engine feeds
+    /// these from the case digest, so every traced case counts — not just
+    /// the failing ones whose slices reach `on_trace_slice`.
+    pub fn record_trace(&self, recorded: u64, dropped: u64) {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .record_trace_counts(recorded, dropped);
+    }
+
     pub(crate) fn finish(&self, threads_used: usize, campaign_wall: Duration) -> CampaignMetrics {
         let mut m = self.snapshot();
         m.threads_used = threads_used;
@@ -197,5 +219,32 @@ mod tests {
         let as_trait: &dyn CampaignObserver = &inner;
         as_trait.on_case_done(0, &case(), CaseStatus::Passed, Duration::ZERO);
         assert_eq!(inner.snapshot().per_scenario[&Scenario::Rolling].passed, 1);
+    }
+
+    #[test]
+    fn metrics_observer_accumulates_trace_counts() {
+        let obs = MetricsObserver::new();
+        obs.record_trace(100, 3);
+        obs.record_trace(50, 0);
+        let m = obs.snapshot();
+        assert_eq!(m.trace_events_recorded, 150);
+        assert_eq!(m.trace_events_dropped, 3);
+    }
+
+    #[test]
+    fn trace_slice_callback_defaults_to_noop() {
+        struct CountingObserver(AtomicUsize);
+        impl CampaignObserver for CountingObserver {
+            fn on_trace_slice(&self, _index: usize, _case: &TestCase, _slice: &TraceSlice) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // NoopObserver accepts the callback without doing anything.
+        NoopObserver.on_trace_slice(0, &case(), &TraceSlice::default());
+        // An Arc-wrapped observer delegates it.
+        let counting = Arc::new(CountingObserver(AtomicUsize::new(0)));
+        let as_trait: &dyn CampaignObserver = &counting;
+        as_trait.on_trace_slice(0, &case(), &TraceSlice::default());
+        assert_eq!(counting.0.load(Ordering::Relaxed), 1);
     }
 }

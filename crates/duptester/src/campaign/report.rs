@@ -5,7 +5,7 @@ use crate::faults::FaultIntensity;
 use crate::oracle::Observation;
 use crate::scenario::{Scenario, WorkloadSource};
 use dup_core::VersionId;
-use dup_simnet::Durability;
+use dup_simnet::{Durability, TraceSlice};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -41,6 +41,10 @@ pub struct FailureReport {
     pub observations: Vec<Observation>,
     /// How many (scenario, workload, seed) combinations reproduced it.
     pub reproductions: usize,
+    /// Causal trace slice of the first exposing case: the lineage chain
+    /// ending at the violating observation plus the trailing event window.
+    /// `None` when the campaign ran without tracing.
+    pub trace: Option<TraceSlice>,
 }
 
 impl FailureReport {
@@ -64,6 +68,59 @@ impl FailureReport {
             self.faults,
             self.durability
         )
+    }
+
+    /// Renders this failure under explicit [`RenderOptions`]. The first line
+    /// is always the plain [`Display`](fmt::Display) form; the `repro:` line
+    /// and the causal trace timeline compose onto it, each indented three
+    /// spaces. Requesting the trace on an untraced failure adds nothing.
+    pub fn render(&self, options: RenderOptions) -> String {
+        let mut out = format!("{self}\n");
+        if options.repro {
+            out.push_str(&format!("   {}\n", self.repro()));
+        }
+        if options.trace {
+            if let Some(slice) = &self.trace {
+                for line in slice.render_timeline().lines() {
+                    out.push_str(&format!("   {line}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Which parts of a [`FailureReport`] to render. Compose via the
+/// constructors or set fields directly; [`RenderOptions::plain`] matches the
+/// `Display` impl exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Include the one-line `repro:` string.
+    pub repro: bool,
+    /// Include the causal trace timeline, when the failure carries one.
+    pub trace: bool,
+}
+
+impl RenderOptions {
+    /// Just the one-line summary — the `Display` form.
+    pub fn plain() -> Self {
+        RenderOptions::default()
+    }
+
+    /// Summary plus the `repro:` line.
+    pub fn with_repro() -> Self {
+        RenderOptions {
+            repro: true,
+            trace: false,
+        }
+    }
+
+    /// Summary, `repro:` line, and the causal trace timeline.
+    pub fn with_trace() -> Self {
+        RenderOptions {
+            repro: true,
+            trace: true,
+        }
     }
 }
 
@@ -186,6 +243,11 @@ pub struct CampaignMetrics {
     pub total_case_wall: Duration,
     /// Elapsed wall-clock of the whole campaign.
     pub campaign_wall: Duration,
+    /// Trace events recorded across executed cases (0 when tracing is off).
+    /// Deterministic in the configuration, like the per-scenario counts.
+    pub trace_events_recorded: u64,
+    /// Trace events evicted by ring wrap across executed cases.
+    pub trace_events_dropped: u64,
 }
 
 impl CampaignMetrics {
@@ -215,6 +277,13 @@ impl CampaignMetrics {
     /// Records one distinct (post-dedup) failure.
     pub fn record_distinct_failure(&mut self) {
         self.distinct_failures += 1;
+    }
+
+    /// Accumulates one executed case's trace counters (a no-op for the
+    /// all-zero counters an untraced case reports).
+    pub fn record_trace_counts(&mut self, recorded: u64, dropped: u64) {
+        self.trace_events_recorded += recorded;
+        self.trace_events_dropped += dropped;
     }
 
     /// Failing cases that deduplicated onto an already-known failure.
@@ -280,6 +349,14 @@ impl CampaignMetrics {
             self.dedup_hit_rate() * 100.0,
             self.pruned_seeds
         ));
+        // Only traced campaigns get the trace line, so untraced reports stay
+        // byte-identical to what they rendered before tracing existed.
+        if self.trace_events_recorded > 0 {
+            out.push_str(&format!(
+                "   trace: {} events recorded, {} dropped by ring wrap\n",
+                self.trace_events_recorded, self.trace_events_dropped
+            ));
+        }
         out
     }
 
@@ -360,6 +437,11 @@ impl CampaignReport {
                 f.cause
             ));
             out.push_str(&format!("   {}\n", f.repro()));
+            if let Some(slice) = &f.trace {
+                for line in slice.render_timeline().lines() {
+                    out.push_str(&format!("   {line}\n"));
+                }
+            }
         }
         out.push_str(&format!(
             "-- {} distinct failures / {} cases ({} passed, {} invalid workloads, {} pruned)\n",
@@ -418,11 +500,68 @@ mod tests {
             cause: "Unclassified",
             observations: vec![],
             reproductions: 1,
+            trace: None,
         };
         assert_eq!(
             f.repro(),
             "repro: 1.0.0->2.0.0 scenario=rolling workload=stress seed=7 faults=heavy durability=torn"
         );
+    }
+
+    #[test]
+    fn render_options_compose_onto_the_plain_line() {
+        use dup_simnet::{SimTime, TraceEvent, TraceEventKind};
+        let mut f = FailureReport {
+            system: "kvstore".into(),
+            from: "1.0.0".parse().unwrap(),
+            to: "2.0.0".parse().unwrap(),
+            scenario: Scenario::Rolling,
+            workload: WorkloadSource::Stress,
+            seed: 7,
+            faults: FaultIntensity::Heavy,
+            durability: Durability::Torn,
+            signature: String::new(),
+            cause: "Unclassified",
+            observations: vec![],
+            reproductions: 1,
+            trace: None,
+        };
+        // Plain render is exactly the Display line.
+        assert_eq!(f.render(RenderOptions::plain()), format!("{f}\n"));
+        let with_repro = f.render(RenderOptions::with_repro());
+        assert!(with_repro.starts_with(&format!("{f}\n")));
+        assert!(with_repro.contains("   repro: 1.0.0->2.0.0"));
+        // Requesting the trace on an untraced failure changes nothing.
+        assert_eq!(f.render(RenderOptions::with_trace()), with_repro);
+        f.trace = Some(TraceSlice {
+            lineage: vec![TraceEvent {
+                id: 1,
+                parent: 0,
+                time: SimTime::ZERO,
+                kind: TraceEventKind::Observation { node: Some(0) },
+            }],
+            tail: vec![],
+            events_recorded: 1,
+            events_dropped: 0,
+        });
+        let traced = f.render(RenderOptions::with_trace());
+        assert!(traced.contains("   trace: 1 events recorded"));
+        assert!(traced.contains("   lineage (cause -> violation):"));
+        assert!(traced.contains("observation node-0"));
+    }
+
+    #[test]
+    fn metrics_trace_line_appears_only_when_traced() {
+        let mut m = CampaignMetrics::default();
+        m.record_trace_counts(0, 0);
+        assert!(!m.render_summary().contains("trace:"));
+        m.record_trace_counts(120, 4);
+        m.record_trace_counts(30, 0);
+        assert_eq!(m.trace_events_recorded, 150);
+        assert_eq!(m.trace_events_dropped, 4);
+        assert!(m
+            .render_summary()
+            .contains("trace: 150 events recorded, 4 dropped by ring wrap"));
     }
 
     #[test]

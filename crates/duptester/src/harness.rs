@@ -7,7 +7,7 @@ use crate::oracle::{self, Observation, OpResult};
 use crate::scenario::{Scenario, WorkloadSource};
 use crate::translator::translate;
 use dup_core::{ClientOp, Config, NodeSetup, SystemUnderTest, UnitTest, VersionId, WorkloadPhase};
-use dup_simnet::{Durability, LogLevel, NodeId, Sim, SimDuration};
+use dup_simnet::{Durability, LogLevel, NodeId, Sim, SimDuration, TraceConfig, TraceSlice};
 
 /// One test case: a version pair, a scenario, a workload, a seed, a fault
 /// intensity, and a storage durability mode.
@@ -37,13 +37,27 @@ impl TestCase {
     /// fresh seeded simulator, drives the workload through the scenario,
     /// and hands the evidence to the oracle.
     pub fn run(&self, sut: &dyn SystemUnderTest) -> CaseOutcome {
-        execute_case(sut, self).0
+        execute_case(sut, self, None).0
     }
 
     /// Like [`TestCase::run`], but also returns the case's determinism
     /// digest — the simulator's global counters at the end of the run.
     pub fn run_with_digest(&self, sut: &dyn SystemUnderTest) -> (CaseOutcome, CaseDigest) {
-        execute_case(sut, self)
+        let (outcome, digest, _) = execute_case(sut, self, None);
+        (outcome, digest)
+    }
+
+    /// Like [`TestCase::run_with_digest`], but records a causal trace while
+    /// the case runs. When the case fails, the returned [`TraceSlice`] is the
+    /// bounded causal slice anchored at the violating observation: the
+    /// lineage chain of events that led to it, plus the trailing window.
+    /// Passing `trace: None` disables recording (and always returns `None`).
+    pub fn run_traced(
+        &self,
+        sut: &dyn SystemUnderTest,
+        trace: Option<TraceConfig>,
+    ) -> (CaseOutcome, CaseDigest, Option<TraceSlice>) {
+        execute_case(sut, self, trace)
     }
 }
 
@@ -62,6 +76,10 @@ pub struct CaseDigest {
     pub messages_delivered: u64,
     /// Total faults the case's plan injected (0 with faults off).
     pub faults_injected: u64,
+    /// Trace events the case recorded (0 with tracing off).
+    pub trace_events_recorded: u64,
+    /// Trace events the case's ring buffer evicted by wrap-around.
+    pub trace_events_dropped: u64,
 }
 
 /// The outcome of one test case.
@@ -99,9 +117,16 @@ const OP_TIMEOUT: SimDuration = SimDuration::from_secs(3);
 /// spinning the worker thread forever.
 const EVENT_BUDGET: u64 = 2_000_000;
 
-fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> (CaseOutcome, CaseDigest) {
+fn execute_case(
+    sut: &dyn SystemUnderTest,
+    case: &TestCase,
+    trace: Option<TraceConfig>,
+) -> (CaseOutcome, CaseDigest, Option<TraceSlice>) {
     let mut sim = Sim::new(case.seed);
     sim.set_event_budget(EVENT_BUDGET);
+    if let Some(config) = trace {
+        sim.enable_trace(config);
+    }
     let mut outcome = execute_case_in(&mut sim, sut, case);
     if sim.budget_exhausted() {
         // The case ran away; whatever the oracle saw is untrustworthy
@@ -110,12 +135,27 @@ fn execute_case(sut: &dyn SystemUnderTest, case: &TestCase) -> (CaseOutcome, Cas
             events: sim.events_processed(),
         }]);
     }
+    let slice = match &outcome {
+        CaseOutcome::Fail(observations) => {
+            // Anchor the slice at the violating observation: the node the
+            // evidence implicates if it names one, otherwise the last event.
+            let hint = observations.iter().find_map(|o| match o {
+                Observation::NodeCrash { node, .. } => Some(*node),
+                _ => None,
+            });
+            let anchor = sim.trace_observe(hint);
+            sim.trace().map(|t| t.slice(anchor))
+        }
+        _ => None,
+    };
     let digest = CaseDigest {
         events_processed: sim.events_processed(),
         messages_delivered: sim.messages_delivered(),
         faults_injected: sim.faults_injected(),
+        trace_events_recorded: sim.trace().map_or(0, |t| t.events_recorded()),
+        trace_events_dropped: sim.trace().map_or(0, |t| t.events_dropped()),
     };
-    (outcome, digest)
+    (outcome, digest, slice)
 }
 
 /// Drives the simulation on the harness's behalf while a fault plan is
@@ -260,7 +300,8 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
             }
             // Execute the unit test in place against node 0's storage, as
             // the original in-JVM test would.
-            let storage = sim.host_storage(&host(0));
+            let storage_host = sim.host_id(&host(0));
+            let storage = sim.host_storage_by_id(storage_host);
             for stmt in &test.statements {
                 if let Err(e) = sut.run_unit_statement(case.from, stmt, storage) {
                     return CaseOutcome::InvalidWorkload(format!(

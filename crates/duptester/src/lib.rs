@@ -55,11 +55,11 @@ mod translator;
 pub use crate::campaign::{
     dedup_key, Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics, CampaignObserver,
     CampaignReport, CaseMatrix, CaseStatus, FailureReport, MetricsObserver, NoopObserver,
-    ProgressObserver, ScenarioCounts, SeedGroup,
+    ProgressObserver, RenderOptions, ScenarioCounts, SeedGroup,
 };
 pub use crate::faults::{fault_plan_for, FaultIntensity};
 pub use crate::harness::{CaseDigest, CaseOutcome, TestCase};
 pub use crate::oracle::{evaluate, Observation, OpResult};
 pub use crate::scenario::{Scenario, WorkloadSource};
 pub use crate::translator::{translate, Translation};
-pub use dup_simnet::{CrashPoint, CrashPointKind, Durability};
+pub use dup_simnet::{CrashPoint, CrashPointKind, Durability, TraceConfig, TraceSlice};

@@ -82,7 +82,8 @@ fn torn_storage_images(seed: u64) -> Vec<(String, Vec<(String, Vec<u8>)>)> {
     (0..n)
         .map(|i| {
             let host = format!("host-{i}");
-            let files = match sim.host_storage_ref(&host) {
+            let host_id = sim.host_id(&host);
+            let files = match sim.host_storage_by_id_ref(host_id) {
                 Some(storage) => storage
                     .list("")
                     .into_iter()

@@ -1,0 +1,221 @@
+//! Causal-trace campaigns: every distinct failure of the seeded-bug sweep
+//! must carry a bounded causal slice whose lineage chain ends at the
+//! violating observation — and the slices, like everything else in a
+//! campaign report, must be byte-identical across worker-thread counts and
+//! across reruns, faults and torn durability included.
+//!
+//! Rendered slices are also written to `target/trace-slices/` so CI can
+//! upload them as artifacts when a campaign test fails.
+
+use dup_tester::{
+    Campaign, CampaignObserver, CampaignReport, Durability, FaultIntensity, RenderOptions,
+    Scenario, TestCase, TraceConfig, TraceSlice,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn traced_campaign(threads: usize) -> CampaignReport {
+    Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1])
+        .scenarios([Scenario::FullStop, Scenario::Rolling])
+        .threads(threads)
+        .trace(TraceConfig::default())
+        .run()
+}
+
+/// The directory campaign test jobs upload as a CI artifact on failure.
+fn slice_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/trace-slices");
+    std::fs::create_dir_all(&dir).expect("create target/trace-slices");
+    dir
+}
+
+/// Writes every failure's rendered slice (timeline + Chrome JSON) under
+/// `target/trace-slices/<prefix>-<index>.*` before any assertion runs, so a
+/// failing test still leaves the evidence behind for the artifact upload.
+fn dump_slices(prefix: &str, report: &CampaignReport) {
+    let dir = slice_dir();
+    for (i, failure) in report.failures.iter().enumerate() {
+        let rendered = failure.render(RenderOptions::with_trace());
+        std::fs::write(dir.join(format!("{prefix}-{i}.txt")), rendered).expect("write timeline");
+        if let Some(slice) = &failure.trace {
+            std::fs::write(
+                dir.join(format!("{prefix}-{i}.json")),
+                slice.to_chrome_json(),
+            )
+            .expect("write chrome json");
+        }
+    }
+}
+
+#[test]
+fn every_failure_carries_a_slice_ending_at_the_observation() {
+    let report = traced_campaign(1);
+    dump_slices("seeded-bugs", &report);
+    assert!(!report.failures.is_empty(), "seeded bugs must be found");
+    for failure in &report.failures {
+        let slice = failure
+            .trace
+            .as_ref()
+            .unwrap_or_else(|| panic!("failure without a trace slice: {failure}"));
+        assert!(!slice.is_empty(), "empty slice on: {failure}");
+        assert!(slice.events_recorded > 0);
+        let last = slice
+            .lineage
+            .last()
+            .unwrap_or_else(|| panic!("empty lineage on: {failure}"));
+        assert!(
+            last.kind.to_string().starts_with("observation"),
+            "lineage must end at the violating observation, got {last} on: {failure}"
+        );
+        // The timeline and the Chrome export both render the anchor.
+        assert!(slice
+            .render_timeline()
+            .contains("lineage (cause -> violation):"));
+        let json = slice.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"cat\":\"lineage\""), "{json}");
+    }
+    // The engine's metrics aggregated the per-case counters, and the
+    // rendered table carries both the trace summary line and the timelines.
+    assert!(report.metrics.trace_events_recorded > 0);
+    let table = report.render_table();
+    assert!(table.contains("trace:"));
+    assert!(table.contains("lineage (cause -> violation):"));
+}
+
+#[test]
+fn traced_reports_are_byte_identical_across_threads_and_reruns() {
+    let seq = traced_campaign(1);
+    let par = traced_campaign(4);
+    let rerun = traced_campaign(1);
+    dump_slices("threads-1", &seq);
+    dump_slices("threads-4", &par);
+    // FailureReport equality covers the attached slices event by event.
+    assert_eq!(
+        seq.failures, par.failures,
+        "slices must not depend on threads"
+    );
+    assert_eq!(
+        seq.failures, rerun.failures,
+        "slices must replay across reruns"
+    );
+    assert_eq!(seq.render_table(), par.render_table());
+    assert_eq!(seq.render_table(), rerun.render_table());
+    assert_eq!(
+        seq.metrics.trace_events_recorded,
+        par.metrics.trace_events_recorded
+    );
+    assert_eq!(
+        seq.metrics.trace_events_dropped,
+        par.metrics.trace_events_dropped
+    );
+}
+
+/// Heavy faults + torn durability: the adversarial end of the matrix, where
+/// drops, duplicates, partitions, injected crashes, and torn storage tails
+/// all feed the trace. Slices must still replay byte-identically.
+#[test]
+fn traced_slices_replay_under_heavy_faults_and_torn_durability() {
+    let run = |threads: usize| {
+        Campaign::builder(&dup_kvstore::KvStoreSystem)
+            .seeds([1, 2])
+            .scenarios([Scenario::Rolling])
+            .unit_tests(false)
+            .faults([FaultIntensity::Heavy])
+            .durabilities([Durability::Torn])
+            .threads(threads)
+            .trace(TraceConfig {
+                // Small ring: force wrap so eviction semantics are under test.
+                capacity: 512,
+                tail_events: 8,
+                lineage_limit: 16,
+            })
+            .run()
+    };
+    let seq = run(1);
+    let par = run(4);
+    dump_slices("heavy-torn", &seq);
+    assert_eq!(seq.failures, par.failures);
+    assert_eq!(seq.render_table(), par.render_table());
+    // Wrap definitely happened with a 512-slot ring under heavy chaos.
+    assert!(seq.metrics.trace_events_dropped > 0, "ring never wrapped");
+    for failure in &seq.failures {
+        let slice = failure.trace.as_ref().expect("traced failure");
+        assert!(!slice.is_empty());
+        assert!(slice.events_dropped > 0);
+    }
+}
+
+/// A single traced case replays its slice byte-for-byte, and an untraced run
+/// of the same case returns no slice.
+#[test]
+fn single_case_slice_is_reproducible() {
+    let case = TestCase {
+        from: "1.1.0".parse().unwrap(),
+        to: "1.2.0".parse().unwrap(),
+        scenario: Scenario::Rolling,
+        workload: dup_tester::WorkloadSource::Stress,
+        seed: 1,
+        faults: Default::default(),
+        durability: Default::default(),
+    };
+    let config = Some(TraceConfig::default());
+    let (out1, d1, s1) = case.run_traced(&dup_kvstore::KvStoreSystem, config);
+    let (out2, d2, s2) = case.run_traced(&dup_kvstore::KvStoreSystem, config);
+    assert!(out1.is_failure(), "seeded pair should fail: {out1:?}");
+    assert_eq!(out1, out2);
+    assert_eq!(d1, d2);
+    assert!(d1.trace_events_recorded > 0);
+    let (slice1, slice2) = (s1.expect("slice"), s2.expect("slice"));
+    assert_eq!(slice1.render_timeline(), slice2.render_timeline());
+    assert_eq!(slice1.to_chrome_json(), slice2.to_chrome_json());
+    // Untraced: no slice, zero trace counters, same outcome.
+    let (out3, d3, s3) = case.run_traced(&dup_kvstore::KvStoreSystem, None);
+    assert_eq!(out1, out3);
+    assert!(s3.is_none());
+    assert_eq!(d3.trace_events_recorded, 0);
+    assert_eq!(d3.events_processed, d1.events_processed);
+}
+
+#[derive(Default)]
+struct SliceCollector {
+    failures: AtomicUsize,
+    slices: Mutex<Vec<TraceSlice>>,
+}
+
+impl CampaignObserver for SliceCollector {
+    fn on_failure_found(
+        &self,
+        _index: usize,
+        _case: &TestCase,
+        _failure: &dup_tester::FailureReport,
+    ) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_trace_slice(&self, _index: usize, _case: &TestCase, slice: &TraceSlice) {
+        self.slices.lock().unwrap().push(slice.clone());
+    }
+}
+
+/// `on_trace_slice` fires once per distinct failure (alongside
+/// `on_failure_found`) and hands the observer the same slice the report
+/// carries.
+#[test]
+fn observer_sees_one_slice_per_distinct_failure() {
+    let obs = std::sync::Arc::new(SliceCollector::default());
+    let report = Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1])
+        .scenarios([Scenario::FullStop])
+        .trace(TraceConfig::default())
+        .observer(std::sync::Arc::clone(&obs))
+        .run();
+    assert_eq!(obs.failures.load(Ordering::Relaxed), report.failures.len());
+    let slices = obs.slices.lock().unwrap();
+    assert_eq!(slices.len(), report.failures.len());
+    for (seen, failure) in slices.iter().zip(&report.failures) {
+        assert_eq!(Some(seen), failure.trace.as_ref());
+    }
+}

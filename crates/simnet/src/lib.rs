@@ -23,7 +23,10 @@
 //!   flush;
 //! - panic containment: a panicking process crashes *its node*, not the
 //!   simulation — the analog of a JVM dying inside its container;
-//! - captured, queryable logs ([`LogBuffer`]) for the failure oracle.
+//! - captured, queryable logs ([`LogBuffer`]) for the failure oracle;
+//! - an allocation-free causal trace recorder ([`Sim::enable_trace`],
+//!   [`TraceBuffer`]) whose bounded slices reconstruct the chain of
+//!   messages, timers, faults, and crashes behind a violating observation.
 //!
 //! Everything is deterministic in the root seed, which is what makes
 //! Finding 11 of the paper (≈89% of upgrade failures are deterministic)
@@ -68,6 +71,7 @@ mod rng;
 mod sim;
 mod storage;
 mod time;
+mod trace;
 
 pub use crate::faults::{
     CrashPoint, CrashPointKind, FaultKind, FaultPlan, ScheduledFault, FAULT_CRASH_REASON,
@@ -80,3 +84,4 @@ pub use crate::rng::SimRng;
 pub use crate::sim::{ClientHandle, Sim, SimError};
 pub use crate::storage::{Durability, HostId, HostStorage, StorageMap};
 pub use crate::time::{SimDuration, SimTime};
+pub use crate::trace::{TraceBuffer, TraceConfig, TraceEvent, TraceEventKind, TraceSlice};

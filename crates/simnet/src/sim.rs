@@ -15,6 +15,7 @@ use crate::process::{Ctx, Effect, Endpoint, NodeId, Process};
 use crate::rng::SimRng;
 use crate::storage::{HostId, HostStorage, StorageMap};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceBuffer, TraceConfig, TraceEventKind};
 use bytes::Bytes;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -95,6 +96,9 @@ enum EventKind {
 struct QueuedEvent {
     time: SimTime,
     seq: u64,
+    /// Trace id of the event whose processing enqueued this one (0 when
+    /// tracing is disabled or the enqueue was a harness root action).
+    cause: u64,
     kind: EventKind,
 }
 
@@ -150,6 +154,12 @@ pub struct Sim {
     /// non-terminating cases. At zero, [`Sim::step`] refuses to run and
     /// [`Sim::peek_time`] reports no pending events.
     event_budget: Option<u64>,
+    /// The causal trace recorder, if [`Sim::enable_trace`] was called. The
+    /// hot path pays one branch per record site when disabled.
+    trace: Option<TraceBuffer>,
+    /// Trace id of the event currently being processed: the causal parent
+    /// for everything the running handler produces. 0 while tracing is off.
+    trace_ctx: u64,
 }
 
 impl Sim {
@@ -174,6 +184,8 @@ impl Sim {
             fault_epoch: 0,
             pending_restarts: VecDeque::new(),
             event_budget: None,
+            trace: None,
+            trace_ctx: 0,
         }
     }
 
@@ -210,6 +222,42 @@ impl Sim {
     /// Captured logs.
     pub fn logs(&self) -> &LogBuffer {
         &self.logs
+    }
+
+    // ----- causal tracing ---------------------------------------------------
+
+    /// Enables the causal trace recorder. The ring is fully allocated here,
+    /// so recording itself performs no heap allocation; call before the run
+    /// starts to capture the whole history. Replaces any previous buffer.
+    pub fn enable_trace(&mut self, config: TraceConfig) {
+        self.trace = Some(TraceBuffer::new(config));
+        self.trace_ctx = 0;
+    }
+
+    /// The trace buffer, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Records an observation anchor — the terminal event a failure's
+    /// lineage chain ends at — parented to the last event touching `node`
+    /// (or the latest event overall when no node is implicated). Returns the
+    /// anchor's trace id, or 0 when tracing is disabled.
+    pub fn trace_observe(&mut self, node: Option<NodeId>) -> u64 {
+        let parent = match self.trace.as_ref() {
+            Some(t) => t.anchor_for(node),
+            None => return 0,
+        };
+        self.trace_record(parent, TraceEventKind::Observation { node })
+    }
+
+    /// Records one trace event at the current time; returns 0 when disabled.
+    #[inline(always)]
+    fn trace_record(&mut self, parent: u64, kind: TraceEventKind) -> u64 {
+        match self.trace.as_mut() {
+            Some(t) => t.record(self.now, parent, kind),
+            None => 0,
+        }
     }
 
     /// Emits a harness-level log record.
@@ -325,7 +373,7 @@ impl Sim {
         slot.crash_reason = None;
         let generation = slot.generation;
         slot.rng = SimRng::new(seed).split(u64::from(node) << 20 | generation);
-        self.schedule(self.now, EventKind::Start { node, generation });
+        self.schedule(self.now, 0, EventKind::Start { node, generation });
         Ok(())
     }
 
@@ -335,6 +383,8 @@ impl Sim {
         let status = self.slot_mut(node)?.status;
         match status {
             NodeStatus::Running => {
+                let stop_id = self.trace_record(0, TraceEventKind::NodeStop { node });
+                self.trace_ctx = stop_id;
                 self.dispatch(node, DispatchKind::Shutdown);
                 // A shutdown handler may itself crash the node; only mark
                 // stopped if it survived.
@@ -359,18 +409,22 @@ impl Sim {
                             level: LogLevel::Warn,
                             message: format!("crash point: node {node} crashed mid-upgrade"),
                         });
-                        self.crash_materialize_host(host);
+                        let crash_id =
+                            self.trace_record(stop_id, TraceEventKind::NodeCrash { node });
+                        self.crash_materialize_host(host, crash_id);
                     } else {
                         slot.status = NodeStatus::Stopped;
                         // A graceful stop syncs buffered storage (a clean
                         // daemon exit flushes before the container is torn
                         // down).
+                        self.trace_record(stop_id, TraceEventKind::StorageFlush { host });
                         self.storage.by_id_mut(host).flush_all();
                     }
                 }
                 Ok(())
             }
             NodeStatus::Starting | NodeStatus::Idle => {
+                self.trace_record(0, TraceEventKind::NodeStop { node });
                 let slot = self.slot_mut(node)?;
                 slot.status = NodeStatus::Stopped;
                 Ok(())
@@ -387,7 +441,8 @@ impl Sim {
         slot.crash_reason = Some("killed by harness".to_string());
         slot.process = None;
         let host = slot.host;
-        self.crash_materialize_host(host);
+        let kill_id = self.trace_record(0, TraceEventKind::NodeKill { node });
+        self.crash_materialize_host(host, kill_id);
         Ok(())
     }
 
@@ -411,6 +466,7 @@ impl Sim {
         }
         slot.process = Some(process);
         slot.version_label = version_label.to_string();
+        self.trace_record(0, TraceEventKind::NodeUpgrade { node });
         Ok(())
     }
 
@@ -429,19 +485,6 @@ impl Sim {
     /// `None` if nothing was ever stored there.
     pub fn host_storage_by_id_ref(&self, host: HostId) -> Option<&HostStorage> {
         self.storage.by_id(host)
-    }
-
-    /// Direct access to a host's persistent storage (for workload setup and
-    /// post-mortem inspection). Thin string-keyed wrapper over
-    /// [`Sim::host_storage_by_id`].
-    pub fn host_storage(&mut self, host: &str) -> &mut HostStorage {
-        self.storage.host_mut(host)
-    }
-
-    /// Read-only access to a host's persistent storage. Thin string-keyed
-    /// wrapper over [`Sim::host_storage_by_id_ref`].
-    pub fn host_storage_ref(&self, host: &str) -> Option<&HostStorage> {
-        self.storage.host(host)
     }
 
     /// The host name of `node`.
@@ -468,7 +511,7 @@ impl Sim {
         let epoch = self.fault_epoch;
         for (action, fault) in plan.actions().iter().enumerate() {
             let at = fault.at.max(self.now);
-            self.schedule(at, EventKind::Fault { action, epoch });
+            self.schedule(at, 0, EventKind::Fault { action, epoch });
         }
         // The plan's durability axis applies to every host, current and
         // future, for as long as the plan is installed.
@@ -527,7 +570,9 @@ impl Sim {
                     level: LogLevel::Warn,
                     message: format!("fault injection: crashed node {n}"),
                 });
-                self.crash_materialize_host(host);
+                let ctx = self.trace_ctx;
+                let crash_id = self.trace_record(ctx, TraceEventKind::NodeCrash { node: n });
+                self.crash_materialize_host(host, crash_id);
             }
             FaultKind::Restart(n) => {
                 if !self.is_fault_crashed(n) {
@@ -541,6 +586,8 @@ impl Sim {
                     level: LogLevel::Warn,
                     message: format!("fault injection: restart of node {n} due"),
                 });
+                let ctx = self.trace_ctx;
+                self.trace_record(ctx, TraceEventKind::NodeRestartDue { node: n });
             }
         }
         if let Some(f) = self.faults.as_mut() {
@@ -553,7 +600,15 @@ impl Sim {
     /// fault, harness kill, genuine process failure, crash point — so the
     /// recovery image is always crash-consistent. A no-op without a plan
     /// (no plan means strict durability: nothing is ever unflushed).
-    fn crash_materialize_host(&mut self, host: HostId) {
+    /// `parent` is the trace id of the crash that triggered it.
+    fn crash_materialize_host(&mut self, host: HostId, parent: u64) {
+        if self.faults.is_none() {
+            return;
+        }
+        if self.trace.is_some() {
+            let at_risk = self.storage.by_id_mut(host).unflushed_bytes() as u32;
+            self.trace_record(parent, TraceEventKind::StorageCrash { host, at_risk });
+        }
         if let Some(f) = self.faults.as_mut() {
             self.storage
                 .by_id_mut(host)
@@ -573,8 +628,17 @@ impl Sim {
             .net
             .route(from, Endpoint::Node(to), &mut self.net_rng)
             .unwrap_or(SimDuration::from_millis(1));
+        let request_id = self.trace_record(
+            0,
+            TraceEventKind::ClientRequest {
+                client: id,
+                node: to,
+                bytes: payload.len() as u32,
+            },
+        );
         self.schedule(
             self.now + latency,
+            request_id,
             EventKind::Deliver {
                 from,
                 to: Endpoint::Node(to),
@@ -631,6 +695,8 @@ impl Sim {
                 let slot = &mut self.nodes[node as usize];
                 if slot.generation == generation && slot.status == NodeStatus::Starting {
                     slot.status = NodeStatus::Running;
+                    self.trace_ctx = self
+                        .trace_record(event.cause, TraceEventKind::NodeStart { node, generation });
                     self.dispatch(node, DispatchKind::Start);
                 }
             }
@@ -640,12 +706,27 @@ impl Sim {
                         if slot.status.is_running() {
                             slot.metrics.messages_received += 1;
                             self.messages_delivered += 1;
+                            self.trace_ctx = self.trace_record(
+                                event.cause,
+                                TraceEventKind::MessageDeliver {
+                                    from,
+                                    to,
+                                    bytes: payload.len() as u32,
+                                },
+                            );
                             self.dispatch(n, DispatchKind::Message { from, payload });
                         }
                     }
                 }
                 Endpoint::Client(c) => {
                     self.messages_delivered += 1;
+                    self.trace_record(
+                        event.cause,
+                        TraceEventKind::ClientResponse {
+                            client: c,
+                            bytes: payload.len() as u32,
+                        },
+                    );
                     // A reply to a client id the harness never issued has no
                     // reader; drop it (it still counts as delivered above,
                     // exactly as the old map-backed inbox counted it).
@@ -662,6 +743,8 @@ impl Sim {
                 let slot = &mut self.nodes[node as usize];
                 if slot.generation == generation && slot.status.is_running() {
                     slot.metrics.timers_fired += 1;
+                    self.trace_ctx =
+                        self.trace_record(event.cause, TraceEventKind::TimerFire { node, token });
                     self.dispatch(node, DispatchKind::Timer { token });
                 }
             }
@@ -673,6 +756,8 @@ impl Sim {
                         .and_then(|f| f.plan.actions().get(action))
                         .map(|a| a.kind);
                     if let Some(kind) = kind {
+                        self.trace_ctx =
+                            self.trace_record(event.cause, TraceEventKind::FaultAction { kind });
                         self.apply_fault(kind);
                     }
                 }
@@ -687,6 +772,7 @@ impl Sim {
                         level: LogLevel::Warn,
                         message: format!("crash point: restart of node {node} due"),
                     });
+                    self.trace_record(event.cause, TraceEventKind::NodeRestartDue { node });
                 }
             }
         }
@@ -743,10 +829,15 @@ impl Sim {
             .ok_or(SimError::UnknownNode(node))
     }
 
-    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+    fn schedule(&mut self, time: SimTime, cause: u64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+        self.queue.push(Reverse(QueuedEvent {
+            time,
+            seq,
+            cause,
+            kind,
+        }));
     }
 
     fn dispatch(&mut self, node: NodeId, kind: DispatchKind) {
@@ -792,12 +883,23 @@ impl Sim {
         let slot = &mut self.nodes[node as usize];
         slot.rng = rng;
 
+        // Everything this handler produced is causally parented to the
+        // event that dispatched it.
+        let dispatch_ctx = self.trace_ctx;
         let mut stop_requested = false;
         let mut sent = 0u64;
         for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, payload } => {
                     sent += 1;
+                    let send_id = self.trace_record(
+                        dispatch_ctx,
+                        TraceEventKind::MessageSend {
+                            from: Endpoint::Node(node),
+                            to,
+                            bytes: payload.len() as u32,
+                        },
+                    );
                     if let Some(latency) =
                         self.net.route(Endpoint::Node(node), to, &mut self.net_rng)
                     {
@@ -810,11 +912,18 @@ impl Sim {
                         };
                         let from = Endpoint::Node(node);
                         match fate {
-                            MessageFate::Drop => {}
+                            MessageFate::Drop => {
+                                self.trace_record(send_id, TraceEventKind::FaultDrop { from, to });
+                            }
                             MessageFate::Duplicate { extra } => {
+                                let dup_id = self.trace_record(
+                                    send_id,
+                                    TraceEventKind::FaultDuplicate { extra },
+                                );
                                 // `Bytes::clone` bumps a refcount; no copy.
                                 self.schedule(
                                     self.now + latency + extra,
+                                    dup_id,
                                     EventKind::Deliver {
                                         from,
                                         to,
@@ -823,18 +932,23 @@ impl Sim {
                                 );
                                 self.schedule(
                                     self.now + latency,
+                                    send_id,
                                     EventKind::Deliver { from, to, payload },
                                 );
                             }
                             MessageFate::Delay { extra } => {
+                                let delay_id = self
+                                    .trace_record(send_id, TraceEventKind::FaultDelay { extra });
                                 self.schedule(
                                     self.now + latency + extra,
+                                    delay_id,
                                     EventKind::Deliver { from, to, payload },
                                 );
                             }
                             MessageFate::Deliver => {
                                 self.schedule(
                                     self.now + latency,
+                                    send_id,
                                     EventKind::Deliver { from, to, payload },
                                 );
                             }
@@ -842,8 +956,13 @@ impl Sim {
                     }
                 }
                 Effect::SetTimer { delay, token } => {
+                    let timer_id = self.trace_record(
+                        dispatch_ctx,
+                        TraceEventKind::TimerSet { node, token, delay },
+                    );
                     self.schedule(
                         self.now + delay,
+                        timer_id,
                         EventKind::Timer {
                             node,
                             generation,
@@ -899,9 +1018,12 @@ impl Sim {
         if crashed {
             // A dying process never got to fsync: resolve its unflushed
             // state now, before anything can observe the storage.
-            self.crash_materialize_host(host);
+            let crash_id = self.trace_record(dispatch_ctx, TraceEventKind::NodeCrash { node });
+            self.crash_materialize_host(host, crash_id);
         } else if stop_requested {
             // A graceful self-stop syncs buffered storage, like stop_node.
+            let stop_id = self.trace_record(dispatch_ctx, TraceEventKind::NodeStop { node });
+            self.trace_record(stop_id, TraceEventKind::StorageFlush { host });
             self.storage.by_id_mut(host).flush_all();
         } else if self
             .faults
@@ -932,8 +1054,13 @@ impl Sim {
                 level: LogLevel::Warn,
                 message: format!("crash point: node {node} crashed with unflushed writes"),
             });
-            self.crash_materialize_host(host);
-            self.schedule(self.now + restart, EventKind::PointRestart { node, epoch });
+            let crash_id = self.trace_record(dispatch_ctx, TraceEventKind::NodeCrash { node });
+            self.crash_materialize_host(host, crash_id);
+            self.schedule(
+                self.now + restart,
+                crash_id,
+                EventKind::PointRestart { node, epoch },
+            );
         }
     }
 }
@@ -1065,8 +1192,9 @@ mod tests {
         sim.run_for(SimDuration::from_millis(10));
         assert_eq!(sim.node_version(n), "v2");
         assert_eq!(sim.logs().matching("found marker one").count(), 1);
+        let host = sim.host_id("hostA");
         assert_eq!(
-            sim.host_storage_ref("hostA").unwrap().read("marker"),
+            sim.host_storage_by_id_ref(host).unwrap().read("marker"),
             Some(&b"two"[..])
         );
     }
@@ -1148,8 +1276,10 @@ mod tests {
         sim.run_for(SimDuration::from_millis(5));
         sim.stop_node(a).unwrap();
         sim.kill_node(b).unwrap();
-        assert!(sim.host_storage_ref("ha").unwrap().exists("clean"));
-        assert!(!sim.host_storage_ref("hb").unwrap().exists("clean"));
+        let ha = sim.node_host_id(a).unwrap();
+        let hb = sim.node_host_id(b).unwrap();
+        assert!(sim.host_storage_by_id_ref(ha).unwrap().exists("clean"));
+        assert!(!sim.host_storage_by_id_ref(hb).unwrap().exists("clean"));
         assert_eq!(sim.node_status(b), NodeStatus::Crashed);
     }
 
@@ -1260,14 +1390,11 @@ mod tests {
         assert_ne!(sim.node_host_id(a), sim.node_host_id(b));
         assert_eq!(sim.node_host_id(99), None);
         assert_eq!(sim.node_host(99), "");
-        // The id-addressed storage API reaches the same bytes as the
-        // string-keyed wrapper.
+        // Interning is idempotent: `host_id` returns the id the node slot
+        // already carries, and both address the same bytes.
         let id = sim.host_id("alpha");
+        assert_eq!(sim.node_host_id(a), Some(id));
         sim.host_storage_by_id(id).write("f", b"x".to_vec());
-        assert_eq!(
-            sim.host_storage_ref("alpha").unwrap().read("f"),
-            Some(&b"x"[..])
-        );
         assert_eq!(
             sim.host_storage_by_id_ref(id).unwrap().read("f"),
             Some(&b"x"[..])
@@ -1493,6 +1620,7 @@ mod tests {
     fn mid_upgrade_crash_point_fires_between_stop_and_boot() {
         let mut sim = Sim::new(21);
         let n = sim.add_node("h", "v1", Box::new(LazyWriter));
+        let h = sim.host_id("h");
         sim.start_node(n).unwrap();
         let mut plan = FaultPlan::new(5).crash_point(
             n,
@@ -1503,7 +1631,7 @@ mod tests {
         plan.durability = crate::Durability::Buffered;
         sim.install_fault_plan(plan);
         sim.run_for(SimDuration::from_secs(1));
-        assert!(sim.host_storage_ref("h").unwrap().has_unflushed());
+        assert!(sim.host_storage_by_id_ref(h).unwrap().has_unflushed());
         // The stop-for-upgrade becomes a crash: old version down, host dies
         // before the new version boots.
         sim.stop_node(n).unwrap();
@@ -1511,7 +1639,7 @@ mod tests {
         assert!(sim.is_fault_crashed(n));
         assert!(sim.faults_injected() > 0);
         // The recovery image is crash-consistent (materialized, not dirty).
-        assert!(!sim.host_storage_ref("h").unwrap().has_unflushed());
+        assert!(!sim.host_storage_by_id_ref(h).unwrap().has_unflushed());
         // The upgrade continues from the crashed slot.
         sim.install(n, "v2", Box::new(LazyWriter)).unwrap();
         sim.start_node(n).unwrap();
@@ -1520,13 +1648,14 @@ mod tests {
         // A second stop finds the point consumed: graceful, and flushed.
         sim.stop_node(n).unwrap();
         assert_eq!(sim.node_status(n), NodeStatus::Stopped);
-        assert!(!sim.host_storage_ref("h").unwrap().has_unflushed());
+        assert!(!sim.host_storage_by_id_ref(h).unwrap().has_unflushed());
     }
 
     #[test]
     fn unflushed_write_crash_point_crashes_and_schedules_restart() {
         let mut sim = Sim::new(22);
         let n = sim.add_node("h", "v1", Box::new(LazyWriter));
+        let h = sim.host_id("h");
         sim.start_node(n).unwrap();
         let mut plan = FaultPlan::new(6).crash_point(
             n,
@@ -1543,7 +1672,7 @@ mod tests {
         sim.run_for(SimDuration::from_secs(3));
         assert_eq!(sim.take_pending_restart(), Some(n));
         // The torn image holds a prefix of the append stream.
-        let wal = sim.host_storage_ref("h").unwrap().read("wal");
+        let wal = sim.host_storage_by_id_ref(h).unwrap().read("wal");
         if let Some(bytes) = wal {
             let full: Vec<u8> = b"record;".repeat(64);
             assert!(full.starts_with(bytes), "torn WAL is not a write prefix");
@@ -1554,25 +1683,96 @@ mod tests {
     fn graceful_stop_flushes_buffered_storage() {
         let mut sim = Sim::new(23);
         let n = sim.add_node("h", "v1", Box::new(LazyWriter));
+        let h = sim.host_id("h");
         sim.start_node(n).unwrap();
         let mut plan = FaultPlan::new(7);
         plan.durability = crate::Durability::Torn;
         sim.install_fault_plan(plan);
         sim.run_for(SimDuration::from_secs(1));
         let written = sim
-            .host_storage_ref("h")
+            .host_storage_by_id_ref(h)
             .unwrap()
             .read("wal")
             .unwrap()
             .to_vec();
-        assert!(sim.host_storage_ref("h").unwrap().has_unflushed());
+        assert!(sim.host_storage_by_id_ref(h).unwrap().has_unflushed());
         sim.stop_node(n).unwrap();
         assert_eq!(sim.node_status(n), NodeStatus::Stopped);
         // The clean shutdown synced everything: nothing at risk, bytes intact.
-        let storage = sim.host_storage_ref("h").unwrap();
+        let storage = sim.host_storage_by_id_ref(h).unwrap();
         assert!(!storage.has_unflushed());
         assert_eq!(storage.read("wal"), Some(&written[..]));
         assert_eq!(storage.read_durable("wal"), Some(&written[..]));
+    }
+
+    #[test]
+    fn trace_lineage_links_request_to_crash() {
+        let mut sim = Sim::new(31);
+        sim.enable_trace(TraceConfig::default());
+        let n = started_echo(&mut sim);
+        sim.rpc(n, Bytes::from_static(b"die"), SimDuration::from_secs(1));
+        assert_eq!(sim.node_status(n), NodeStatus::Crashed);
+        let anchor = sim.trace_observe(Some(n));
+        let trace = sim.trace().unwrap();
+        assert!(trace.events_recorded() > 0);
+        let slice = trace.slice(anchor);
+        assert!(!slice.is_empty());
+        // The chain ends at the observation and passes through the fatal
+        // delivery and the client request that caused it.
+        let kinds: Vec<String> = slice.lineage.iter().map(|e| e.kind.to_string()).collect();
+        assert_eq!(
+            kinds.last().map(String::as_str),
+            Some(format!("observation node-{n}").as_str()),
+            "{kinds:?}"
+        );
+        assert!(
+            kinds.iter().any(|k| k.starts_with("node-crash")),
+            "{kinds:?}"
+        );
+        assert!(
+            kinds
+                .iter()
+                .any(|k| k.starts_with("deliver client-0->node-0")),
+            "{kinds:?}"
+        );
+        assert!(
+            kinds.iter().any(|k| k.starts_with("client-request")),
+            "{kinds:?}"
+        );
+    }
+
+    #[test]
+    fn traces_replay_byte_identically_for_a_seed() {
+        fn traced_run(seed: u64) -> String {
+            let mut sim = Sim::new(seed);
+            sim.enable_trace(TraceConfig::default());
+            let (a, b) = {
+                let a = sim.add_node("fa", "v", Box::new(KeepalivePinger(1)));
+                let b = sim.add_node("fb", "v", Box::new(KeepalivePinger(0)));
+                (a, b)
+            };
+            sim.start_node(a).unwrap();
+            sim.start_node(b).unwrap();
+            let mut plan = FaultPlan::new(seed);
+            plan.drop_probability = 0.05;
+            plan.duplicate_probability = 0.05;
+            plan.delay_probability = 0.05;
+            sim.install_fault_plan(plan);
+            sim.run_for(SimDuration::from_secs(5));
+            let anchor = sim.trace_observe(None);
+            sim.trace().unwrap().slice(anchor).render_timeline()
+        }
+        assert_eq!(traced_run(42), traced_run(42));
+        assert_ne!(traced_run(42), traced_run(43));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing_and_observe_returns_zero() {
+        let mut sim = Sim::new(1);
+        let n = started_echo(&mut sim);
+        sim.rpc(n, Bytes::from_static(b"x"), SimDuration::from_secs(1));
+        assert!(sim.trace().is_none());
+        assert_eq!(sim.trace_observe(Some(n)), 0);
     }
 
     #[test]

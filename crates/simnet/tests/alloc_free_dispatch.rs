@@ -9,7 +9,7 @@
 
 use dup_simnet::{
     Ctx, Durability, Endpoint, FaultKind, FaultPlan, HostStorage, Process, Sim, SimDuration,
-    SimRng, StepResult,
+    SimRng, StepResult, TraceConfig,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -289,4 +289,58 @@ fn steady_state_dispatch_allocates_nothing() {
     );
     let wal = storage.read("wal").expect("wal survives every crash");
     assert!(wal.len() >= (1 << 20), "durable base lost");
+
+    // ---- phase 4: the causal trace recorder ------------------------------
+    //
+    // Phases 1–3 above double as the tracing-*disabled* assertion: their Sims
+    // never call `enable_trace`, so every record site reduces to one branch
+    // and the steady-state zero still holds with the trace hooks compiled in.
+    // This phase covers the *enabled* mode: the ring is allocated once at
+    // enable time and recording overwrites slots in place, so a warmed,
+    // actively-wrapping trace must not touch the allocator either. The ring
+    // is deliberately tiny so the measured window exercises wrap-around
+    // eviction, not just initial fill.
+    let mut sim = Sim::new(77);
+    sim.enable_trace(TraceConfig {
+        capacity: 256,
+        tail_events: 8,
+        lineage_limit: 16,
+    });
+    let e = sim.add_node("alloc-e", "v", Box::new(Pinger::new(1)));
+    let f = sim.add_node("alloc-f", "v", Box::new(Pinger::new(0)));
+    sim.start_node(e).expect("starts");
+    sim.start_node(f).expect("starts");
+
+    // Warm-up: fills the ring past capacity (so the measured window runs in
+    // overwrite mode) and sizes the per-node last-touch table — the only
+    // trace structure that grows, and only when a node id first appears.
+    sim.run_for(SimDuration::from_secs(2));
+    let warm_events = sim.events_processed();
+    let warm_recorded = sim.trace().expect("trace enabled").events_recorded();
+    assert!(
+        sim.trace().expect("trace enabled").events_dropped() > 0,
+        "warm-up must wrap the 256-slot ring ({warm_recorded} recorded)"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    sim.run_for(SimDuration::from_secs(10));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    let steady_events = sim.events_processed() - warm_events;
+    let steady_recorded = sim.trace().expect("trace enabled").events_recorded() - warm_recorded;
+    assert!(
+        steady_events > 1_000,
+        "traced steady-state window barely ran: {steady_events} events"
+    );
+    assert!(
+        steady_recorded > 1_000,
+        "traced window barely recorded: {steady_recorded} trace events"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "traced dispatch allocated {} times over {steady_events} events \
+         ({steady_recorded} trace events recorded)",
+        after - before
+    );
 }

@@ -43,8 +43,8 @@ pub mod prelude {
     pub use dup_tester::{
         fault_plan_for, Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics,
         CampaignObserver, CampaignReport, CaseOutcome, CaseStatus, Durability, FailureReport,
-        FaultIntensity, MetricsObserver, NoopObserver, ProgressObserver, Scenario, TestCase,
-        WorkloadSource,
+        FaultIntensity, MetricsObserver, NoopObserver, ProgressObserver, RenderOptions, Scenario,
+        TestCase, TraceConfig, TraceSlice, WorkloadSource,
     };
 }
 
