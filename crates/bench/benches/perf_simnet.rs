@@ -247,9 +247,21 @@ fn bench_simnet(c: &mut Criterion) {
     group.finish();
 }
 
-/// Sequential vs parallel campaign over the kvstore system: the same sweep
-/// on one worker and on four. The reports are byte-identical; only the
-/// wall-clock should differ (the acceptance bar is >=2x at 4 threads).
+/// Campaign scaling across worker counts: the same sweep on 1, 2, 4, and 8
+/// warm per-worker runners. Two families:
+///
+/// - `campaign_kvstore/threads_N` — the historical heavyweight sweep
+///   (expensive rolling-upgrade cases; dominated by per-case simulation);
+/// - `campaign_scaling/threads_N` — a 10 020-case mq matrix whose cases are
+///   cheap (~80µs), so executor dispatch, batching, and per-case setup
+///   dominate. This is the matrix the warm-runner redesign targets: before
+///   it, every case paid a fresh `Sim` allocation and `threads_4` lost to
+///   `threads_1`; now each worker resets one warm simulator per case.
+///
+/// Reports stay byte-identical whatever the thread count; only wall-clock
+/// may differ. On multi-core hosts `threads_4` must beat `threads_1`; on a
+/// single CPU the parallel run may only pay a small coordination tax (CI
+/// gates both, see `.github/workflows/ci.yml`).
 fn bench_campaign(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign_kvstore");
     group.sample_size(10);
@@ -261,6 +273,24 @@ fn bench_campaign(c: &mut Criterion) {
                     .scenarios([Scenario::FullStop, Scenario::Rolling])
                     .threads(threads)
                     .run()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                // 167 seeds x 60 cases/seed = 10 020 cases.
+                let report = Campaign::builder(&dup_mq::MqSystem)
+                    .seeds(1..=167)
+                    .scenarios(Scenario::ALL)
+                    .threads(threads)
+                    .run();
+                assert!(report.cases_run >= 10_000, "matrix shrank below 10k");
+                report
             })
         });
     }

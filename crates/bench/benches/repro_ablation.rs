@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo bench -p dup-bench --bench repro_ablation`.
 
-use dup_tester::{catalog, Campaign, CampaignConfig, CampaignReport, Scenario};
+use dup_tester::{catalog, Campaign, CampaignBuilder, CampaignReport, Scenario};
 
 fn recall_line(label: &str, report: &CampaignReport) -> usize {
     let (caught, missed) = catalog::recall(report);
@@ -31,21 +31,16 @@ fn main() {
     let sut = dup_kvstore::KvStoreSystem;
     println!("=== Ablation: DUPTester ingredients on cassandra-mini ===\n");
 
-    let full = CampaignConfig {
-        seeds: vec![1, 2, 3, 4],
-        scenarios: Scenario::ALL.to_vec(),
-        ..CampaignConfig::default()
-    };
-    let baseline = recall_line(
-        "full configuration",
-        &Campaign::new(&sut, full.clone()).run(),
-    );
+    // Every variant shares the full configuration's axes and removes (or
+    // adds) exactly one ingredient.
+    fn full(sut: &dup_kvstore::KvStoreSystem) -> CampaignBuilder<'_> {
+        Campaign::builder(sut)
+            .seeds([1, 2, 3, 4])
+            .scenarios(Scenario::ALL)
+    }
+    let baseline = recall_line("full configuration", &full(&sut).run());
 
-    let no_units = CampaignConfig {
-        use_unit_tests: false,
-        ..full.clone()
-    };
-    let r = Campaign::new(&sut, no_units).run();
+    let r = full(&sut).unit_tests(false).run();
     let c = recall_line("without unit-test workloads", &r);
     println!(
         "  -> unit tests contribute {} of {} seeded bugs (paper: CASSANDRA-16292/16301 \
@@ -54,43 +49,27 @@ fn main() {
         baseline
     );
 
-    let full_stop_only = CampaignConfig {
-        scenarios: vec![Scenario::FullStop],
-        ..full.clone()
-    };
-    let r = Campaign::new(&sut, full_stop_only).run();
+    let r = full(&sut).scenarios([Scenario::FullStop]).run();
     let c = recall_line("full-stop scenario only", &r);
     println!(
         "  -> rolling-only bugs lost: {} (network incompatibilities need mixed versions)\n",
         baseline - c
     );
 
-    let rolling_only = CampaignConfig {
-        scenarios: vec![Scenario::Rolling],
-        ..full.clone()
-    };
     recall_line(
         "rolling scenario only",
-        &Campaign::new(&sut, rolling_only).run(),
+        &full(&sut).scenarios([Scenario::Rolling]).run(),
     );
     println!();
 
-    let one_seed = CampaignConfig {
-        seeds: vec![1],
-        ..full.clone()
-    };
-    let r = Campaign::new(&sut, one_seed).run();
+    let r = full(&sut).seeds([1]).run();
     let c = recall_line("single seed", &r);
     println!(
         "  -> timing-dependent bugs possibly lost: {} (Finding 11: ~11% need timing)\n",
         baseline - c
     );
 
-    let gap2 = CampaignConfig {
-        include_gap_two: true,
-        ..full
-    };
-    let r = Campaign::new(&sut, gap2).run();
+    let r = full(&sut).gap_two(true).run();
     recall_line("with gap-2 pairs (Finding 9's +9%)", &r);
     println!(
         "  -> cases grow from consecutive-only to include distance-2 pairs \

@@ -3,20 +3,24 @@
 //!
 //! # Threading model
 //!
-//! Every [`TestCase`] builds its own seeded [`dup_simnet::Sim`], so cases
-//! are embarrassingly parallel. The executor materializes the full matrix
-//! up front ([`CaseMatrix`]), then `std::thread::scope`d workers pull *seed
-//! groups* (one (pair, scenario, workload) combination, all seeds) off a
-//! shared atomic queue. Seeds of a group run in order on one worker, which
-//! keeps dedup-aware seed pruning deterministic; results are written into
-//! per-group slots and aggregated afterwards **by case index**, so the
-//! report is byte-identical whether the campaign ran on one thread or many.
+//! Every [`TestCase`] is deterministic in its seed, so cases are
+//! embarrassingly parallel. The executor materializes the full matrix up
+//! front ([`CaseMatrix`]), then `std::thread::scope`d workers pull *batches*
+//! — runs of consecutive seed groups sharing one (version pair, scenario) —
+//! off a shared atomic queue. Each worker owns one warm [`CaseRunner`] for
+//! the whole campaign: `Sim::reset` recycles the simulator's pooled
+//! allocations between cases, so per-case cost stays flat instead of paying
+//! a fresh `Sim` construction every time. Seeds of a group run in order on
+//! one worker, which keeps dedup-aware seed pruning deterministic; results
+//! are written into per-group slots and aggregated afterwards **by case
+//! index**, so the report is byte-identical whether the campaign ran on one
+//! thread or many, and whether the runners were warm or fresh.
 
 use crate::campaign::matrix::{CaseMatrix, SeedGroup};
 use crate::campaign::observer::{CampaignObserver, MetricsObserver};
 use crate::campaign::report::{dedup_key, CampaignReport, CaseStatus, FailureReport};
 use crate::faults::FaultIntensity;
-use crate::harness::{CaseDigest, CaseOutcome, TestCase};
+use crate::harness::{CaseDigest, CaseOutcome, CaseResult, CaseRunner, TestCase};
 use crate::oracle::Observation;
 use crate::scenario::Scenario;
 use dup_core::{SystemUnderTest, VersionId};
@@ -27,37 +31,72 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Campaign configuration.
+/// Campaign configuration. Constructed through [`Campaign::builder`] (or
+/// [`CampaignConfig::default`]): every axis has a builder setter, and the
+/// fields themselves are crate-private so a config can never be assembled
+/// half-initialized by a struct literal.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Seeds to try per case (Finding 11: ~89% of bugs need only one; the
     /// timing-dependent rest benefit from a few).
-    pub seeds: Vec<u64>,
+    pub(crate) seeds: Vec<u64>,
     /// Also test version pairs at distance two (Finding 9's extra 9%).
-    pub include_gap_two: bool,
+    pub(crate) include_gap_two: bool,
     /// Scenarios to run.
-    pub scenarios: Vec<Scenario>,
+    pub(crate) scenarios: Vec<Scenario>,
     /// Include unit-test-derived workloads.
-    pub use_unit_tests: bool,
+    pub(crate) use_unit_tests: bool,
     /// Fault intensities to sweep per (pair, scenario, workload)
     /// combination. Defaults to `[FaultIntensity::Off]` — the pre-fault-axis
     /// matrix exactly.
-    pub fault_intensities: Vec<FaultIntensity>,
+    pub(crate) fault_intensities: Vec<FaultIntensity>,
     /// Storage durability modes to sweep per (pair, scenario, workload,
     /// intensity) combination. Defaults to `[Durability::Strict]` — the
     /// pre-durability-axis matrix exactly.
-    pub durabilities: Vec<Durability>,
+    pub(crate) durabilities: Vec<Durability>,
     /// Worker threads; `0` means one per available CPU.
-    pub threads: usize,
+    pub(crate) threads: usize,
     /// Dedup-aware seed pruning: once a failure signature has reproduced
     /// this many times within one (pair, scenario, workload) seed group,
     /// the group's remaining seeds are skipped (and counted as pruned).
     /// `None` disables pruning.
-    pub prune_after: Option<usize>,
+    pub(crate) prune_after: Option<usize>,
     /// Causal trace recording. `Some` enables the simulator's trace ring for
     /// every case and attaches a causal [`TraceSlice`] to each distinct
     /// failure's report; `None` (the default) runs untraced.
-    pub trace: Option<TraceConfig>,
+    pub(crate) trace: Option<TraceConfig>,
+}
+
+impl CampaignConfig {
+    /// The seed axis.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// The scenario axis.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// The fault-intensity axis.
+    pub fn faults(&self) -> &[FaultIntensity] {
+        &self.fault_intensities
+    }
+
+    /// The durability axis.
+    pub fn durabilities(&self) -> &[Durability] {
+        &self.durabilities
+    }
+
+    /// The worker thread count (`0` means one per available CPU).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The trace configuration, if tracing is enabled.
+    pub fn trace(&self) -> Option<TraceConfig> {
+        self.trace
+    }
 }
 
 impl Default for CampaignConfig {
@@ -146,13 +185,15 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
-    /// Seeds to sweep per (pair, scenario, workload) combination.
+    /// Sets the seed axis: every matrix combination is swept across these
+    /// seeds.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.config.seeds = seeds.into_iter().collect();
         self
     }
 
-    /// Scenarios to run.
+    /// Sets the scenario axis: every matrix combination is swept across
+    /// these upgrade scenarios.
     pub fn scenarios(mut self, scenarios: impl IntoIterator<Item = Scenario>) -> Self {
         self.config.scenarios = scenarios.into_iter().collect();
         self
@@ -170,23 +211,26 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
-    /// Fault intensities to sweep. Each case derives its concrete plan from
-    /// its intensity, durability, seed, and cluster size — so failure repro
-    /// strings stay self-contained.
+    /// Sets the fault axis: every matrix combination is swept across these
+    /// intensities. Each case derives its concrete plan from its intensity,
+    /// durability, seed, and cluster size — so failure repro strings stay
+    /// self-contained.
     pub fn faults(mut self, intensities: impl IntoIterator<Item = FaultIntensity>) -> Self {
         self.config.fault_intensities = intensities.into_iter().collect();
         self
     }
 
-    /// Storage durability modes to sweep. Non-strict modes buffer writes
-    /// until the system flushes and let the seeded crash materializer drop
-    /// or tear the unflushed tail on every crash.
+    /// Sets the durability axis: every matrix combination is swept across
+    /// these storage modes. Non-strict modes buffer writes until the system
+    /// flushes and let the seeded crash materializer drop or tear the
+    /// unflushed tail on every crash.
     pub fn durabilities(mut self, modes: impl IntoIterator<Item = Durability>) -> Self {
         self.config.durabilities = modes.into_iter().collect();
         self
     }
 
-    /// Worker threads; `0` (the default) means one per available CPU.
+    /// Sets the worker thread count; `0` (the default) means one per
+    /// available CPU.
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
         self
@@ -226,6 +270,12 @@ impl<'a> CampaignBuilder<'a> {
     /// Convenience: builds and runs in one call.
     pub fn run(self) -> CampaignReport {
         self.build().run()
+    }
+
+    /// Finalizes just the configuration — for callers that enumerate a
+    /// [`CaseMatrix`] directly instead of running a campaign.
+    pub fn into_config(self) -> CampaignConfig {
+        self.config
     }
 }
 
@@ -300,9 +350,10 @@ impl<'a> Campaign<'a> {
     }
 
     fn run_groups_sequential(&self, matrix: &CaseMatrix, fan: &FanOut<'_>) -> Vec<CaseRecord> {
+        let mut runner = CaseRunner::with_trace(self.sut, self.config.trace);
         let mut records = Vec::with_capacity(matrix.len());
         for group in matrix.groups() {
-            records.extend(run_group(self.sut, matrix, group, &self.config, fan));
+            records.extend(run_group(&mut runner, matrix, group, &self.config, fan));
         }
         records
     }
@@ -314,17 +365,30 @@ impl<'a> Campaign<'a> {
         threads: usize,
     ) -> Vec<CaseRecord> {
         let groups = matrix.groups();
+        // Workers pull (pair, scenario) batches, not single groups: the
+        // groups of one batch share cluster topology and workload shape, so
+        // a warm runner replays near-identical allocation patterns and its
+        // pools stay exactly-sized. Coarser units also mean fewer trips to
+        // the shared queue.
+        let batches = matrix.batches();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Vec<CaseRecord>>>> =
             groups.iter().map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let g = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(group) = groups.get(g) else { break };
-                    let recs = run_group(self.sut, matrix, group, &self.config, fan);
-                    *slots[g].lock().expect("slot lock") = Some(recs);
+                scope.spawn(|| {
+                    // One warm runner per worker for the whole campaign.
+                    let mut runner = CaseRunner::with_trace(self.sut, self.config.trace);
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(batch) = batches.get(b) else { break };
+                        for g in batch.clone() {
+                            let recs =
+                                run_group(&mut runner, matrix, &groups[g], &self.config, fan);
+                            *slots[g].lock().expect("slot lock") = Some(recs);
+                        }
+                    }
                 });
             }
         });
@@ -345,7 +409,7 @@ impl<'a> Campaign<'a> {
 
 /// Runs one seed group in order, applying dedup-aware pruning within it.
 fn run_group(
-    sut: &dyn SystemUnderTest,
+    runner: &mut CaseRunner<'_>,
     matrix: &CaseMatrix,
     group: &SeedGroup,
     config: &CampaignConfig,
@@ -368,20 +432,24 @@ fn run_group(
         }
         let t0 = Instant::now();
         // Contain panics: a buggy SUT adapter (or harness) must cost one
-        // case, not the whole campaign. The closure owns no state the rest
-        // of the run observes (each case builds its own Sim), so resuming
-        // after an unwind is sound despite AssertUnwindSafe.
-        let (outcome, digest, slice) =
-            match catch_unwind(AssertUnwindSafe(|| case.run_traced(sut, config.trace))) {
-                Ok(triple) => triple,
-                Err(payload) => (
-                    CaseOutcome::Fail(vec![Observation::HarnessPanic {
-                        message: panic_message(payload.as_ref()),
-                    }]),
-                    CaseDigest::default(),
-                    None,
-                ),
-            };
+        // case, not the whole campaign. Reusing the runner after an unwind
+        // is sound despite AssertUnwindSafe because `run_in` starts with an
+        // unconditional `Sim::reset` — whatever torn state the panicking
+        // case left behind is cleared before the next case sees it.
+        let CaseResult {
+            outcome,
+            digest,
+            slice,
+        } = match catch_unwind(AssertUnwindSafe(|| case.run_in(runner))) {
+            Ok(result) => result,
+            Err(payload) => CaseResult {
+                outcome: CaseOutcome::Fail(vec![Observation::HarnessPanic {
+                    message: panic_message(payload.as_ref()),
+                }]),
+                digest: CaseDigest::default(),
+                slice: None,
+            },
+        };
         fan.trace_counts(&digest);
         let wall = t0.elapsed();
         let status = match &outcome {

@@ -123,6 +123,31 @@ impl CaseMatrix {
         &self.groups
     }
 
+    /// Partitions the group list into batches of consecutive groups that
+    /// share one (version pair, scenario) — the executor's dispatch unit.
+    /// Groups of a batch run the same cluster topology and upgrade shape,
+    /// so a warm worker runner replays near-identical allocation patterns
+    /// across a whole batch; coarser units also cost fewer queue round
+    /// trips. Each range indexes into [`CaseMatrix::groups`].
+    pub fn batches(&self) -> Vec<std::ops::Range<usize>> {
+        let mut batches: Vec<std::ops::Range<usize>> = Vec::new();
+        for (g, group) in self.groups.iter().enumerate() {
+            let case = &self.cases[group.start];
+            let extends = batches.last().is_some_and(|b| {
+                let prev = &self.cases[self.groups[b.end - 1].start];
+                b.end == g
+                    && prev.from == case.from
+                    && prev.to == case.to
+                    && prev.scenario == case.scenario
+            });
+            match (batches.last_mut(), extends) {
+                (Some(b), true) => b.end = g + 1,
+                _ => batches.push(g..g + 1),
+            }
+        }
+        batches
+    }
+
     /// Total number of cases.
     pub fn len(&self) -> usize {
         self.cases.len()
@@ -158,13 +183,11 @@ mod tests {
 
     #[test]
     fn enumeration_is_stable_and_grouped() {
-        let config = CampaignConfig {
-            seeds: vec![1, 2],
-            include_gap_two: false,
-            scenarios: vec![Scenario::FullStop, Scenario::Rolling],
-            use_unit_tests: false,
-            ..CampaignConfig::default()
-        };
+        let config = crate::campaign::Campaign::builder(&dup_kvstore::KvStoreSystem)
+            .seeds([1, 2])
+            .scenarios([Scenario::FullStop, Scenario::Rolling])
+            .unit_tests(false)
+            .into_config();
         let a = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
         let b = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
         assert_eq!(a.cases(), b.cases());
@@ -182,6 +205,32 @@ mod tests {
         // Groups tile the matrix exactly.
         let covered: usize = a.groups().iter().map(|g| g.len).sum();
         assert_eq!(covered, a.len());
+    }
+
+    #[test]
+    fn batches_merge_groups_by_pair_and_scenario() {
+        let cases = vec![
+            // Two groups sharing (pair, scenario) — one batch.
+            case("1.0.0", "2.0.0", Scenario::FullStop, 1),
+            case("1.0.0", "2.0.0", Scenario::FullStop, 2),
+            // Scenario changes — new batch.
+            case("1.0.0", "2.0.0", Scenario::Rolling, 1),
+            // Pair changes — new batch.
+            case("2.0.0", "3.0.0", Scenario::Rolling, 1),
+            case("2.0.0", "3.0.0", Scenario::Rolling, 2),
+        ];
+        // Seeds 1 and 2 of each run fold into one group already; force
+        // distinct groups per seed by alternating workloads instead.
+        let mut cases = cases;
+        cases[1].workload = WorkloadSource::TranslatedUnit("t".into());
+        cases[4].workload = WorkloadSource::TranslatedUnit("t".into());
+        let m = CaseMatrix::from_cases(cases);
+        assert_eq!(m.groups().len(), 5);
+        let batches = m.batches();
+        assert_eq!(batches, vec![0..2, 2..3, 3..5]);
+        // Batches tile the group list exactly, in order.
+        assert_eq!(batches.iter().map(|b| b.len()).sum::<usize>(), 5);
+        assert!(CaseMatrix::default().batches().is_empty());
     }
 
     #[test]

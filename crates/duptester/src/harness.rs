@@ -33,32 +33,130 @@ pub struct TestCase {
 }
 
 impl TestCase {
-    /// Runs this case against `sut`: boots the old-version cluster in a
-    /// fresh seeded simulator, drives the workload through the scenario,
-    /// and hands the evidence to the oracle.
+    /// Runs this case inside `runner`: resets the runner's warm simulator to
+    /// this case's seed, boots the old-version cluster, drives the workload
+    /// through the scenario, and hands the evidence to the oracle.
+    ///
+    /// This is *the* case-execution entry point — `Sim::reset` guarantees a
+    /// reset simulator is byte-indistinguishable from a fresh one, so the
+    /// result is identical whether the runner is brand new or has executed
+    /// ten thousand cases.
+    pub fn run_in(&self, runner: &mut CaseRunner<'_>) -> CaseResult {
+        runner.execute(self)
+    }
+
+    /// Convenience wrapper for one-off runs: builds a throwaway untraced
+    /// [`CaseRunner`] and returns just the outcome. Prefer a long-lived
+    /// runner (and [`TestCase::run_in`]) anywhere more than one case runs.
     pub fn run(&self, sut: &dyn SystemUnderTest) -> CaseOutcome {
-        execute_case(sut, self, None).0
+        self.run_in(&mut CaseRunner::new(sut)).outcome
+    }
+}
+
+/// A reusable case-execution context: the system under test, the campaign's
+/// trace configuration, and a warm [`Sim`] whose pooled allocations (event
+/// queue, storage and inbox slabs, fault state, trace ring) are recycled
+/// across cases via [`Sim::reset`].
+///
+/// Executor workers each own one runner for their whole campaign; that is
+/// what makes per-case cost independent of how many cases came before and
+/// removes the alloc-heavy `Sim` construction from the per-case price.
+/// Unwind-safe by construction: the reset at the start of every case
+/// unconditionally clears all simulator state, so a runner whose previous
+/// case panicked mid-run is as good as new.
+pub struct CaseRunner<'a> {
+    sut: &'a dyn SystemUnderTest,
+    trace: Option<TraceConfig>,
+    sim: Sim,
+    /// Per-op oracle evidence, reused across cases.
+    ops: Vec<OpResult>,
+}
+
+impl<'a> CaseRunner<'a> {
+    /// A runner for `sut` with tracing disabled.
+    pub fn new(sut: &'a dyn SystemUnderTest) -> CaseRunner<'a> {
+        CaseRunner::with_trace(sut, None)
     }
 
-    /// Like [`TestCase::run`], but also returns the case's determinism
-    /// digest — the simulator's global counters at the end of the run.
-    pub fn run_with_digest(&self, sut: &dyn SystemUnderTest) -> (CaseOutcome, CaseDigest) {
-        let (outcome, digest, _) = execute_case(sut, self, None);
-        (outcome, digest)
+    /// A runner for `sut` that records a causal trace for every case under
+    /// `trace` (when `Some`); failing cases return the bounded
+    /// [`TraceSlice`] anchored at the violating observation.
+    pub fn with_trace(sut: &'a dyn SystemUnderTest, trace: Option<TraceConfig>) -> CaseRunner<'a> {
+        CaseRunner {
+            sut,
+            trace,
+            sim: Sim::new(0),
+            ops: Vec::new(),
+        }
     }
 
-    /// Like [`TestCase::run_with_digest`], but records a causal trace while
-    /// the case runs. When the case fails, the returned [`TraceSlice`] is the
-    /// bounded causal slice anchored at the violating observation: the
-    /// lineage chain of events that led to it, plus the trailing window.
-    /// Passing `trace: None` disables recording (and always returns `None`).
-    pub fn run_traced(
-        &self,
-        sut: &dyn SystemUnderTest,
-        trace: Option<TraceConfig>,
-    ) -> (CaseOutcome, CaseDigest, Option<TraceSlice>) {
-        execute_case(sut, self, trace)
+    /// The system under test this runner executes against.
+    pub fn sut(&self) -> &'a dyn SystemUnderTest {
+        self.sut
     }
+
+    /// The trace configuration applied to every case, if any.
+    pub fn trace_config(&self) -> Option<TraceConfig> {
+        self.trace
+    }
+
+    fn execute(&mut self, case: &TestCase) -> CaseResult {
+        let sim = &mut self.sim;
+        sim.reset(case.seed);
+        sim.set_event_budget(EVENT_BUDGET);
+        if let Some(config) = self.trace {
+            sim.enable_trace(config);
+        }
+        self.ops.clear();
+        let mut outcome = execute_case_in(sim, self.sut, case, &mut self.ops);
+        if sim.budget_exhausted() {
+            // The case ran away; whatever the oracle saw is untrustworthy
+            // evidence from a truncated run. Report the non-termination
+            // itself.
+            outcome = CaseOutcome::Fail(vec![Observation::CaseHung {
+                events: sim.events_processed(),
+            }]);
+        }
+        let slice = match &outcome {
+            CaseOutcome::Fail(observations) => {
+                // Anchor the slice at the violating observation: the node
+                // the evidence implicates if it names one, otherwise the
+                // last event.
+                let hint = observations.iter().find_map(|o| match o {
+                    Observation::NodeCrash { node, .. } => Some(*node),
+                    _ => None,
+                });
+                let anchor = sim.trace_observe(hint);
+                sim.trace().map(|t| t.slice(anchor))
+            }
+            _ => None,
+        };
+        let digest = CaseDigest {
+            events_processed: sim.events_processed(),
+            messages_delivered: sim.messages_delivered(),
+            faults_injected: sim.faults_injected(),
+            trace_events_recorded: sim.trace().map_or(0, |t| t.events_recorded()),
+            trace_events_dropped: sim.trace().map_or(0, |t| t.events_dropped()),
+        };
+        CaseResult {
+            outcome,
+            digest,
+            slice,
+        }
+    }
+}
+
+/// Everything one executed case produced: the oracle's verdict, the
+/// determinism digest, and (for traced failing cases) the causal slice.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The oracle's verdict.
+    pub outcome: CaseOutcome,
+    /// The case's determinism digest (simulator counters at the end).
+    pub digest: CaseDigest,
+    /// The failing case's bounded causal slice; `None` for passes, invalid
+    /// workloads, and untraced runners.
+    pub slice: Option<TraceSlice>,
 }
 
 /// Determinism digest of one executed case: the simulator's global event and
@@ -116,47 +214,6 @@ const OP_TIMEOUT: SimDuration = SimDuration::from_secs(3);
 /// a restart storm, a timer loop — and is reported as hung instead of
 /// spinning the worker thread forever.
 const EVENT_BUDGET: u64 = 2_000_000;
-
-fn execute_case(
-    sut: &dyn SystemUnderTest,
-    case: &TestCase,
-    trace: Option<TraceConfig>,
-) -> (CaseOutcome, CaseDigest, Option<TraceSlice>) {
-    let mut sim = Sim::new(case.seed);
-    sim.set_event_budget(EVENT_BUDGET);
-    if let Some(config) = trace {
-        sim.enable_trace(config);
-    }
-    let mut outcome = execute_case_in(&mut sim, sut, case);
-    if sim.budget_exhausted() {
-        // The case ran away; whatever the oracle saw is untrustworthy
-        // evidence from a truncated run. Report the non-termination itself.
-        outcome = CaseOutcome::Fail(vec![Observation::CaseHung {
-            events: sim.events_processed(),
-        }]);
-    }
-    let slice = match &outcome {
-        CaseOutcome::Fail(observations) => {
-            // Anchor the slice at the violating observation: the node the
-            // evidence implicates if it names one, otherwise the last event.
-            let hint = observations.iter().find_map(|o| match o {
-                Observation::NodeCrash { node, .. } => Some(*node),
-                _ => None,
-            });
-            let anchor = sim.trace_observe(hint);
-            sim.trace().map(|t| t.slice(anchor))
-        }
-        _ => None,
-    };
-    let digest = CaseDigest {
-        events_processed: sim.events_processed(),
-        messages_delivered: sim.messages_delivered(),
-        faults_injected: sim.faults_injected(),
-        trace_events_recorded: sim.trace().map_or(0, |t| t.events_recorded()),
-        trace_events_dropped: sim.trace().map_or(0, |t| t.events_dropped()),
-    };
-    (outcome, digest, slice)
-}
 
 /// Drives the simulation on the harness's behalf while a fault plan is
 /// active: between events it drains [`Sim::take_pending_restart`] and brings
@@ -260,7 +317,12 @@ fn any_genuine_crash(sim: &Sim) -> bool {
         .any(|n| !sim.is_fault_crashed(n))
 }
 
-fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) -> CaseOutcome {
+fn execute_case_in(
+    sim: &mut Sim,
+    sut: &dyn SystemUnderTest,
+    case: &TestCase,
+    ops: &mut Vec<OpResult>,
+) -> CaseOutcome {
     let n = sut.cluster_size();
     let mut config = sut.default_config();
 
@@ -361,8 +423,7 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
     let first_op_time = sim.now();
     let msgs_at_first_op = sim.messages_delivered();
 
-    let mut ops: Vec<OpResult> = Vec::new();
-    run_ops(&driver, sim, &before_ops, false, false, &mut ops);
+    run_ops(&driver, sim, &before_ops, false, false, ops);
     driver.run_for(sim, SETTLE);
 
     // If the *old* version already fails under this workload/config, the
@@ -396,7 +457,7 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
                 }
             }
             driver.run_for(sim, SETTLE);
-            run_ops(&driver, sim, &during_ops, true, false, &mut ops);
+            run_ops(&driver, sim, &during_ops, true, false, ops);
         }
         Scenario::Rolling => {
             // Split the during-workload across the rolling steps: half of
@@ -408,7 +469,7 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
             for i in 0..n {
                 let _ = sim.stop_node(i);
                 driver.run_for(sim, ROLLING_DOWNTIME);
-                run_ops(&driver, sim, &chunks[2 * i as usize], true, false, &mut ops);
+                run_ops(&driver, sim, &chunks[2 * i as usize], true, false, ops);
                 let mut setup = NodeSetup::new(i, n);
                 setup.config = config.clone();
                 if sim
@@ -418,14 +479,7 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
                     let _ = sim.start_node(i);
                 }
                 driver.run_for(sim, SETTLE);
-                run_ops(
-                    &driver,
-                    sim,
-                    &chunks[2 * i as usize + 1],
-                    true,
-                    false,
-                    &mut ops,
-                );
+                run_ops(&driver, sim, &chunks[2 * i as usize + 1], true, false, ops);
             }
         }
         Scenario::NewNodeJoin => {
@@ -439,14 +493,14 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
             );
             let _ = sim.start_node(id);
             driver.run_for(sim, SETTLE);
-            run_ops(&driver, sim, &during_ops, true, false, &mut ops);
+            run_ops(&driver, sim, &during_ops, true, false, ops);
             let probe = vec![ClientOp::new(joined, "HEALTH")];
-            run_ops(&driver, sim, &probe, true, false, &mut ops);
+            run_ops(&driver, sim, &probe, true, false, ops);
         }
     }
 
     driver.run_for(sim, QUIESCE);
-    run_ops(&driver, sim, &after_ops, true, true, &mut ops);
+    run_ops(&driver, sim, &after_ops, true, true, ops);
     driver.run_for(sim, SETTLE);
 
     // Message-rate comparison: project the baseline-window rate (first op
@@ -457,7 +511,7 @@ fn execute_case_in(sim: &mut Sim, sut: &dyn SystemUnderTest, case: &TestCase) ->
     let baseline_len = upgrade_started.since(first_op_time).as_millis();
     let baseline_msgs = project_baseline(baseline_window_msgs, baseline_len, window_len);
 
-    let observations = oracle::evaluate(sim, log_mark, baseline_msgs, window_msgs, &ops);
+    let observations = oracle::evaluate(sim, log_mark, baseline_msgs, window_msgs, ops);
     if observations.is_empty() {
         CaseOutcome::Pass
     } else {

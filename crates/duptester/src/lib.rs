@@ -58,7 +58,7 @@ pub use crate::campaign::{
     ProgressObserver, RenderOptions, ScenarioCounts, SeedGroup,
 };
 pub use crate::faults::{fault_plan_for, FaultIntensity};
-pub use crate::harness::{CaseDigest, CaseOutcome, TestCase};
+pub use crate::harness::{CaseDigest, CaseOutcome, CaseResult, CaseRunner, TestCase};
 pub use crate::oracle::{evaluate, Observation, OpResult};
 pub use crate::scenario::{Scenario, WorkloadSource};
 pub use crate::translator::{translate, Translation};

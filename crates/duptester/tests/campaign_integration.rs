@@ -236,7 +236,8 @@ fn campaign_determinism_digest_is_thread_count_independent() {
 }
 
 /// A single case's digest is reproducible run to run and visible through
-/// `run_with_digest`.
+/// [`dup_tester::CaseResult`] — whether the runner is fresh per run or one
+/// warm runner executes the case back to back.
 #[test]
 fn case_digest_is_reproducible() {
     let case = TestCase {
@@ -248,12 +249,18 @@ fn case_digest_is_reproducible() {
         faults: Default::default(),
         durability: Default::default(),
     };
-    let (out1, d1) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
-    let (out2, d2) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
-    assert_eq!(d1, d2);
-    assert!(d1.events_processed > 0);
-    assert_eq!(format!("{out1:?}"), format!("{out2:?}"));
-    assert_eq!(out1, case.run(&dup_kvstore::KvStoreSystem));
+    let r1 = case.run_in(&mut dup_tester::CaseRunner::new(
+        &dup_kvstore::KvStoreSystem,
+    ));
+    let mut warm = dup_tester::CaseRunner::new(&dup_kvstore::KvStoreSystem);
+    let r2 = case.run_in(&mut warm);
+    let r3 = case.run_in(&mut warm);
+    assert_eq!(r1.digest, r2.digest);
+    assert_eq!(r2.digest, r3.digest, "warm re-run must not drift");
+    assert!(r1.digest.events_processed > 0);
+    assert_eq!(format!("{:?}", r1.outcome), format!("{:?}", r2.outcome));
+    assert_eq!(r2.outcome, r3.outcome);
+    assert_eq!(r1.outcome, case.run(&dup_kvstore::KvStoreSystem));
 }
 
 #[derive(Default)]

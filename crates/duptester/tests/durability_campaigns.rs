@@ -61,10 +61,45 @@ fn durability_campaign_report_is_thread_count_and_rerun_invariant() {
     }
 }
 
+/// The warm-runner campaign contract with everything on at once: faults,
+/// buffered and torn durability, and tracing. Each worker's warm runner
+/// sweeps many seed groups back to back, so two runs at 1 thread and two at
+/// 4 exercise warm reuse in every dispatch shape — all four reports must be
+/// byte-identical.
+#[test]
+fn traced_torn_campaign_is_identical_across_threads_and_warm_reruns() {
+    let run = |threads: usize| {
+        Campaign::builder(&dup_kvstore::KvStoreSystem)
+            .seeds([1, 2])
+            .scenarios([Scenario::Rolling])
+            .unit_tests(false)
+            .faults([FaultIntensity::Light, FaultIntensity::Heavy])
+            .durabilities([Durability::Buffered, Durability::Torn])
+            .threads(threads)
+            .trace(dup_tester::TraceConfig::default())
+            .run()
+    };
+    let runs = [run(1), run(1), run(4), run(4)];
+    assert!(runs[0].cases_run >= 8, "axes did not multiply the matrix");
+    for other in &runs[1..] {
+        assert_eq!(runs[0].failures, other.failures);
+        assert_eq!(runs[0].render_table(), other.render_table());
+        assert_eq!(runs[0].sim_events_processed, other.sim_events_processed);
+        assert_eq!(runs[0].sim_faults_injected, other.sim_faults_injected);
+        assert_eq!(
+            runs[0].metrics.trace_events_recorded,
+            other.metrics.trace_events_recorded
+        );
+    }
+}
+
+/// One host's crash-materialized storage image: (host, file paths + bytes).
+type HostImage = (String, Vec<(String, Vec<u8>)>);
+
 /// Boots a same-version kvstore cluster under a torn-durability heavy fault
 /// plan, lets the plan crash nodes, and returns every host's
 /// crash-materialized storage image.
-fn torn_storage_images(seed: u64) -> Vec<(String, Vec<(String, Vec<u8>)>)> {
+fn torn_storage_images(seed: u64) -> Vec<HostImage> {
     let sut = &dup_kvstore::KvStoreSystem;
     let n = sut.cluster_size();
     let mut sim = Sim::new(seed);

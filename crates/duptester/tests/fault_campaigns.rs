@@ -61,18 +61,26 @@ fn case_digest_reproducible_under_faults() {
         faults: FaultIntensity::Heavy,
         durability: Default::default(),
     };
-    let (out1, d1) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
-    let (out2, d2) = case.run_with_digest(&dup_kvstore::KvStoreSystem);
-    assert_eq!(d1, d2, "faulted case digest must be reproducible");
-    assert!(d1.faults_injected > 0, "heavy plan injected nothing");
-    assert_eq!(format!("{out1:?}"), format!("{out2:?}"));
+    // A warm runner executing the faulted case twice reinstalls its fault
+    // plan into the pooled state both times; the digests must not drift.
+    let mut runner = dup_tester::CaseRunner::new(&dup_kvstore::KvStoreSystem);
+    let r1 = case.run_in(&mut runner);
+    let r2 = case.run_in(&mut runner);
+    assert_eq!(
+        r1.digest, r2.digest,
+        "faulted case digest must be reproducible"
+    );
+    assert!(r1.digest.faults_injected > 0, "heavy plan injected nothing");
+    assert_eq!(format!("{:?}", r1.outcome), format!("{:?}", r2.outcome));
 
     let off = TestCase {
         faults: FaultIntensity::Off,
         durability: Default::default(),
         ..case
     };
-    let (_, d_off) = off.run_with_digest(&dup_kvstore::KvStoreSystem);
+    // The faults-off case runs on the same warm runner: the parked fault
+    // state must stay parked and inject nothing.
+    let d_off = off.run_in(&mut runner).digest;
     assert_eq!(d_off.faults_injected, 0, "faults off must inject nothing");
 }
 
@@ -133,15 +141,19 @@ fn faulted_failures_carry_repro_strings() {
 
 #[test]
 fn fault_axis_multiplies_the_matrix_with_seeds_innermost() {
-    let mut config = dup_tester::CampaignConfig {
-        seeds: vec![1, 2],
-        scenarios: vec![Scenario::FullStop],
-        use_unit_tests: false,
-        ..Default::default()
-    };
-    let base = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
-    config.fault_intensities = FaultIntensity::ALL.to_vec();
-    let swept = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
+    let base_config = dup_tester::Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1, 2])
+        .scenarios([Scenario::FullStop])
+        .unit_tests(false)
+        .into_config();
+    let base = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &base_config);
+    let swept_config = dup_tester::Campaign::builder(&dup_kvstore::KvStoreSystem)
+        .seeds([1, 2])
+        .scenarios([Scenario::FullStop])
+        .unit_tests(false)
+        .faults(FaultIntensity::ALL)
+        .into_config();
+    let swept = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &swept_config);
     assert_eq!(swept.len(), base.len() * FaultIntensity::ALL.len());
     // Every seed group holds one intensity across all seeds, and every
     // intensity shows up.

@@ -162,21 +162,69 @@ fn single_case_slice_is_reproducible() {
         durability: Default::default(),
     };
     let config = Some(TraceConfig::default());
-    let (out1, d1, s1) = case.run_traced(&dup_kvstore::KvStoreSystem, config);
-    let (out2, d2, s2) = case.run_traced(&dup_kvstore::KvStoreSystem, config);
-    assert!(out1.is_failure(), "seeded pair should fail: {out1:?}");
-    assert_eq!(out1, out2);
-    assert_eq!(d1, d2);
-    assert!(d1.trace_events_recorded > 0);
-    let (slice1, slice2) = (s1.expect("slice"), s2.expect("slice"));
+    // One warm runner executing the case twice: the second run reuses the
+    // pooled trace ring via `Sim::reset`, and must replay byte-for-byte.
+    let mut runner = dup_tester::CaseRunner::with_trace(&dup_kvstore::KvStoreSystem, config);
+    let r1 = case.run_in(&mut runner);
+    let r2 = case.run_in(&mut runner);
+    assert!(
+        r1.outcome.is_failure(),
+        "seeded pair should fail: {:?}",
+        r1.outcome
+    );
+    assert_eq!(r1.outcome, r2.outcome);
+    assert_eq!(r1.digest, r2.digest);
+    assert!(r1.digest.trace_events_recorded > 0);
+    let (slice1, slice2) = (r1.slice.expect("slice"), r2.slice.expect("slice"));
     assert_eq!(slice1.render_timeline(), slice2.render_timeline());
     assert_eq!(slice1.to_chrome_json(), slice2.to_chrome_json());
     // Untraced: no slice, zero trace counters, same outcome.
-    let (out3, d3, s3) = case.run_traced(&dup_kvstore::KvStoreSystem, None);
-    assert_eq!(out1, out3);
-    assert!(s3.is_none());
-    assert_eq!(d3.trace_events_recorded, 0);
-    assert_eq!(d3.events_processed, d1.events_processed);
+    let r3 = case.run_in(&mut dup_tester::CaseRunner::new(
+        &dup_kvstore::KvStoreSystem,
+    ));
+    assert_eq!(r1.outcome, r3.outcome);
+    assert!(r3.slice.is_none());
+    assert_eq!(r3.digest.trace_events_recorded, 0);
+    assert_eq!(r3.digest.events_processed, r1.digest.events_processed);
+}
+
+/// One warm runner sweeping the heavy-fault torn-durability case list twice
+/// must match a fresh runner per case, result for result — outcome, digest,
+/// and slice. This is the warm-reuse contract at the case level: ten
+/// thousand prior cases on the runner may not change case ten thousand and
+/// one.
+#[test]
+fn warm_runner_sweep_matches_fresh_runners_case_for_case() {
+    let sut = &dup_kvstore::KvStoreSystem;
+    let trace = Some(TraceConfig {
+        // Small ring: wrap-around eviction is part of the replayed state.
+        capacity: 512,
+        tail_events: 8,
+        lineage_limit: 16,
+    });
+    let config = Campaign::builder(sut)
+        .seeds([1, 2])
+        .scenarios([Scenario::Rolling])
+        .unit_tests(false)
+        .faults([FaultIntensity::Heavy])
+        .durabilities([Durability::Torn])
+        .into_config();
+    let matrix = dup_tester::CaseMatrix::enumerate(sut, &config);
+    assert!(!matrix.is_empty());
+    let mut warm = dup_tester::CaseRunner::with_trace(sut, trace);
+    for pass in 0..2 {
+        for case in matrix.cases() {
+            let w = case.run_in(&mut warm);
+            let f = case.run_in(&mut dup_tester::CaseRunner::with_trace(sut, trace));
+            assert_eq!(w.outcome, f.outcome, "pass {pass}, case {case:?}");
+            assert_eq!(w.digest, f.digest, "pass {pass}, case {case:?}");
+            assert_eq!(
+                w.slice.map(|s| s.render_timeline()),
+                f.slice.map(|s| s.render_timeline()),
+                "pass {pass}, case {case:?}"
+            );
+        }
+    }
 }
 
 #[derive(Default)]

@@ -289,6 +289,19 @@ impl FaultState {
         }
     }
 
+    /// Rebinds this state to a new `plan`, reusing the `consumed` flag vec's
+    /// capacity. Observationally identical to `FaultState::new(plan)` — both
+    /// RNG streams are re-derived from the plan's seed — so `Sim::reset` can
+    /// park and recycle the state without touching the allocator.
+    pub(crate) fn reinstall(&mut self, plan: FaultPlan) {
+        self.rng = SimRng::new(plan.seed).split(FATE_STREAM);
+        self.crash_rng = SimRng::new(plan.seed).split(CRASH_STREAM);
+        self.consumed.clear();
+        self.consumed.resize(plan.crash_points.len(), false);
+        self.injected = 0;
+        self.plan = plan;
+    }
+
     /// Cheap pre-check: is an unconsumed crash point armed for `node` of
     /// `kind` whose window contains `now`? Does not consume the point.
     pub(crate) fn wants(&self, node: NodeId, kind: CrashPointKind, now: SimTime) -> bool {

@@ -111,6 +111,14 @@ impl LogBuffer {
         Self::default()
     }
 
+    /// Empties the buffer while keeping the record vec's capacity — the
+    /// log half of `Sim::reset`. Observationally identical to a fresh
+    /// buffer afterwards.
+    pub(crate) fn reset(&mut self) {
+        self.records.clear();
+        self.level_counts = [0; LogLevel::COUNT];
+    }
+
     /// Appends a record.
     pub fn push(&mut self, record: LogRecord) {
         self.level_counts[record.level.index()] += 1;

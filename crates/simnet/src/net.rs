@@ -44,6 +44,16 @@ impl Network {
         Self::default()
     }
 
+    /// Restores the default model and heals every partition, keeping the
+    /// partition vec's capacity — the network half of `Sim::reset`.
+    pub(crate) fn reset(&mut self) {
+        let defaults = Network::default();
+        self.base_latency = defaults.base_latency;
+        self.jitter = defaults.jitter;
+        self.drop_probability = defaults.drop_probability;
+        self.partitions.clear();
+    }
+
     /// Partitions `a` from `b` (both directions). Idempotent.
     pub fn partition(&mut self, a: NodeId, b: NodeId) {
         let key = Self::key(a, b);

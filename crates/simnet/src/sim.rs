@@ -134,8 +134,14 @@ pub struct Sim {
     /// Client inboxes, a slab indexed by client id: [`Sim::client_send`]
     /// assigns ids densely, so the id *is* the index. `VecDeque` makes
     /// [`Sim::poll_response`] a pointer bump instead of a `Vec::remove(0)`
-    /// shift, and the slab spares [`Sim::rpc`] a tree lookup per poll.
+    /// shift, and the slab spares [`Sim::rpc`] a tree lookup per poll. The
+    /// slab may hold more (empty) slots than `clients` after a
+    /// [`Sim::reset`]: slots are retained for reuse and re-issued in order.
     client_inbox: Vec<VecDeque<Bytes>>,
+    /// Number of client ids issued so far — the live prefix of
+    /// `client_inbox`. Slots at or past this index are warm spares; they
+    /// must be invisible (a fresh simulator would not have them).
+    clients: usize,
     events_processed: u64,
     messages_delivered: u64,
     /// Scratch buffer for the per-dispatch effect queue, recycled across
@@ -143,6 +149,9 @@ pub struct Sim {
     effects_pool: Vec<Effect>,
     /// Active fault-injection state, if a plan was installed.
     faults: Option<FaultState>,
+    /// Fault state parked by [`Sim::reset`]; the next
+    /// [`Sim::install_fault_plan`] recycles its allocations.
+    fault_pool: Option<FaultState>,
     /// Incremented per [`Sim::install_fault_plan`]; stamps `Fault` events so
     /// a replaced plan's leftover events do nothing.
     fault_epoch: u64,
@@ -157,6 +166,9 @@ pub struct Sim {
     /// The causal trace recorder, if [`Sim::enable_trace`] was called. The
     /// hot path pays one branch per record site when disabled.
     trace: Option<TraceBuffer>,
+    /// Trace ring parked by [`Sim::reset`]; the next [`Sim::enable_trace`]
+    /// with the same (normalized) config recycles it instead of allocating.
+    trace_pool: Option<TraceBuffer>,
     /// Trace id of the event currently being processed: the causal parent
     /// for everything the running handler produces. 0 while tracing is off.
     trace_ctx: u64,
@@ -177,16 +189,66 @@ impl Sim {
             logs: LogBuffer::new(),
             net_rng: root.split(u64::MAX),
             client_inbox: Vec::new(),
+            clients: 0,
             events_processed: 0,
             messages_delivered: 0,
             effects_pool: Vec::new(),
             faults: None,
+            fault_pool: None,
             fault_epoch: 0,
             pending_restarts: VecDeque::new(),
             event_budget: None,
             trace: None,
+            trace_pool: None,
             trace_ctx: 0,
         }
+    }
+
+    /// Arena-style reset: returns the simulator to the state `Sim::new(seed)`
+    /// would produce, but keeps every pooled allocation — the event queue,
+    /// storage and inbox slabs, the effect scratch buffer, and (parked for
+    /// the next [`Sim::install_fault_plan`] / [`Sim::enable_trace`]) the
+    /// fault state and trace ring. In steady state this touches the
+    /// allocator zero times, which is what makes warm per-worker simulators
+    /// cheaper than constructing a fresh `Sim` per case.
+    ///
+    /// The reset-equals-fresh contract: after `reset(s)`, every observable
+    /// behaviour — event order, RNG streams, host-id assignment, client
+    /// handles, digests, trace slices — is byte-identical to a fresh
+    /// `Sim::new(s)` driven the same way. Tests assert this; any new `Sim`
+    /// field must be restored here or the contract (and campaign report
+    /// byte-identity across warm workers) breaks.
+    pub fn reset(&mut self, seed: u64) {
+        self.seed = seed;
+        self.now = SimTime::ZERO;
+        self.seq = 0;
+        self.queue.clear();
+        self.nodes.clear();
+        self.storage.reset();
+        self.net.reset();
+        self.logs.reset();
+        self.net_rng = SimRng::new(seed).split(u64::MAX);
+        for inbox in &mut self.client_inbox {
+            inbox.clear();
+        }
+        self.clients = 0;
+        self.events_processed = 0;
+        self.messages_delivered = 0;
+        self.effects_pool.clear();
+        // Park rather than drop: a fresh sim has `faults: None`, and the
+        // crash/fate gating tests that (`crash_materialize_host` is a no-op
+        // without a plan), so the state cannot stay in `faults` — but its
+        // allocations are worth keeping for the next plan install.
+        if let Some(f) = self.faults.take() {
+            self.fault_pool = Some(f);
+        }
+        self.fault_epoch = 0;
+        self.pending_restarts.clear();
+        self.event_budget = None;
+        if let Some(t) = self.trace.take() {
+            self.trace_pool = Some(t);
+        }
+        self.trace_ctx = 0;
     }
 
     /// Caps the total number of further events this simulation may process.
@@ -228,9 +290,19 @@ impl Sim {
 
     /// Enables the causal trace recorder. The ring is fully allocated here,
     /// so recording itself performs no heap allocation; call before the run
-    /// starts to capture the whole history. Replaces any previous buffer.
+    /// starts to capture the whole history. Replaces any previous buffer —
+    /// except that a buffer with the same (normalized) config, current or
+    /// parked by [`Sim::reset`], is emptied and reused instead of
+    /// reallocated, so warm case runners re-enable tracing for free.
     pub fn enable_trace(&mut self, config: TraceConfig) {
-        self.trace = Some(TraceBuffer::new(config));
+        let config = config.normalized();
+        self.trace = match self.trace.take().or_else(|| self.trace_pool.take()) {
+            Some(mut t) if t.config() == config => {
+                t.reset();
+                Some(t)
+            }
+            _ => Some(TraceBuffer::new(config)),
+        };
         self.trace_ctx = 0;
     }
 
@@ -516,7 +588,16 @@ impl Sim {
         // The plan's durability axis applies to every host, current and
         // future, for as long as the plan is installed.
         self.storage.set_mode(plan.durability);
-        self.faults = Some(FaultState::new(plan));
+        // Recycle the replaced (or reset-parked) state's allocations;
+        // `reinstall` re-derives both RNG streams from the plan's seed, so
+        // the result is indistinguishable from `FaultState::new(plan)`.
+        self.faults = match self.faults.take().or_else(|| self.fault_pool.take()) {
+            Some(mut state) => {
+                state.reinstall(plan);
+                Some(state)
+            }
+            None => Some(FaultState::new(plan)),
+        };
     }
 
     /// The installed fault plan, if any.
@@ -621,8 +702,11 @@ impl Sim {
     /// Sends `payload` to `to` on behalf of a fresh external client; responses
     /// the node sends back are collected under the returned handle.
     pub fn client_send(&mut self, to: NodeId, payload: Bytes) -> ClientHandle {
-        let id = self.client_inbox.len() as u64;
-        self.client_inbox.push(VecDeque::new());
+        let id = self.clients as u64;
+        if self.clients == self.client_inbox.len() {
+            self.client_inbox.push(VecDeque::new());
+        }
+        self.clients += 1;
         let from = Endpoint::Client(id);
         let latency = self
             .net
@@ -650,7 +734,12 @@ impl Sim {
 
     /// Pops the next response received for `handle`, if any.
     pub fn poll_response(&mut self, handle: ClientHandle) -> Option<Bytes> {
-        self.client_inbox.get_mut(handle.0 as usize)?.pop_front()
+        // Index only the issued prefix: warm spare slots past `clients`
+        // must behave exactly like the out-of-range ids they would be on a
+        // fresh simulator.
+        self.client_inbox[..self.clients]
+            .get_mut(handle.0 as usize)?
+            .pop_front()
     }
 
     /// Sends a request and runs the simulation until a response arrives or
@@ -729,8 +818,11 @@ impl Sim {
                     );
                     // A reply to a client id the harness never issued has no
                     // reader; drop it (it still counts as delivered above,
-                    // exactly as the old map-backed inbox counted it).
-                    if let Some(inbox) = self.client_inbox.get_mut(c as usize) {
+                    // exactly as the old map-backed inbox counted it). The
+                    // issued prefix keeps warm spare slots from absorbing
+                    // such replies and leaking them to a later client that
+                    // gets the recycled id.
+                    if let Some(inbox) = self.client_inbox[..self.clients].get_mut(c as usize) {
                         inbox.push_back(payload);
                     }
                 }

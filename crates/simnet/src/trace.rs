@@ -56,6 +56,20 @@ impl Default for TraceConfig {
     }
 }
 
+impl TraceConfig {
+    /// The config as [`TraceBuffer::new`] will actually apply it (all limits
+    /// clamped to at least 1). Two configs with equal normalized forms yield
+    /// interchangeable buffers — the test `Sim::enable_trace` uses to reuse
+    /// a pooled ring across [`crate::Sim::reset`] instead of reallocating.
+    pub fn normalized(self) -> TraceConfig {
+        TraceConfig {
+            capacity: self.capacity.max(1),
+            tail_events: self.tail_events.max(1),
+            lineage_limit: self.lineage_limit.max(1),
+        }
+    }
+}
+
 /// What one trace event describes. All variants are plain-old-data: no
 /// strings, no heap — recording one is a handful of stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -473,17 +487,23 @@ impl TraceBuffer {
     /// Creates an empty buffer; the ring is fully allocated (and prefilled)
     /// up front so recording never allocates or branches on fill level.
     pub fn new(config: TraceConfig) -> Self {
-        let config = TraceConfig {
-            capacity: config.capacity.max(1),
-            tail_events: config.tail_events.max(1),
-            lineage_limit: config.lineage_limit.max(1),
-        };
+        let config = config.normalized();
         TraceBuffer {
             config,
             events: vec![PLACEHOLDER; config.capacity],
             cursor: 0,
             next_id: 1,
         }
+    }
+
+    /// Rewinds the buffer to its freshly-constructed state without touching
+    /// the ring storage. Stale slot contents are unreachable afterwards:
+    /// every accessor derives liveness from `next_id`, and slots are
+    /// overwritten in id order before an id that maps to them is ever handed
+    /// out again. Performs no allocation — the arena half of `Sim::reset`.
+    pub(crate) fn reset(&mut self) {
+        self.cursor = 0;
+        self.next_id = 1;
     }
 
     /// The configuration the buffer was created with.

@@ -122,6 +122,55 @@ impl Process for TimerPinger {
     }
 }
 
+/// Drives one deterministic faulted + traced mini-case on `sim` and returns
+/// a fingerprint string covering every observable surface: counters, logs,
+/// an RPC response, and a rendered trace slice (which exercises host-id
+/// interning and the causal lineage walk). Byte-equal fingerprints mean the
+/// two simulators were indistinguishable — phase 5's reset-equals-fresh
+/// check compares a warm, reset simulator against `Sim::new` through this.
+fn drive_case(sim: &mut Sim, seed: u64) -> String {
+    sim.enable_trace(TraceConfig {
+        capacity: 256,
+        tail_events: 8,
+        lineage_limit: 16,
+    });
+    let mut plan = FaultPlan::new(seed ^ 0x5EED);
+    plan.drop_probability = 0.02;
+    plan.duplicate_probability = 0.05;
+    plan.delay_probability = 0.05;
+    plan.max_delay_spike = SimDuration::from_millis(50);
+    let plan = plan
+        .schedule(
+            dup_simnet::SimTime::from_millis(300),
+            FaultKind::Partition(0, 1),
+        )
+        .schedule(dup_simnet::SimTime::from_millis(700), FaultKind::Heal(0, 1));
+    sim.install_fault_plan(plan);
+    let a = sim.add_node("reset-a", "v", Box::new(Pinger::new(1)));
+    let b = sim.add_node("reset-b", "v", Box::new(Pinger::new(0)));
+    sim.start_node(a).expect("starts");
+    sim.start_node(b).expect("starts");
+    sim.run_for(SimDuration::from_secs(2));
+    let resp = sim.rpc(
+        a,
+        bytes::Bytes::from_static(b"probe"),
+        SimDuration::from_millis(500),
+    );
+    sim.run_for(SimDuration::from_secs(1));
+    let anchor = sim.trace_observe(Some(b));
+    let slice = sim.trace().expect("trace enabled").slice(anchor);
+    format!(
+        "events={} delivered={} faults={} recorded={} resp={:?}\n{}\n{}",
+        sim.events_processed(),
+        sim.messages_delivered(),
+        sim.faults_injected(),
+        sim.trace().expect("trace enabled").events_recorded(),
+        resp,
+        sim.logs().render(),
+        slice.render_timeline(),
+    )
+}
+
 #[test]
 fn steady_state_dispatch_allocates_nothing() {
     COUNTED_THREAD.with(|f| f.set(true));
@@ -341,6 +390,58 @@ fn steady_state_dispatch_allocates_nothing() {
         0,
         "traced dispatch allocated {} times over {steady_events} events \
          ({steady_recorded} trace events recorded)",
+        after - before
+    );
+
+    // ---- phase 5: arena-style `Sim::reset` -------------------------------
+    //
+    // Two properties of the warm-runner tentpole:
+    //   1. Reset-equals-fresh: a reset simulator driven through a faulted,
+    //      traced case is byte-indistinguishable from `Sim::new` with the
+    //      same seed (same counters, logs, RPC responses, trace slices).
+    //   2. Steady-state reset is allocation-free: once the pools are warm,
+    //      `reset` only clears and re-derives — dropping is allowed,
+    //      acquiring memory is not.
+    // The phase-4 sim is already warm (traced ring, sized queue/slabs);
+    // reuse it as the warm runner.
+    let mut fresh = Sim::new(4242);
+    let fp_fresh = drive_case(&mut fresh, 4242);
+
+    sim.reset(4242);
+    let fp_warm1 = drive_case(&mut sim, 4242);
+    assert_eq!(
+        fp_warm1, fp_fresh,
+        "first warm cycle diverged from a fresh simulator"
+    );
+
+    sim.reset(4242);
+    let fp_warm2 = drive_case(&mut sim, 4242);
+    assert_eq!(
+        fp_warm2, fp_fresh,
+        "second warm cycle diverged from a fresh simulator"
+    );
+
+    // A different seed through the same warm runner must still match fresh:
+    // reset leaks nothing seed-dependent.
+    let mut fresh_other = Sim::new(777);
+    let fp_fresh_other = drive_case(&mut fresh_other, 777);
+    sim.reset(777);
+    let fp_warm_other = drive_case(&mut sim, 777);
+    assert_eq!(
+        fp_warm_other, fp_fresh_other,
+        "warm cycle with a new seed diverged from a fresh simulator"
+    );
+
+    // The runner has now been through several full cycles with tracing and
+    // faults enabled — every pool is at steady-state capacity. Reset itself
+    // must not allocate.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    sim.reset(4242);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state Sim::reset allocated {} times",
         after - before
     );
 }

@@ -58,7 +58,7 @@ fn value_for(choice: u8, salt: u64) -> Value {
         1 => Value::I64(salt as i64),
         2 => Value::U32(salt as u32),
         3 => Value::U64(salt),
-        4 => Value::Bool(salt % 2 == 0),
+        4 => Value::Bool(salt.is_multiple_of(2)),
         5 => Value::Str(format!("s{}", salt % 1000)),
         _ => Value::Bytes(salt.to_le_bytes()[..(salt % 9) as usize].to_vec()),
     }

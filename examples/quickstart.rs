@@ -36,11 +36,34 @@ fn main() {
     // incompatibility needs both versions live at once.
     let full_stop = TestCase {
         scenario: Scenario::FullStop,
-        ..case
+        ..case.clone()
     };
     println!("\nSame pair, full-stop scenario…");
     match full_stop.run(&KvStoreSystem) {
         CaseOutcome::Pass => println!("upgrade went through cleanly (as the paper predicts)"),
         other => println!("unexpected: {other:?}"),
+    }
+
+    // Running many cases? Hold a `CaseRunner` and reuse its warm simulator:
+    // `run_in` resets (never re-allocates) between cases and also returns
+    // the determinism digest alongside the outcome. Campaigns do exactly
+    // this internally, one runner per worker thread.
+    let mut runner = CaseRunner::new(&KvStoreSystem);
+    let digests: Vec<_> = (1..=3)
+        .map(|seed| {
+            TestCase {
+                seed,
+                ..case.clone()
+            }
+            .run_in(&mut runner)
+            .digest
+        })
+        .collect();
+    println!("\nThree seeds on one warm runner:");
+    for (seed, digest) in (1..=3).zip(&digests) {
+        println!(
+            "  seed {seed}: {} events, {} messages",
+            digest.events_processed, digest.messages_delivered
+        );
     }
 }

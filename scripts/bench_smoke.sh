@@ -3,14 +3,17 @@
 # at the repo root: the parsed per-benchmark numbers from this run, plus the
 # recorded pre/post numbers of the allocation-free hot-path PR for context.
 #
-# Non-gating: CI runs this in a separate job and uploads the JSON as an
-# artifact; a slow container never fails the build. Locally:
+# CI runs this in a separate job, uploads the JSON as an artifact, and gates
+# on the campaign_scaling family: threads_4 must not lose to threads_1
+# (beyond a small coordination tax on single-CPU runners — the JSON records
+# `cpus` so the gate can tell). Locally:
 #
 #   ./scripts/bench_smoke.sh
 #
-# The parser accepts both output shapes:
-#   - real criterion:  "simnet/name ... time: [low mid high]"
-#   - the offline smoke harness: "  name: 1.234ms/iter (50 iters)"
+# The parser accepts all three output shapes:
+#   - real criterion:        "simnet/name ... time: [low mid high]"
+#   - offline smoke harness: "  group/name: mean 1.2ms/iter, min 1.1ms/iter (50 iters)"
+#   - its older single-stat form: "  name: 1.234ms/iter (50 iters)"
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +28,7 @@ cargo bench -p dup-bench --bench perf_simnet 2>&1 | tee "$RAW"
 
 python3 - "$RAW" "$OUT" <<'PYEOF'
 import json
+import os
 import re
 import sys
 
@@ -40,14 +44,31 @@ def to_ns(value: str, unit: str) -> float:
 
 results = {}
 
-# Offline smoke harness: "  name: 1.234ms/iter (50 iters)"
+# Offline smoke harness:
+#   "  group/name: mean 1.234ms/iter, min 1.100ms/iter (50 iters)"
+for m in re.finditer(
+    r"^\s+([\w/]+):\s+mean ([\d.]+)(ns|us|µs|ms|s)/iter,"
+    r" min ([\d.]+)(ns|us|µs|ms|s)/iter \((\d+) iters\)",
+    text,
+    re.M,
+):
+    name, mean, mean_u, mn, mn_u, iters = m.groups()
+    results[name] = {
+        "mean_ns": round(to_ns(mean, mean_u), 1),
+        "min_ns": round(to_ns(mn, mn_u), 1),
+        "iters": int(iters),
+    }
+
+# The harness's older single-stat form: "  name: 1.234ms/iter (50 iters)"
 for m in re.finditer(
     r"^\s+([\w/]+):\s+([\d.]+)(ns|us|µs|ms|s)/iter \((\d+) iters\)",
     text,
     re.M,
 ):
     name, value, unit, iters = m.groups()
-    results[name] = {"mean_ns": round(to_ns(value, unit), 1), "iters": int(iters)}
+    results.setdefault(
+        name, {"mean_ns": round(to_ns(value, unit), 1), "iters": int(iters)}
+    )
 
 # Real criterion: "simnet/name\n ... time:   [1.10 ms 1.15 ms 1.21 ms]"
 for m in re.finditer(
@@ -55,7 +76,7 @@ for m in re.finditer(
     text,
     re.M,
 ):
-    name = m.group(1).strip().split("/")[-1]
+    name = m.group(1).strip()
     results[name] = {
         "low_ns": round(to_ns(m.group(2), m.group(3)), 1),
         "mean_ns": round(to_ns(m.group(4), m.group(5)), 1),
@@ -64,14 +85,29 @@ for m in re.finditer(
 
 if not results:
     sys.exit("bench_smoke: no benchmark results parsed from criterion output")
-for expected in ("faulty_ping_pong", "crashy_upgrade", "traced_ping_pong"):
+for expected in (
+    "simnet/faulty_ping_pong",
+    "simnet/crashy_upgrade",
+    "simnet/traced_ping_pong",
+    "campaign_scaling/threads_1",
+    "campaign_scaling/threads_4",
+):
     if expected not in results:
         print(f"bench_smoke: warning: {expected} missing from results", file=sys.stderr)
+for name, stats in results.items():
+    if name.split("/")[0] in ("campaign_kvstore", "campaign_scaling"):
+        if stats.get("iters", 0) < 2:
+            sys.exit(f"bench_smoke: {name} ran {stats.get('iters')} iteration(s); need >=2")
+        if "min_ns" not in stats:
+            sys.exit(f"bench_smoke: {name} lacks a min — parser/harness drift?")
 
 report = {
-    "schema": "bench-smoke-v1",
+    "schema": "bench-smoke-v2",
     "benchmark": "perf_simnet",
     "generated_by": "scripts/bench_smoke.sh",
+    # Worker-scaling numbers are only meaningful relative to the cores the
+    # run actually had; the CI gate keys its threshold on this.
+    "cpus": os.cpu_count() or 1,
     "results": results,
     # Recorded numbers for the allocation-free hot-path change (8 runs each
     # on the same machine, release profile): HostId-interned storage, pooled

@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Bench targets keep their `criterion_group!`/`criterion_main!` shape, but
+//! in registry-less environments this harness runs them as a timing smoke
+//! test: each benchmark executes a warm-up pass plus enough timed samples to
+//! get a stable mean, then prints one line per benchmark in the shape
+//! `scripts/bench_smoke.sh` parses:
+//!
+//! ```text
+//!   group/name: mean 1.234ms/iter, min 1.100ms/iter (50 iters)
+//! ```
+//!
+//! Fast routines are batched so per-sample timer overhead does not swamp
+//! the numbers; slow routines (whole campaigns) still get at least two timed
+//! samples so min and mean are both meaningful.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target accumulated measurement time per benchmark.
+const TARGET_TIME: Duration = Duration::from_millis(600);
+/// Never take more samples than this (fast routines hit `TARGET_TIME` first).
+const MAX_SAMPLES: usize = 50;
+/// Every benchmark gets at least this many timed samples, however slow.
+const MIN_SAMPLES: usize = 2;
+/// Batch fast routines until one batch takes at least this long.
+const MIN_BATCH_TIME: Duration = Duration::from_micros(200);
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&name.into(), None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: Option<usize>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Handed to the closure registered with `bench_function`; `iter`/
+/// `iter_batched` time the routine and stash the samples.
+pub struct Bencher {
+    sample_size: Option<usize>,
+    samples: Vec<Duration>,
+    batch: u32,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + calibration: batch fast routines so timer overhead
+        // stays out of the numbers.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        let batch = if once < MIN_BATCH_TIME {
+            (MIN_BATCH_TIME.as_nanos() / once.as_nanos().max(1)).clamp(1, 1 << 20) as u32
+        } else {
+            1
+        };
+        let max_samples = self.sample_size.unwrap_or(MAX_SAMPLES).max(MIN_SAMPLES);
+        let deadline = Instant::now() + TARGET_TIME;
+        while self.samples.len() < max_samples
+            && (self.samples.len() < MIN_SAMPLES || Instant::now() < deadline)
+        {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+        self.batch = batch;
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let max_samples = self.sample_size.unwrap_or(MAX_SAMPLES).max(MIN_SAMPLES);
+        let deadline = Instant::now() + TARGET_TIME;
+        while self.samples.len() < max_samples
+            && (self.samples.len() < MIN_SAMPLES || Instant::now() < deadline)
+        {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+        self.batch = 1;
+    }
+}
+
+fn run_benchmark(name: &str, sample_size: Option<usize>, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+        batch: 1,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {name}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = *bencher.samples.iter().min().expect("non-empty samples");
+    println!(
+        "  {name}: mean {}/iter, min {}/iter ({} iters)",
+        format_duration(mean),
+        format_duration(min),
+        bencher.samples.len(),
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Expands to a function running every listed benchmark against one
+/// `Criterion` instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

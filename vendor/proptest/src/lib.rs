@@ -1,0 +1,134 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace's property tests use a small, well-defined slice of the
+//! proptest API: `proptest! { #[test] fn f(x in strategy, ...) { ... } }`
+//! with integer-range, `any::<T>()`, tuple, `Just`, `prop_oneof!`,
+//! `collection::vec`, simple-regex string strategies, and `prop_map`. This
+//! crate reimplements exactly that slice as a deterministic sampler: every
+//! case is derived from a fixed per-case seed (SplitMix64), so runs are
+//! reproducible without a registry or a persisted regression file. The case
+//! count honors `PROPTEST_CASES` (default 64), matching how CI pins it.
+//!
+//! There is no shrinking: a failing case panics with the sampled inputs in
+//! the assertion message, which the deterministic seeding makes replayable.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream, seeded per test case.
+    #[derive(Clone)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        pub fn from_case(test_name: &str, case: u32) -> Self {
+            // Stable per-test stream: hash the test name, mix in the case.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            Rng(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Number of cases per property: `PROPTEST_CASES` or 64.
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The test macro: expands each property into a plain `#[test]` looping over
+/// deterministic cases. The written attributes (`#[test]`, doc comments) are
+/// re-emitted verbatim.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                for case in 0..cases {
+                    let mut rng =
+                        $crate::test_runner::Rng::from_case(stringify!($name), case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly among the listed strategies (all with the same value
+/// type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        let union = $crate::strategy::Union::of($first);
+        $(let union = union.or($rest);)*
+        union
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,300 @@
+//! Strategies: deterministic value samplers.
+
+use crate::test_runner::Rng;
+use std::ops::Range;
+
+/// A source of values of type `Value`, sampled from a deterministic RNG.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// `strategy.prop_map(f)`.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut Rng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_oneof!`: uniform choice among same-typed alternatives.
+pub struct Union<T> {
+    options: Vec<Box<dyn Fn(&mut Rng) -> T>>,
+}
+
+impl<T> Union<T> {
+    pub fn of<S>(strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Union {
+            options: vec![Box::new(move |rng| strategy.sample(rng))],
+        }
+    }
+
+    pub fn or<S>(mut self, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.options.push(Box::new(move |rng| strategy.sample(rng)));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        (self.options[i])(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> Self {
+                // Mix edge values in so boundary bugs still surface.
+                match rng.below(8) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> Self {
+        rng.below(2) == 1
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut Rng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// String strategies from a simple regex subset: a sequence of atoms, each a
+/// character class `[a-z0-9_]` or a literal character, optionally followed
+/// by `{m,n}` or `{m}`. This covers every pattern the workspace's property
+/// tests use (e.g. `"[a-z]{0,16}"`, `"[a-c]/[a-z]{1,4}"`).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut Rng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n =
+                atom.min_reps + rng.below(atom.max_reps as u64 - atom.min_reps as u64 + 1) as u32;
+            for _ in 0..n {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min_reps: u32,
+    max_reps: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut members = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match it.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = it.next().expect("range end");
+                            members.extend((lo..=hi).filter(|ch| ch.is_ascii()));
+                        }
+                        Some(m) => {
+                            if let Some(p) = prev.replace(m) {
+                                members.push(p);
+                            }
+                        }
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                    }
+                }
+                if let Some(p) = prev {
+                    members.push(p);
+                }
+                assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+                members
+            }
+            '\\' => vec![it.next().expect("escaped char")],
+            other => vec![other],
+        };
+        let (min_reps, max_reps) = if it.peek() == Some(&'{') {
+            it.next();
+            let spec: String = it.by_ref().take_while(|&ch| ch != '}').collect();
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("rep min"),
+                    n.trim().parse().expect("rep max"),
+                ),
+                None => {
+                    let m = spec.trim().parse().expect("rep count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom {
+            chars,
+            min_reps,
+            max_reps,
+        });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::Rng;
+
+    #[test]
+    fn regex_subset_samples_match_shape() {
+        let mut rng = Rng::from_case("regex", 0);
+        for _ in 0..200 {
+            let s = "[a-c]/[a-z]{1,4}".sample(&mut rng);
+            let (head, tail) = s.split_once('/').expect("literal slash");
+            assert_eq!(head.len(), 1);
+            assert!(head.chars().all(|c| ('a'..='c').contains(&c)));
+            assert!((1..=4).contains(&tail.len()));
+            assert!(tail.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::from_case("ranges", 1);
+        for _ in 0..500 {
+            let v = (0u32..10).sample(&mut rng);
+            assert!(v < 10);
+            let s = (-1000i64..1000).sample(&mut rng);
+            assert!((-1000..1000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn same_case_same_sample() {
+        let sample = |case| {
+            let mut rng = Rng::from_case("det", case);
+            crate::collection::vec(any::<u64>(), 0..9).sample(&mut rng)
+        };
+        assert_eq!(sample(3), sample(3));
+    }
+}

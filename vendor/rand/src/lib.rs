@@ -1,0 +1,6 @@
+//! Offline placeholder for the `rand` crate.
+//!
+//! The workspace declares `rand` in a couple of manifests but never calls
+//! into it — all randomness goes through the deterministic `SimRng` in
+//! `dup-simnet`. This empty crate satisfies the dependency edges without
+//! touching any registry.

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two trait names plus the derive macros (re-exported from the
+//! vendored `serde_derive`, which expands them to nothing). Nothing in this
+//! workspace is generic over these traits; the derives on study/taxonomy
+//! types exist for downstream consumers and stay syntactically valid.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    /// Marker counterpart of `serde::ser::Serialize`.
+    pub trait Serialize {}
+}
+
+pub mod de {
+    /// Marker counterpart of `serde::de::Deserialize`.
+    pub trait Deserialize<'de> {}
+}

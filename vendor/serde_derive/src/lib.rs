@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace tags a handful of study/taxonomy types with
+//! `#[derive(Serialize, Deserialize)]` for downstream consumers, but nothing
+//! in-tree is generic over the serde traits, so the derives can expand to
+//! nothing at all: the attribute stays valid, no impls are emitted, and the
+//! build needs no registry access.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
