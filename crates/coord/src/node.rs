@@ -74,6 +74,7 @@ fn strict_epoch_check(v: VersionId) -> bool {
 }
 
 /// A coordination-service node.
+#[derive(Clone)]
 pub struct CoordNode {
     version: VersionId,
     setup: NodeSetup,
@@ -278,6 +279,21 @@ impl CoordNode {
 }
 
 impl Process for CoordNode {
+    fn fork(&self) -> Option<Box<dyn Process>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn restore_from(&mut self, src: &dyn Process) -> bool {
+        let any: &dyn std::any::Any = src;
+        match any.downcast_ref::<Self>() {
+            Some(other) => {
+                self.clone_from(other);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
         self.load_snapshot(ctx)?;
         ctx.info(format!(

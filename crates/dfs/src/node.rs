@@ -52,6 +52,7 @@ struct DnInfo {
     storages_ok: bool,
 }
 
+#[derive(Clone)]
 struct PendingWrite {
     client: Endpoint,
     path: String,
@@ -60,6 +61,7 @@ struct PendingWrite {
 }
 
 /// The master. Holds the namespace, tracks DataNodes, coordinates writes.
+#[derive(Clone)]
 pub struct NameNode {
     version: VersionId,
     setup: NodeSetup,
@@ -381,6 +383,21 @@ impl NameNode {
 }
 
 impl Process for NameNode {
+    fn fork(&self) -> Option<Box<dyn Process>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn restore_from(&mut self, src: &dyn Process) -> bool {
+        let any: &dyn std::any::Any = src;
+        match any.downcast_ref::<Self>() {
+            Some(other) => {
+                self.clone_from(other);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
         self.started_at = ctx.now();
         let own_lv = layout_version(self.version);
@@ -558,6 +575,7 @@ impl Process for NameNode {
 }
 
 /// A worker: stores blocks, heartbeats, serves reads and replication copies.
+#[derive(Clone)]
 pub struct DataNode {
     version: VersionId,
     setup: NodeSetup,
@@ -608,6 +626,21 @@ impl DataNode {
 }
 
 impl Process for DataNode {
+    fn fork(&self) -> Option<Box<dyn Process>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn restore_from(&mut self, src: &dyn Process) -> bool {
+        let any: &dyn std::any::Any = src;
+        match any.downcast_ref::<Self>() {
+            Some(other) => {
+                self.clone_from(other);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
         let marker = ctx
             .storage_ref()

@@ -27,7 +27,10 @@ impl Process for Echo {
     }
 }
 
-/// A buggy SUT adapter: workload generation panics for seed 2.
+/// A buggy SUT adapter: workload generation panics for seed 2. The panic
+/// triggers on the during-upgrade phase because pre-upgrade ops belong to
+/// the seed-independent case prefix (they draw from the group's derived
+/// prefix seed, never from an individual case's seed).
 struct PanickySut;
 
 impl SystemUnderTest for PanickySut {
@@ -49,7 +52,7 @@ impl SystemUnderTest for PanickySut {
         phase: WorkloadPhase,
         _client_version: VersionId,
     ) -> Vec<ClientOp> {
-        if seed == 2 && phase == WorkloadPhase::BeforeUpgrade {
+        if seed == 2 && phase == WorkloadPhase::DuringUpgrade {
             panic!("deliberate example panic for seed 2");
         }
         vec![ClientOp::new(0, "HEALTH")]

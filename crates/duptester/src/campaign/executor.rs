@@ -4,17 +4,21 @@
 //! # Threading model
 //!
 //! Every [`TestCase`] is deterministic in its seed, so cases are
-//! embarrassingly parallel. The executor materializes the full matrix up
-//! front ([`CaseMatrix`]), then `std::thread::scope`d workers pull *batches*
-//! — runs of consecutive seed groups sharing one (version pair, scenario) —
-//! off a shared atomic queue. Each worker owns one warm [`CaseRunner`] for
-//! the whole campaign: `Sim::reset` recycles the simulator's pooled
-//! allocations between cases, so per-case cost stays flat instead of paying
-//! a fresh `Sim` construction every time. Seeds of a group run in order on
-//! one worker, which keeps dedup-aware seed pruning deterministic; results
-//! are written into per-group slots and aggregated afterwards **by case
-//! index**, so the report is byte-identical whether the campaign ran on one
-//! thread or many, and whether the runners were warm or fresh.
+//! embarrassingly parallel. The executor enumerates the matrix
+//! arithmetically ([`CaseMatrix`] — O(groups) memory, no materialized case
+//! list), then `std::thread::scope`d workers pull *batches* — runs of
+//! consecutive seed groups sharing one (version pair, scenario) — off a
+//! shared atomic queue. Each worker owns one warm [`CaseRunner`] for the
+//! whole campaign: `Sim::reset` recycles the simulator's pooled allocations
+//! between cases, and (with snapshotting on, the default) `Sim::restore`
+//! replays each seed group's shared warmup prefix from a snapshot instead
+//! of re-executing it. Seeds of a group run in order on one worker, which
+//! keeps dedup-aware seed pruning deterministic; results are folded into
+//! per-group [`GroupRecord`]s — aggregation memory is O(groups + failures),
+//! never O(cases) — and stitched afterwards **in matrix order**, so the
+//! report is byte-identical whether the campaign ran on one thread or many,
+//! whether the runners were warm or fresh, and whether snapshotting was on
+//! or off.
 
 use crate::campaign::matrix::{CaseMatrix, SeedGroup};
 use crate::campaign::observer::{CampaignObserver, MetricsObserver};
@@ -65,6 +69,11 @@ pub struct CampaignConfig {
     /// every case and attaches a causal [`TraceSlice`] to each distinct
     /// failure's report; `None` (the default) runs untraced.
     pub(crate) trace: Option<TraceConfig>,
+    /// Snapshot-and-fork prefix reuse (the default). Each worker runner
+    /// executes a seed group's shared warmup prefix once, snapshots the
+    /// simulator, and runs the remaining seeds as restore + suffix. Purely
+    /// a performance choice: reports are byte-identical either way.
+    pub(crate) snapshot: bool,
 }
 
 impl CampaignConfig {
@@ -97,6 +106,11 @@ impl CampaignConfig {
     pub fn trace(&self) -> Option<TraceConfig> {
         self.trace
     }
+
+    /// Whether workers reuse seed-group prefixes via snapshot-and-fork.
+    pub fn snapshot(&self) -> bool {
+        self.snapshot
+    }
 }
 
 impl Default for CampaignConfig {
@@ -111,19 +125,36 @@ impl Default for CampaignConfig {
             threads: 0,
             prune_after: None,
             trace: None,
+            snapshot: true,
         }
     }
 }
 
-/// What one executed (or pruned) case left behind. `None` when the case
-/// was pruned and never executed. (Timings live in the metrics, collected
+/// What one executed seed group left behind: folded counts and digest sums
+/// for every case, plus the failing cases in full. This is the executor's
+/// unit of result memory — O(groups + failures) for the whole campaign, so
+/// a 10⁶-case sweep that mostly passes carries a few counters per group
+/// instead of a million records. (Timings live in the metrics, collected
 /// via the observer path.)
+#[derive(Debug, Clone, Default)]
+struct GroupRecord {
+    cases_run: usize,
+    cases_passed: usize,
+    cases_invalid: usize,
+    cases_pruned: usize,
+    events_processed: u64,
+    messages_delivered: u64,
+    faults_injected: u64,
+    /// The group's failing cases, in case-index order.
+    failures: Vec<GroupFailure>,
+}
+
+/// One failing case inside a [`GroupRecord`].
 #[derive(Debug, Clone)]
-struct CaseRecord {
-    outcome: Option<CaseOutcome>,
-    digest: CaseDigest,
-    /// The failing case's causal slice; `None` for passes, pruned cases, and
-    /// untraced campaigns.
+struct GroupFailure {
+    index: usize,
+    observations: Vec<Observation>,
+    /// The failing case's causal slice; `None` for untraced campaigns.
     slice: Option<TraceSlice>,
 }
 
@@ -242,6 +273,14 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
+    /// Turns snapshot-and-fork prefix reuse on or off (on by default).
+    /// Purely a performance knob: the report is byte-identical either way,
+    /// which `durability_campaigns`/`trace_campaigns` assert.
+    pub fn snapshot(mut self, on: bool) -> Self {
+        self.config.snapshot = on;
+        self
+    }
+
     /// Enables causal trace recording for every case: each distinct failure
     /// report carries a bounded [`TraceSlice`] whose lineage chain ends at
     /// the violating observation, and observers see it via
@@ -349,11 +388,12 @@ impl<'a> Campaign<'a> {
         requested.clamp(1, groups.max(1))
     }
 
-    fn run_groups_sequential(&self, matrix: &CaseMatrix, fan: &FanOut<'_>) -> Vec<CaseRecord> {
-        let mut runner = CaseRunner::with_trace(self.sut, self.config.trace);
-        let mut records = Vec::with_capacity(matrix.len());
+    fn run_groups_sequential(&self, matrix: &CaseMatrix, fan: &FanOut<'_>) -> Vec<GroupRecord> {
+        let mut runner =
+            CaseRunner::with_options(self.sut, self.config.trace, self.config.snapshot);
+        let mut records = Vec::with_capacity(matrix.groups().len());
         for group in matrix.groups() {
-            records.extend(run_group(&mut runner, matrix, group, &self.config, fan));
+            records.push(run_group(&mut runner, matrix, group, &self.config, fan));
         }
         records
     }
@@ -363,30 +403,31 @@ impl<'a> Campaign<'a> {
         matrix: &CaseMatrix,
         fan: &FanOut<'_>,
         threads: usize,
-    ) -> Vec<CaseRecord> {
+    ) -> Vec<GroupRecord> {
         let groups = matrix.groups();
         // Workers pull (pair, scenario) batches, not single groups: the
         // groups of one batch share cluster topology and workload shape, so
         // a warm runner replays near-identical allocation patterns and its
-        // pools stay exactly-sized. Coarser units also mean fewer trips to
+        // pools stay exactly-sized; consecutive groups of a batch also often
+        // share a prefix snapshot. Coarser units also mean fewer trips to
         // the shared queue.
         let batches = matrix.batches();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Vec<CaseRecord>>>> =
+        let slots: Vec<Mutex<Option<GroupRecord>>> =
             groups.iter().map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
                     // One warm runner per worker for the whole campaign.
-                    let mut runner = CaseRunner::with_trace(self.sut, self.config.trace);
+                    let mut runner =
+                        CaseRunner::with_options(self.sut, self.config.trace, self.config.snapshot);
                     loop {
                         let b = next.fetch_add(1, Ordering::Relaxed);
                         let Some(batch) = batches.get(b) else { break };
                         for g in batch.clone() {
-                            let recs =
-                                run_group(&mut runner, matrix, &groups[g], &self.config, fan);
-                            *slots[g].lock().expect("slot lock") = Some(recs);
+                            let rec = run_group(&mut runner, matrix, &groups[g], &self.config, fan);
+                            *slots[g].lock().expect("slot lock") = Some(rec);
                         }
                     }
                 });
@@ -395,47 +436,45 @@ impl<'a> Campaign<'a> {
 
         // Stitch group results back together in matrix order — this, not
         // completion order, is what the report sees.
-        let mut records = Vec::with_capacity(matrix.len());
-        for slot in slots {
-            let recs = slot
-                .into_inner()
-                .expect("slot lock")
-                .expect("every group slot filled once the scope joins");
-            records.extend(recs);
-        }
-        records
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every group slot filled once the scope joins")
+            })
+            .collect()
     }
 }
 
-/// Runs one seed group in order, applying dedup-aware pruning within it.
+/// Runs one seed group in order, applying dedup-aware pruning within it,
+/// and folds the results into one [`GroupRecord`].
 fn run_group(
     runner: &mut CaseRunner<'_>,
     matrix: &CaseMatrix,
     group: &SeedGroup,
     config: &CampaignConfig,
     fan: &FanOut<'_>,
-) -> Vec<CaseRecord> {
-    let mut out = Vec::with_capacity(group.len);
+) -> GroupRecord {
+    let mut rec = GroupRecord::default();
     let mut sig_counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut prune_rest = false;
     for index in group.indices() {
-        let case = &matrix.cases()[index];
-        fan.case_start(index, case);
+        let case = matrix.case_at(index);
+        fan.case_start(index, &case);
         if prune_rest {
-            fan.case_done(index, case, CaseStatus::Pruned, Duration::ZERO);
-            out.push(CaseRecord {
-                outcome: None,
-                digest: CaseDigest::default(),
-                slice: None,
-            });
+            fan.case_done(index, &case, CaseStatus::Pruned, Duration::ZERO);
+            rec.cases_pruned += 1;
             continue;
         }
         let t0 = Instant::now();
         // Contain panics: a buggy SUT adapter (or harness) must cost one
         // case, not the whole campaign. Reusing the runner after an unwind
         // is sound despite AssertUnwindSafe because `run_in` starts with an
-        // unconditional `Sim::reset` — whatever torn state the panicking
-        // case left behind is cleared before the next case sees it.
+        // unconditional `Sim::reset` or `Sim::restore` — whatever torn state
+        // the panicking case left behind is cleared before the next case
+        // sees it. (A snapshot captured *before* the panic is still the
+        // prefix's pristine end state, so restoring from it stays sound.)
         let CaseResult {
             outcome,
             digest,
@@ -452,6 +491,10 @@ fn run_group(
         };
         fan.trace_counts(&digest);
         let wall = t0.elapsed();
+        rec.cases_run += 1;
+        rec.events_processed += digest.events_processed;
+        rec.messages_delivered += digest.messages_delivered;
+        rec.faults_injected += digest.faults_injected;
         let status = match &outcome {
             CaseOutcome::Pass => CaseStatus::Passed,
             CaseOutcome::InvalidWorkload(_) => CaseStatus::Invalid,
@@ -478,14 +521,18 @@ fn run_group(
                 }
             }
         };
-        fan.case_done(index, case, status, wall);
-        out.push(CaseRecord {
-            outcome: Some(outcome),
-            digest,
-            slice,
-        });
+        fan.case_done(index, &case, status, wall);
+        match outcome {
+            CaseOutcome::Pass => rec.cases_passed += 1,
+            CaseOutcome::InvalidWorkload(_) => rec.cases_invalid += 1,
+            CaseOutcome::Fail(observations) => rec.failures.push(GroupFailure {
+                index,
+                observations,
+                slice,
+            }),
+        }
     }
-    out
+    rec
 }
 
 /// Renders a panic payload as text (panics carry `&str` or `String` in
@@ -500,14 +547,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Folds per-case records into the deduplicated report, in case-index order.
+/// Folds per-group records into the deduplicated report, in matrix order
+/// (groups in order, each group's failures in case-index order) — so the
+/// report reads exactly as a sequential per-case walk would, at O(groups +
+/// failures) memory.
 fn aggregate(
     system: &str,
     matrix: &CaseMatrix,
-    records: &[CaseRecord],
+    records: &[GroupRecord],
     fan: &FanOut<'_>,
 ) -> CampaignReport {
-    debug_assert_eq!(matrix.len(), records.len());
+    debug_assert_eq!(matrix.groups().len(), records.len());
     let mut report = CampaignReport {
         system: system.to_string(),
         ..Default::default()
@@ -515,54 +565,51 @@ fn aggregate(
     // dedup key -> index into report.failures
     let mut seen: BTreeMap<(VersionId, VersionId, String), usize> = BTreeMap::new();
 
-    for (index, record) in records.iter().enumerate() {
-        let case = &matrix.cases()[index];
-        let Some(outcome) = &record.outcome else {
-            report.cases_pruned += 1;
-            continue;
-        };
-        report.cases_run += 1;
+    for record in records {
+        report.cases_run += record.cases_run;
+        report.cases_passed += record.cases_passed;
+        report.cases_invalid += record.cases_invalid;
+        report.cases_pruned += record.cases_pruned;
         // Per-case digests are deterministic in the seed, so these sums are
         // independent of worker thread count — the determinism-digest tests
         // key on exactly that.
-        report.sim_events_processed += record.digest.events_processed;
-        report.sim_messages_delivered += record.digest.messages_delivered;
-        report.sim_faults_injected += record.digest.faults_injected;
-        match outcome {
-            CaseOutcome::Pass => report.cases_passed += 1,
-            CaseOutcome::InvalidWorkload(_) => report.cases_invalid += 1,
-            CaseOutcome::Fail(observations) => {
-                let signature = dedup_key(observations);
-                let key = (case.from, case.to, signature.clone());
-                if let Some(&idx) = seen.get(&key) {
-                    report.failures[idx].reproductions += 1;
-                } else {
-                    let cause = observations
-                        .iter()
-                        .map(|o| o.classify())
-                        .find(|c| *c != "Unclassified")
-                        .unwrap_or("Unclassified");
-                    seen.insert(key, report.failures.len());
-                    report.failures.push(FailureReport {
-                        system: system.to_string(),
-                        from: case.from,
-                        to: case.to,
-                        scenario: case.scenario,
-                        workload: case.workload.clone(),
-                        seed: case.seed,
-                        faults: case.faults,
-                        durability: case.durability,
-                        signature,
-                        cause,
-                        observations: observations.clone(),
-                        reproductions: 1,
-                        trace: record.slice.clone(),
-                    });
-                    let failure = report.failures.last().expect("just pushed");
-                    fan.failure_found(index, case, failure);
-                    if let Some(slice) = &failure.trace {
-                        fan.trace_slice(index, case, slice);
-                    }
+        report.sim_events_processed += record.events_processed;
+        report.sim_messages_delivered += record.messages_delivered;
+        report.sim_faults_injected += record.faults_injected;
+        for failure_case in &record.failures {
+            let index = failure_case.index;
+            let case = matrix.case_at(index);
+            let observations = &failure_case.observations;
+            let signature = dedup_key(observations);
+            let key = (case.from, case.to, signature.clone());
+            if let Some(&idx) = seen.get(&key) {
+                report.failures[idx].reproductions += 1;
+            } else {
+                let cause = observations
+                    .iter()
+                    .map(|o| o.classify())
+                    .find(|c| *c != "Unclassified")
+                    .unwrap_or("Unclassified");
+                seen.insert(key, report.failures.len());
+                report.failures.push(FailureReport {
+                    system: system.to_string(),
+                    from: case.from,
+                    to: case.to,
+                    scenario: case.scenario,
+                    workload: case.workload.clone(),
+                    seed: case.seed,
+                    faults: case.faults,
+                    durability: case.durability,
+                    signature,
+                    cause,
+                    observations: observations.clone(),
+                    reproductions: 1,
+                    trace: failure_case.slice.clone(),
+                });
+                let failure = report.failures.last().expect("just pushed");
+                fan.failure_found(index, &case, failure);
+                if let Some(slice) = &failure.trace {
+                    fan.trace_slice(index, &case, slice);
                 }
             }
         }
@@ -596,10 +643,10 @@ mod tests {
         }
     }
 
-    fn fail(observations: Vec<Observation>) -> CaseRecord {
-        CaseRecord {
-            outcome: Some(CaseOutcome::Fail(observations)),
-            digest: CaseDigest::default(),
+    fn fail(index: usize, observations: Vec<Observation>) -> GroupFailure {
+        GroupFailure {
+            index,
+            observations,
             slice: None,
         }
     }
@@ -615,6 +662,7 @@ mod tests {
         assert_eq!(c.threads, 0);
         assert!(c.prune_after.is_none());
         assert!(c.trace.is_none());
+        assert!(c.snapshot, "snapshot-and-fork is the default");
     }
 
     #[test]
@@ -623,11 +671,16 @@ mod tests {
         // the second: they must surface as two distinct failures (the old
         // first-signature keying silently merged them).
         let matrix = CaseMatrix::from_cases(vec![case(1), case(2), case(3)]);
-        let records = vec![
-            fail(vec![crash("shared root symptom"), crash("beta effect")]),
-            fail(vec![crash("shared root symptom"), crash("gamma effect")]),
-            fail(vec![crash("beta effect"), crash("shared root symptom")]),
-        ];
+        assert_eq!(matrix.groups().len(), 1, "seeds fold into one group");
+        let records = vec![GroupRecord {
+            cases_run: 3,
+            failures: vec![
+                fail(0, vec![crash("shared root symptom"), crash("beta effect")]),
+                fail(1, vec![crash("shared root symptom"), crash("gamma effect")]),
+                fail(2, vec![crash("beta effect"), crash("shared root symptom")]),
+            ],
+            ..GroupRecord::default()
+        }];
         let metrics = MetricsObserver::new();
         let fan = FanOut {
             metrics: &metrics,
@@ -644,14 +697,12 @@ mod tests {
     #[test]
     fn aggregation_counts_pruned_separately() {
         let matrix = CaseMatrix::from_cases(vec![case(1), case(2)]);
-        let records = vec![
-            fail(vec![crash("boom")]),
-            CaseRecord {
-                outcome: None,
-                digest: CaseDigest::default(),
-                slice: None,
-            },
-        ];
+        let records = vec![GroupRecord {
+            cases_run: 1,
+            cases_pruned: 1,
+            failures: vec![fail(0, vec![crash("boom")])],
+            ..GroupRecord::default()
+        }];
         let metrics = MetricsObserver::new();
         let fan = FanOut {
             metrics: &metrics,

@@ -1,14 +1,25 @@
-//! Case-matrix enumeration: materializes the full version-pair × scenario ×
-//! workload × seed sweep up front, giving every case a stable index.
+//! Case-matrix enumeration: describes the full version-pair × scenario ×
+//! workload × seed sweep *arithmetically*, giving every case a stable index
+//! without materializing the cases.
 //!
 //! Stable indices are what make the parallel executor deterministic: workers
 //! may finish in any order, but results are aggregated by index, so the
 //! report reads exactly as if the matrix had been walked sequentially.
+//!
+//! An enumerated matrix stores only the sweep's *axes* (the version pairs,
+//! scenarios, workloads, fault intensities, durabilities, and seeds) plus
+//! the O(groups) seed-group table; [`CaseMatrix::case_at`] decodes a case
+//! index into its [`TestCase`] by mixed-radix arithmetic. That is what lets
+//! a campaign sweep 10⁶+ cases without ever holding 10⁶ `TestCase`s — or
+//! per-case results — in memory.
 
 use crate::campaign::CampaignConfig;
+use crate::faults::FaultIntensity;
 use crate::harness::TestCase;
-use crate::scenario::WorkloadSource;
-use dup_core::{upgrade_pairs, SystemUnderTest};
+use crate::scenario::{Scenario, WorkloadSource};
+use dup_core::{upgrade_pairs, SystemUnderTest, VersionId};
+use dup_simnet::Durability;
+use std::sync::Arc;
 
 // The enumeration order is pairs → scenarios → workloads → fault
 // intensities → durabilities → seeds; seeds stay innermost so each
@@ -21,7 +32,10 @@ use dup_core::{upgrade_pairs, SystemUnderTest};
 ///
 /// Seed groups are the unit of work handed to executor threads: seeds of one
 /// group run in enumeration order on a single worker, which is what lets
-/// dedup-aware seed pruning stay deterministic under parallelism.
+/// dedup-aware seed pruning stay deterministic under parallelism. They are
+/// also the unit of *prefix sharing*: every case of a group has the same
+/// `(from, workload)`, so a snapshotting runner executes the warmup prefix
+/// once per group at most.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeedGroup {
     /// Index of the group's first case.
@@ -37,17 +51,77 @@ impl SeedGroup {
     }
 }
 
-/// The fully materialized campaign sweep.
+/// The sweep's axes, from which any case index decodes arithmetically.
+#[derive(Debug, Clone)]
+struct MatrixShape {
+    pairs: Vec<(VersionId, VersionId)>,
+    scenarios: Vec<Scenario>,
+    workloads: Vec<WorkloadSource>,
+    faults: Vec<FaultIntensity>,
+    durabilities: Vec<Durability>,
+    seeds: Vec<u64>,
+}
+
+impl MatrixShape {
+    fn len(&self) -> usize {
+        self.pairs
+            .len()
+            .saturating_mul(self.scenarios.len())
+            .saturating_mul(self.workloads.len())
+            .saturating_mul(self.faults.len())
+            .saturating_mul(self.durabilities.len())
+            .saturating_mul(self.seeds.len())
+    }
+
+    /// Decodes `index` in the canonical mixed-radix order (seeds innermost,
+    /// pairs outermost). The only allocation is the workload's `Arc` bump.
+    fn case_at(&self, index: usize) -> TestCase {
+        debug_assert!(index < self.len());
+        let mut rest = index;
+        let seed = self.seeds[rest % self.seeds.len()];
+        rest /= self.seeds.len();
+        let durability = self.durabilities[rest % self.durabilities.len()];
+        rest /= self.durabilities.len();
+        let faults = self.faults[rest % self.faults.len()];
+        rest /= self.faults.len();
+        let workload = self.workloads[rest % self.workloads.len()].clone();
+        rest /= self.workloads.len();
+        let scenario = self.scenarios[rest % self.scenarios.len()];
+        rest /= self.scenarios.len();
+        let (from, to) = self.pairs[rest];
+        TestCase {
+            from,
+            to,
+            scenario,
+            workload,
+            seed,
+            faults,
+            durability,
+        }
+    }
+}
+
+/// The campaign sweep: either an arithmetic description of the full
+/// enumeration ([`CaseMatrix::enumerate`], O(axes + groups) memory) or an
+/// explicit case list ([`CaseMatrix::from_cases`]).
 #[derive(Debug, Clone, Default)]
 pub struct CaseMatrix {
+    /// `Some` for enumerated (lazy) matrices; `None` for explicit ones.
+    shape: Option<MatrixShape>,
+    /// Explicit cases; empty when `shape` is `Some`.
     cases: Vec<TestCase>,
     groups: Vec<SeedGroup>,
+    len: usize,
 }
 
 impl CaseMatrix {
     /// Enumerates every case for `sut` under `config`, in the canonical
     /// order: version pairs, then scenarios, then workloads, then fault
     /// intensities, then durability modes, then seeds.
+    ///
+    /// Lazy: stores the axes and the seed-group table, not the cases —
+    /// memory is O(groups) no matter how many seeds the sweep multiplies
+    /// out to.
     pub fn enumerate(sut: &dyn SystemUnderTest, config: &CampaignConfig) -> CaseMatrix {
         let versions = sut.versions();
         let pairs = upgrade_pairs(&versions, config.include_gap_two);
@@ -55,39 +129,37 @@ impl CaseMatrix {
         let mut workloads: Vec<WorkloadSource> = vec![WorkloadSource::Stress];
         if config.use_unit_tests {
             for test in sut.unit_tests() {
-                workloads.push(WorkloadSource::TranslatedUnit(test.name.clone()));
-                workloads.push(WorkloadSource::UnitStateHandoff(test.name.clone()));
+                let name: Arc<str> = Arc::from(test.name.as_str());
+                workloads.push(WorkloadSource::TranslatedUnit(Arc::clone(&name)));
+                workloads.push(WorkloadSource::UnitStateHandoff(name));
             }
         }
 
-        let mut matrix = CaseMatrix::default();
-        for (from, to) in pairs {
-            for scenario in &config.scenarios {
-                for workload in &workloads {
-                    for &faults in &config.fault_intensities {
-                        for &durability in &config.durabilities {
-                            let start = matrix.cases.len();
-                            for &seed in &config.seeds {
-                                matrix.cases.push(TestCase {
-                                    from,
-                                    to,
-                                    scenario: *scenario,
-                                    workload: workload.clone(),
-                                    seed,
-                                    faults,
-                                    durability,
-                                });
-                            }
-                            matrix.groups.push(SeedGroup {
-                                start,
-                                len: matrix.cases.len() - start,
-                            });
-                        }
-                    }
-                }
-            }
+        let shape = MatrixShape {
+            pairs,
+            scenarios: config.scenarios.clone(),
+            workloads,
+            faults: config.fault_intensities.clone(),
+            durabilities: config.durabilities.clone(),
+            seeds: config.seeds.clone(),
+        };
+        let len = shape.len();
+        let seeds = shape.seeds.len();
+        let groups = match len.checked_div(seeds) {
+            None => Vec::new(),
+            Some(n) => (0..n)
+                .map(|g| SeedGroup {
+                    start: g * seeds,
+                    len: seeds,
+                })
+                .collect(),
+        };
+        CaseMatrix {
+            shape: Some(shape),
+            cases: Vec::new(),
+            groups,
+            len,
         }
-        matrix
     }
 
     /// Builds a matrix from explicit cases, grouping consecutive cases that
@@ -110,12 +182,28 @@ impl CaseMatrix {
                 _ => groups.push(SeedGroup { start: i, len: 1 }),
             }
         }
-        CaseMatrix { cases, groups }
+        let len = cases.len();
+        CaseMatrix {
+            shape: None,
+            cases,
+            groups,
+            len,
+        }
     }
 
-    /// All cases, in stable index order.
-    pub fn cases(&self) -> &[TestCase] {
-        &self.cases
+    /// The case at `index` (stable enumeration order). Decoded
+    /// arithmetically for enumerated matrices, cloned for explicit ones;
+    /// either way the cost is O(1) and a workload `Arc` bump.
+    pub fn case_at(&self, index: usize) -> TestCase {
+        match &self.shape {
+            Some(shape) => shape.case_at(index),
+            None => self.cases[index].clone(),
+        }
+    }
+
+    /// All cases in stable index order, produced on demand.
+    pub fn iter(&self) -> impl Iterator<Item = TestCase> + '_ {
+        (0..self.len).map(|i| self.case_at(i))
     }
 
     /// The seed groups, each a contiguous index range.
@@ -131,31 +219,27 @@ impl CaseMatrix {
     /// trips. Each range indexes into [`CaseMatrix::groups`].
     pub fn batches(&self) -> Vec<std::ops::Range<usize>> {
         let mut batches: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut prev_key: Option<(VersionId, VersionId, Scenario)> = None;
         for (g, group) in self.groups.iter().enumerate() {
-            let case = &self.cases[group.start];
-            let extends = batches.last().is_some_and(|b| {
-                let prev = &self.cases[self.groups[b.end - 1].start];
-                b.end == g
-                    && prev.from == case.from
-                    && prev.to == case.to
-                    && prev.scenario == case.scenario
-            });
-            match (batches.last_mut(), extends) {
-                (Some(b), true) => b.end = g + 1,
+            let case = self.case_at(group.start);
+            let key = (case.from, case.to, case.scenario);
+            match (batches.last_mut(), prev_key == Some(key)) {
+                (Some(b), true) if b.end == g => b.end = g + 1,
                 _ => batches.push(g..g + 1),
             }
+            prev_key = Some(key);
         }
         batches
     }
 
     /// Total number of cases.
     pub fn len(&self) -> usize {
-        self.cases.len()
+        self.len
     }
 
     /// Whether the matrix is empty.
     pub fn is_empty(&self) -> bool {
-        self.cases.is_empty()
+        self.len == 0
     }
 }
 
@@ -190,13 +274,13 @@ mod tests {
             .into_config();
         let a = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
         let b = CaseMatrix::enumerate(&dup_kvstore::KvStoreSystem, &config);
-        assert_eq!(a.cases(), b.cases());
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
         assert!(!a.is_empty());
         // Seeds are the innermost loop: every group covers all seeds of one
         // (pair, scenario, workload) combination, contiguously.
         for g in a.groups() {
             assert_eq!(g.len, 2);
-            let cases = &a.cases()[g.indices()];
+            let cases: Vec<TestCase> = g.indices().map(|i| a.case_at(i)).collect();
             assert_eq!(cases[0].seed, 1);
             assert_eq!(cases[1].seed, 2);
             assert_eq!(cases[0].from, cases[1].from);
@@ -205,6 +289,93 @@ mod tests {
         // Groups tile the matrix exactly.
         let covered: usize = a.groups().iter().map(|g| g.len).sum();
         assert_eq!(covered, a.len());
+    }
+
+    #[test]
+    fn lazy_enumeration_agrees_with_eager_case_for_case() {
+        // The pre-lazy enumeration materialized the sweep with this exact
+        // nested loop; replay it and demand index-for-index agreement.
+        let sut = &dup_kvstore::KvStoreSystem;
+        let config = crate::campaign::Campaign::builder(sut)
+            .seeds([1, 2, 3])
+            .faults(crate::faults::FaultIntensity::ALL)
+            .durabilities([Durability::Strict, Durability::Torn])
+            .into_config();
+        let lazy = CaseMatrix::enumerate(sut, &config);
+
+        let versions = sut.versions();
+        let pairs = upgrade_pairs(&versions, config.include_gap_two);
+        let mut workloads: Vec<WorkloadSource> = vec![WorkloadSource::Stress];
+        for test in sut.unit_tests() {
+            workloads.push(WorkloadSource::TranslatedUnit(test.name.as_str().into()));
+            workloads.push(WorkloadSource::UnitStateHandoff(test.name.as_str().into()));
+        }
+        let mut eager: Vec<TestCase> = Vec::new();
+        for (from, to) in pairs {
+            for &scenario in &config.scenarios {
+                for workload in &workloads {
+                    for &faults in &config.fault_intensities {
+                        for &durability in &config.durabilities {
+                            for &seed in &config.seeds {
+                                eager.push(TestCase {
+                                    from,
+                                    to,
+                                    scenario,
+                                    workload: workload.clone(),
+                                    seed,
+                                    faults,
+                                    durability,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        assert_eq!(lazy.len(), eager.len());
+        assert!(lazy.len() > 100, "sweep too small to be a meaningful check");
+        for (i, expected) in eager.iter().enumerate() {
+            assert_eq!(&lazy.case_at(i), expected, "case {i} diverges");
+        }
+        // And grouping matches the eager grouper exactly.
+        let from_eager = CaseMatrix::from_cases(eager);
+        assert_eq!(lazy.groups(), from_eager.groups());
+        assert_eq!(lazy.batches(), from_eager.batches());
+    }
+
+    #[test]
+    fn million_case_matrix_stays_lazy() {
+        // ~1.2M cases: the matrix must enumerate, group, and batch without
+        // materializing a single TestCase.
+        let sut = &dup_kvstore::KvStoreSystem;
+        let seeds: Vec<u64> = (0..20_000).collect();
+        let config = crate::campaign::Campaign::builder(sut)
+            .seeds(seeds)
+            .faults(crate::faults::FaultIntensity::ALL)
+            .into_config();
+        let m = CaseMatrix::enumerate(sut, &config);
+        assert!(m.len() >= 1_000_000, "only {} cases", m.len());
+        // Lazy backing: no cases materialized, groups table is O(groups).
+        assert!(m.cases.is_empty());
+        assert_eq!(m.groups().len(), m.len() / 20_000);
+        // Every group covers exactly the seed axis.
+        let g = m.groups()[m.groups().len() / 2];
+        assert_eq!(g.len, 20_000);
+        // Spot-check arithmetic decoding across the range, including both
+        // ends, and that seeds are the innermost axis.
+        let last = m.len() - 1;
+        for index in [0, 1, 19_999, 20_000, m.len() / 2, last] {
+            let case = m.case_at(index);
+            assert_eq!(case.seed, (index % 20_000) as u64);
+        }
+        // Batches tile the group list exactly, in order.
+        let batches = m.batches();
+        assert_eq!(
+            batches.iter().map(|b| b.len()).sum::<usize>(),
+            m.groups().len()
+        );
+        assert!(batches.windows(2).all(|w| w[0].end == w[1].start));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //!
 //! The engine lives in four layers:
 //!
-//! - [`matrix`] — materializes the sweep into a [`CaseMatrix`] with stable
-//!   case indices;
+//! - [`matrix`] — describes the sweep as a lazy [`CaseMatrix`] with stable
+//!   case indices: cases decode arithmetically from their index, so memory
+//!   is O(seed groups) even for million-case sweeps;
 //! - [`executor`] — the [`Campaign`] builder/engine: a `std::thread::scope`
-//!   worker pool over an atomic work queue of seed groups, aggregating by
-//!   case index so parallel runs report byte-identically to sequential ones;
+//!   worker pool over an atomic work queue of seed groups, snapshot-and-fork
+//!   case execution per group, aggregating per-group records by index so
+//!   parallel runs report byte-identically to sequential ones;
 //! - [`observer`] — the [`CampaignObserver`] callbacks plus the bundled
 //!   [`ProgressObserver`] and [`MetricsObserver`];
 //! - [`report`] — [`CampaignReport`], [`FailureReport`], and the per-run

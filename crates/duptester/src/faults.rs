@@ -3,7 +3,8 @@
 //! A [`FaultIntensity`] is the campaign-level knob; [`fault_plan_for`]
 //! expands it (together with the storage [`Durability`] axis) into a
 //! concrete [`FaultPlan`] as a *pure function* of
-//! `(intensity, durability, seed, cluster size)`. That purity is the repro
+//! `(intensity, durability, seed, cluster size, base time)`. That purity is
+//! the repro
 //! contract: a failure report only needs to quote the intensity, the
 //! durability, and the seed for anyone to rebuild the exact plan — drops,
 //! partition windows, crash times, crash points and all — and replay the
@@ -64,6 +65,13 @@ impl fmt::Display for FaultIntensity {
 /// overlaps the upgrade window, and every partition is healed and every
 /// crash restarted well before the post-upgrade verification ops.
 ///
+/// `base` shifts every scheduled action time and crash-point window by a
+/// fixed offset without touching any random draw. The snapshot-and-fork
+/// harness installs plans at the start of a case's seed-dependent *suffix*
+/// (after the shared warmup prefix) rather than at boot, so it passes the
+/// install time as `base` to keep the adversity aimed at the upgrade
+/// window. `SimTime::ZERO` reproduces the boot-anchored plan byte-for-byte.
+///
 /// Under a non-strict durability the plan additionally carries the
 /// durability mode plus two state-triggered [`dup_simnet::CrashPoint`]s: one
 /// that turns a graceful upgrade stop into a crash (mid-upgrade), and one
@@ -75,6 +83,7 @@ pub fn fault_plan_for(
     durability: Durability,
     seed: u64,
     nodes: u32,
+    base: SimTime,
 ) -> Option<FaultPlan> {
     if (intensity == FaultIntensity::Off && durability == Durability::Strict) || nodes == 0 {
         return None;
@@ -109,7 +118,7 @@ pub fn fault_plan_for(
         let a = rng.next_below(u64::from(nodes)) as u32;
         let b_raw = rng.next_below(u64::from(nodes) - 1) as u32;
         let b = if b_raw >= a { b_raw + 1 } else { b_raw };
-        let at = SimTime::from_millis(rng.next_range(3_000, 50_000));
+        let at = base + SimDuration::from_millis(rng.next_range(3_000, 50_000));
         let heal_after = SimDuration::from_millis(rng.next_range(2_000, 8_000));
         plan = plan
             .schedule(at, FaultKind::Partition(a, b))
@@ -117,7 +126,7 @@ pub fn fault_plan_for(
     }
     for _ in 0..crashes {
         let victim = rng.next_below(u64::from(nodes)) as u32;
-        let at = SimTime::from_millis(rng.next_range(3_000, 50_000));
+        let at = base + SimDuration::from_millis(rng.next_range(3_000, 50_000));
         let back_after = SimDuration::from_millis(rng.next_range(1_000, 4_000));
         plan = plan
             .schedule(at, FaultKind::Crash(victim))
@@ -131,16 +140,16 @@ pub fn fault_plan_for(
         plan = plan.crash_point(
             mid_victim,
             CrashPointKind::MidUpgrade,
-            SimTime::from_millis(0),
-            SimTime::from_millis(120_000),
+            base,
+            base + SimDuration::from_millis(120_000),
         );
         let wal_victim = rng.next_below(u64::from(nodes)) as u32;
         let after = rng.next_range(3_000, 50_000);
         plan = plan.crash_point(
             wal_victim,
             CrashPointKind::UnflushedWrite,
-            SimTime::from_millis(after),
-            SimTime::from_millis(after + 8_000),
+            base + SimDuration::from_millis(after),
+            base + SimDuration::from_millis(after + 8_000),
         );
     }
     Some(plan)
@@ -152,21 +161,44 @@ mod tests {
 
     #[test]
     fn off_means_no_plan() {
-        assert!(fault_plan_for(FaultIntensity::Off, Durability::Strict, 1, 3).is_none());
-        assert!(fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 1, 0).is_none());
+        assert!(
+            fault_plan_for(FaultIntensity::Off, Durability::Strict, 1, 3, SimTime::ZERO).is_none()
+        );
+        assert!(fault_plan_for(
+            FaultIntensity::Heavy,
+            Durability::Strict,
+            1,
+            0,
+            SimTime::ZERO
+        )
+        .is_none());
     }
 
     #[test]
     fn plans_are_pure_functions_of_their_inputs() {
         for intensity in [FaultIntensity::Light, FaultIntensity::Heavy] {
-            let a = fault_plan_for(intensity, Durability::Strict, 7, 3).unwrap();
-            let b = fault_plan_for(intensity, Durability::Strict, 7, 3).unwrap();
+            let a = fault_plan_for(intensity, Durability::Strict, 7, 3, SimTime::ZERO).unwrap();
+            let b = fault_plan_for(intensity, Durability::Strict, 7, 3, SimTime::ZERO).unwrap();
             assert_eq!(a.seed(), b.seed());
             assert_eq!(a.actions(), b.actions());
             assert_eq!(a.describe(), b.describe());
         }
-        let a = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 7, 3).unwrap();
-        let b = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 8, 3).unwrap();
+        let a = fault_plan_for(
+            FaultIntensity::Heavy,
+            Durability::Strict,
+            7,
+            3,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let b = fault_plan_for(
+            FaultIntensity::Heavy,
+            Durability::Strict,
+            8,
+            3,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert_ne!(
             (a.seed(), a.actions().to_vec()),
             (b.seed(), b.actions().to_vec()),
@@ -176,8 +208,22 @@ mod tests {
 
     #[test]
     fn heavy_outpaces_light() {
-        let light = fault_plan_for(FaultIntensity::Light, Durability::Strict, 3, 3).unwrap();
-        let heavy = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 3, 3).unwrap();
+        let light = fault_plan_for(
+            FaultIntensity::Light,
+            Durability::Strict,
+            3,
+            3,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let heavy = fault_plan_for(
+            FaultIntensity::Heavy,
+            Durability::Strict,
+            3,
+            3,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert!(heavy.drop_probability > light.drop_probability);
         assert!(heavy.actions().len() > light.actions().len());
         assert!(!light.is_noop());
@@ -186,7 +232,14 @@ mod tests {
     #[test]
     fn targets_stay_inside_the_cluster_and_pairs_are_distinct() {
         for seed in 0..50 {
-            let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, seed, 3).unwrap();
+            let plan = fault_plan_for(
+                FaultIntensity::Heavy,
+                Durability::Strict,
+                seed,
+                3,
+                SimTime::ZERO,
+            )
+            .unwrap();
             for action in plan.actions() {
                 match action.kind {
                     FaultKind::Partition(a, b) | FaultKind::Heal(a, b) => {
@@ -203,11 +256,44 @@ mod tests {
 
     #[test]
     fn single_node_cluster_gets_no_partitions() {
-        let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 5, 1).unwrap();
+        let plan = fault_plan_for(
+            FaultIntensity::Heavy,
+            Durability::Strict,
+            5,
+            1,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert!(plan
             .actions()
             .iter()
             .all(|a| matches!(a.kind, FaultKind::Crash(0) | FaultKind::Restart(0))));
+    }
+
+    #[test]
+    fn base_offset_shifts_times_without_touching_draws() {
+        let base = SimTime::from_millis(12_345);
+        for (intensity, durability) in [
+            (FaultIntensity::Light, Durability::Strict),
+            (FaultIntensity::Heavy, Durability::Torn),
+        ] {
+            let zero = fault_plan_for(intensity, durability, 7, 3, SimTime::ZERO).unwrap();
+            let shifted = fault_plan_for(intensity, durability, 7, 3, base).unwrap();
+            assert_eq!(zero.seed(), shifted.seed());
+            assert_eq!(zero.actions().len(), shifted.actions().len());
+            for (z, s) in zero.actions().iter().zip(shifted.actions()) {
+                assert_eq!(z.kind, s.kind, "base must not change any draw");
+                assert_eq!(s.at.as_millis(), z.at.as_millis() + base.as_millis());
+            }
+            for (z, s) in zero.crash_points().iter().zip(shifted.crash_points()) {
+                assert_eq!((z.node, z.kind), (s.node, s.kind));
+                assert_eq!(s.after.as_millis(), z.after.as_millis() + base.as_millis());
+                assert_eq!(
+                    s.not_after.as_millis(),
+                    z.not_after.as_millis() + base.as_millis()
+                );
+            }
+        }
     }
 
     #[test]
@@ -222,8 +308,9 @@ mod tests {
     #[test]
     fn durability_axis_rides_along_without_shifting_intensity_draws() {
         for intensity in [FaultIntensity::Light, FaultIntensity::Heavy] {
-            let strict = fault_plan_for(intensity, Durability::Strict, 7, 3).unwrap();
-            let torn = fault_plan_for(intensity, Durability::Torn, 7, 3).unwrap();
+            let strict =
+                fault_plan_for(intensity, Durability::Strict, 7, 3, SimTime::ZERO).unwrap();
+            let torn = fault_plan_for(intensity, Durability::Torn, 7, 3, SimTime::ZERO).unwrap();
             // Same seed and identical scheduled actions: the durability
             // draws come after every intensity draw.
             assert_eq!(strict.seed(), torn.seed());
@@ -236,7 +323,14 @@ mod tests {
 
     #[test]
     fn durability_alone_yields_a_plan_with_crash_points() {
-        let plan = fault_plan_for(FaultIntensity::Off, Durability::Buffered, 9, 3).unwrap();
+        let plan = fault_plan_for(
+            FaultIntensity::Off,
+            Durability::Buffered,
+            9,
+            3,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert!(plan.actions().is_empty());
         assert!(!plan.is_noop());
         assert_eq!(plan.durability, Durability::Buffered);
@@ -251,8 +345,17 @@ mod tests {
             assert!(point.not_after.as_millis() <= 120_000);
         }
         // Still a pure function of its inputs.
-        let again = fault_plan_for(FaultIntensity::Off, Durability::Buffered, 9, 3).unwrap();
+        let again = fault_plan_for(
+            FaultIntensity::Off,
+            Durability::Buffered,
+            9,
+            3,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert_eq!(plan.crash_points(), again.crash_points());
-        assert!(fault_plan_for(FaultIntensity::Off, Durability::Strict, 9, 3).is_none());
+        assert!(
+            fault_plan_for(FaultIntensity::Off, Durability::Strict, 9, 3, SimTime::ZERO).is_none()
+        );
     }
 }

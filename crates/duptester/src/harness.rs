@@ -1,13 +1,34 @@
 //! The test-case runner: boots a cluster of the old version in the
 //! simulator, drives the workload through one of the three upgrade
 //! scenarios, and hands the evidence to the oracle.
+//!
+//! # Snapshot-and-fork execution
+//!
+//! Every case splits into two halves at the upgrade boundary:
+//!
+//! - a **prefix** — boot the old-version cluster, let it settle, run the
+//!   pre-upgrade workload — that depends only on `(from, workload)`, never
+//!   on the case seed, the target version, the scenario, or the fault axes;
+//! - a **suffix** — install the fault plan, drive the upgrade scenario,
+//!   quiesce, verify — that consumes everything seed-dependent.
+//!
+//! The prefix runs under a seed derived purely from `(from, workload)`
+//! ([`prefix_seed`]), so every case in a campaign's seed group (and across
+//! the fault/durability/scenario axes) shares a byte-identical prefix. A
+//! snapshotting [`CaseRunner`] executes that prefix once, captures the
+//! simulator with [`Sim::snapshot_into`], and then runs each sibling case as
+//! *restore → reseed → suffix*. `Sim::restore` is byte-equivalent to
+//! re-running the prefix from scratch, so results are identical whether
+//! snapshotting is on or off — only the per-case cost changes.
 
 use crate::faults::{fault_plan_for, FaultIntensity};
 use crate::oracle::{self, Observation, OpResult};
 use crate::scenario::{Scenario, WorkloadSource};
 use crate::translator::translate;
 use dup_core::{ClientOp, Config, NodeSetup, SystemUnderTest, UnitTest, VersionId, WorkloadPhase};
-use dup_simnet::{Durability, LogLevel, NodeId, Sim, SimDuration, TraceConfig, TraceSlice};
+use dup_simnet::{
+    Durability, LogLevel, NodeId, Sim, SimDuration, SimSnapshot, SimTime, TraceConfig, TraceSlice,
+};
 
 /// One test case: a version pair, a scenario, a workload, a seed, a fault
 /// intensity, and a storage durability mode.
@@ -24,7 +45,8 @@ pub struct TestCase {
     /// Simulation seed (only matters for the ~11% timing-dependent bugs).
     pub seed: u64,
     /// Injected-fault intensity; the concrete plan is a pure function of
-    /// `(faults, durability, seed, cluster size)` via [`fault_plan_for`].
+    /// `(faults, durability, seed, cluster size, suffix start time)` via
+    /// [`fault_plan_for`].
     pub faults: FaultIntensity,
     /// Storage durability mode the case's hosts run under. Non-strict modes
     /// buffer writes until an explicit flush and let the crash materializer
@@ -33,14 +55,17 @@ pub struct TestCase {
 }
 
 impl TestCase {
-    /// Runs this case inside `runner`: resets the runner's warm simulator to
-    /// this case's seed, boots the old-version cluster, drives the workload
-    /// through the scenario, and hands the evidence to the oracle.
+    /// Runs this case inside `runner`: executes (or restores from snapshot)
+    /// the seed-independent prefix — boot the old-version cluster at `from`,
+    /// settle, run the pre-upgrade workload — then forks into this case's
+    /// seed via [`Sim::reseed`] and drives the seed-dependent suffix: fault
+    /// plan, upgrade scenario, quiesce, oracle.
     ///
     /// This is *the* case-execution entry point — `Sim::reset` guarantees a
-    /// reset simulator is byte-indistinguishable from a fresh one, so the
-    /// result is identical whether the runner is brand new or has executed
-    /// ten thousand cases.
+    /// reset simulator is byte-indistinguishable from a fresh one, and
+    /// `Sim::restore` guarantees a restored prefix is byte-indistinguishable
+    /// from a re-executed one, so the result is identical whether the runner
+    /// is brand new, warm from ten thousand cases, or snapshotting.
     pub fn run_in(&self, runner: &mut CaseRunner<'_>) -> CaseResult {
         runner.execute(self)
     }
@@ -67,13 +92,48 @@ impl TestCase {
 pub struct CaseRunner<'a> {
     sut: &'a dyn SystemUnderTest,
     trace: Option<TraceConfig>,
+    /// When `true`, the runner caches each `(from, workload)` prefix as a
+    /// [`SimSnapshot`] and runs sibling cases as restore + suffix.
+    use_snapshots: bool,
     sim: Sim,
+    /// Pooled snapshot buffer, recycled across prefix captures.
+    snapshot: SimSnapshot,
+    /// The most recent prefix's cache entry (single-entry cache: campaign
+    /// matrix order keeps same-prefix cases consecutive).
+    prefix: Option<PrefixCache>,
     /// Per-op oracle evidence, reused across cases.
     ops: Vec<OpResult>,
 }
 
+/// Everything the suffix needs from an executed prefix.
+#[derive(Debug, Default)]
+struct PrefixData {
+    /// The effective node configuration (defaults plus the unit test's
+    /// overrides) the prefix booted the cluster with.
+    config: Config,
+    /// When the pre-upgrade workload started (baseline window start).
+    first_op_time: SimTime,
+    /// Messages delivered when the pre-upgrade workload started.
+    msgs_at_first_op: u64,
+    /// How many [`OpResult`]s the prefix pushed; a restore truncates the
+    /// runner's op log back to this length.
+    ops_len: usize,
+    /// `Some` when the prefix decided the case is invalid — the message and
+    /// the digest at the point of abort. Seed-independent, so it is the
+    /// verdict for *every* case sharing this prefix.
+    invalid: Option<(String, CaseDigest)>,
+}
+
+/// A cached prefix: its identity, its data, and whether `snapshot` holds a
+/// restorable capture of the simulator at the prefix's end.
+struct PrefixCache {
+    key: (VersionId, WorkloadSource),
+    snapshot_valid: bool,
+    data: PrefixData,
+}
+
 impl<'a> CaseRunner<'a> {
-    /// A runner for `sut` with tracing disabled.
+    /// A runner for `sut` with tracing and prefix snapshotting disabled.
     pub fn new(sut: &'a dyn SystemUnderTest) -> CaseRunner<'a> {
         CaseRunner::with_trace(sut, None)
     }
@@ -82,10 +142,24 @@ impl<'a> CaseRunner<'a> {
     /// `trace` (when `Some`); failing cases return the bounded
     /// [`TraceSlice`] anchored at the violating observation.
     pub fn with_trace(sut: &'a dyn SystemUnderTest, trace: Option<TraceConfig>) -> CaseRunner<'a> {
+        CaseRunner::with_options(sut, trace, false)
+    }
+
+    /// The fully explicit constructor: tracing under `trace`, and — when
+    /// `snapshot` is set — snapshot-and-fork prefix reuse. Snapshotting is
+    /// a pure performance choice: results are byte-identical either way.
+    pub fn with_options(
+        sut: &'a dyn SystemUnderTest,
+        trace: Option<TraceConfig>,
+        snapshot: bool,
+    ) -> CaseRunner<'a> {
         CaseRunner {
             sut,
             trace,
+            use_snapshots: snapshot,
             sim: Sim::new(0),
+            snapshot: SimSnapshot::new(),
+            prefix: None,
             ops: Vec::new(),
         }
     }
@@ -100,49 +174,145 @@ impl<'a> CaseRunner<'a> {
         self.trace
     }
 
+    /// Whether this runner reuses prefixes via snapshot-and-fork.
+    pub fn snapshots_enabled(&self) -> bool {
+        self.use_snapshots
+    }
+
     fn execute(&mut self, case: &TestCase) -> CaseResult {
-        let sim = &mut self.sim;
-        sim.reset(case.seed);
-        sim.set_event_budget(EVENT_BUDGET);
+        let key = (case.from, case.workload.clone());
+
+        // Fast path: a sibling case already executed this prefix.
+        if self.use_snapshots {
+            if let Some(pre) = self.prefix.as_ref().filter(|p| p.key == key) {
+                if let Some((message, digest)) = &pre.data.invalid {
+                    // The invalid verdict is seed-independent: replaying the
+                    // prefix for this seed would abort identically.
+                    return CaseResult {
+                        outcome: CaseOutcome::InvalidWorkload(message.clone()),
+                        digest: *digest,
+                        slice: None,
+                    };
+                }
+                if pre.snapshot_valid {
+                    self.sim.restore(&self.snapshot);
+                    self.ops.truncate(pre.data.ops_len);
+                    self.sim.reseed(case.seed);
+                    let outcome =
+                        run_suffix(&mut self.sim, self.sut, case, &pre.data, &mut self.ops);
+                    return finalize(&mut self.sim, outcome);
+                }
+            }
+        }
+
+        // Cold path: execute the prefix from a reset simulator under the
+        // seed-independent prefix seed.
+        let pseed = prefix_seed(case.from, &case.workload);
+        self.sim.reset(pseed);
+        self.sim.set_event_budget(EVENT_BUDGET);
         if let Some(config) = self.trace {
-            sim.enable_trace(config);
+            self.sim.enable_trace(config);
         }
         self.ops.clear();
-        let mut outcome = execute_case_in(sim, self.sut, case, &mut self.ops);
-        if sim.budget_exhausted() {
-            // The case ran away; whatever the oracle saw is untrustworthy
-            // evidence from a truncated run. Report the non-termination
-            // itself.
-            outcome = CaseOutcome::Fail(vec![Observation::CaseHung {
-                events: sim.events_processed(),
-            }]);
+        let mut data = PrefixData::default();
+        let prefix_verdict = run_prefix(
+            &mut self.sim,
+            self.sut,
+            case,
+            pseed,
+            &mut data,
+            &mut self.ops,
+        );
+        if self.sim.budget_exhausted() {
+            // A runaway prefix is not cacheable evidence of anything but its
+            // own non-termination; report the hang without caching.
+            self.prefix = None;
+            return finalize(&mut self.sim, CaseOutcome::Pass);
         }
-        let slice = match &outcome {
-            CaseOutcome::Fail(observations) => {
-                // Anchor the slice at the violating observation: the node
-                // the evidence implicates if it names one, otherwise the
-                // last event.
-                let hint = observations.iter().find_map(|o| match o {
-                    Observation::NodeCrash { node, .. } => Some(*node),
-                    _ => None,
-                });
-                let anchor = sim.trace_observe(hint);
-                sim.trace().map(|t| t.slice(anchor))
-            }
-            _ => None,
-        };
-        let digest = CaseDigest {
-            events_processed: sim.events_processed(),
-            messages_delivered: sim.messages_delivered(),
-            faults_injected: sim.faults_injected(),
-            trace_events_recorded: sim.trace().map_or(0, |t| t.events_recorded()),
-            trace_events_dropped: sim.trace().map_or(0, |t| t.events_dropped()),
-        };
-        CaseResult {
-            outcome,
-            digest,
-            slice,
+        if let Err(message) = &prefix_verdict {
+            data.invalid = Some((message.clone(), digest_of(&self.sim)));
         }
+        data.ops_len = self.ops.len();
+        let snapshot_valid = self.use_snapshots
+            && prefix_verdict.is_ok()
+            && self.sim.snapshot_into(&mut self.snapshot);
+        self.prefix = Some(PrefixCache {
+            key,
+            snapshot_valid,
+            data,
+        });
+        let pre = &self.prefix.as_ref().expect("just cached").data;
+        if let Some((message, digest)) = &pre.invalid {
+            return CaseResult {
+                outcome: CaseOutcome::InvalidWorkload(message.clone()),
+                digest: *digest,
+                slice: None,
+            };
+        }
+        self.sim.reseed(case.seed);
+        let outcome = run_suffix(&mut self.sim, self.sut, case, pre, &mut self.ops);
+        finalize(&mut self.sim, outcome)
+    }
+}
+
+/// The seed the seed-independent prefix runs under: an FNV-1a hash of
+/// `(from, workload)`. Pure and stable, so every case sharing those two
+/// fields — across seeds, target versions, scenarios, fault intensities and
+/// durabilities — replays a byte-identical prefix.
+fn prefix_seed(from: VersionId, workload: &WorkloadSource) -> u64 {
+    fn eat(mut hash: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+    let hash = eat(0xcbf2_9ce4_8422_2325, from.to_string().as_bytes());
+    let hash = eat(hash, &[0xFF]);
+    eat(hash, workload.to_string().as_bytes())
+}
+
+/// The end-of-case bookkeeping shared by every execution path: the event
+/// budget watchdog, the failing case's trace slice, and the determinism
+/// digest.
+fn finalize(sim: &mut Sim, mut outcome: CaseOutcome) -> CaseResult {
+    if sim.budget_exhausted() {
+        // The case ran away; whatever the oracle saw is untrustworthy
+        // evidence from a truncated run. Report the non-termination
+        // itself.
+        outcome = CaseOutcome::Fail(vec![Observation::CaseHung {
+            events: sim.events_processed(),
+        }]);
+    }
+    let slice = match &outcome {
+        CaseOutcome::Fail(observations) => {
+            // Anchor the slice at the violating observation: the node
+            // the evidence implicates if it names one, otherwise the
+            // last event.
+            let hint = observations.iter().find_map(|o| match o {
+                Observation::NodeCrash { node, .. } => Some(*node),
+                _ => None,
+            });
+            let anchor = sim.trace_observe(hint);
+            sim.trace().map(|t| t.slice(anchor))
+        }
+        _ => None,
+    };
+    CaseResult {
+        outcome,
+        digest: digest_of(sim),
+        slice,
+    }
+}
+
+/// The determinism digest of the simulator's current counters.
+fn digest_of(sim: &Sim) -> CaseDigest {
+    CaseDigest {
+        events_processed: sim.events_processed(),
+        messages_delivered: sim.messages_delivered(),
+        faults_injected: sim.faults_injected(),
+        trace_events_recorded: sim.trace().map_or(0, |t| t.events_recorded()),
+        trace_events_dropped: sim.trace().map_or(0, |t| t.events_dropped()),
     }
 }
 
@@ -317,45 +487,50 @@ fn any_genuine_crash(sim: &Sim) -> bool {
         .any(|n| !sim.is_fault_crashed(n))
 }
 
-fn execute_case_in(
+/// The seed-independent half of a case: workload setup, old-version boot,
+/// settle, pre-upgrade workload, and the validity checks. Depends only on
+/// `(from, workload)` — everything here runs under `pseed`, never under
+/// `case.seed` — which is what makes the resulting simulator state sharable
+/// across a whole seed group via snapshot.
+///
+/// Fills `data` and pushes the pre-upgrade [`OpResult`]s; returns
+/// `Err(message)` when the workload is invalid (the message is the
+/// seed-independent [`CaseOutcome::InvalidWorkload`] verdict).
+fn run_prefix(
     sim: &mut Sim,
     sut: &dyn SystemUnderTest,
     case: &TestCase,
+    pseed: u64,
+    data: &mut PrefixData,
     ops: &mut Vec<OpResult>,
-) -> CaseOutcome {
+) -> Result<(), String> {
     let n = sut.cluster_size();
     let mut config = sut.default_config();
 
     // Workload-specific setup.
-    let before_ops: Vec<ClientOp>;
-    let mut during_ops: Vec<ClientOp> = Vec::new();
-    let after_ops: Vec<ClientOp>;
-    match &case.workload {
+    let before_ops: Vec<ClientOp> = match &case.workload {
         WorkloadSource::Stress => {
-            before_ops = sut.stress_workload(case.seed, WorkloadPhase::BeforeUpgrade, case.from);
-            during_ops = sut.stress_workload(case.seed, WorkloadPhase::DuringUpgrade, case.from);
-            after_ops = sut.stress_workload(case.seed, WorkloadPhase::AfterUpgrade, case.from);
+            // The pre-upgrade stress ops draw from the prefix seed: they run
+            // before the case's seed can matter, and keying them off `pseed`
+            // keeps them identical across a seed group.
+            sut.stress_workload(pseed, WorkloadPhase::BeforeUpgrade, case.from)
         }
         WorkloadSource::TranslatedUnit(name) => {
             let Some(test) = find_unit_test(sut, name) else {
-                return CaseOutcome::InvalidWorkload(format!("no unit test named {name}"));
+                return Err(format!("no unit test named {name}"));
             };
             let translation = translate(&test, &sut.translation(), 0);
             if !translation.is_usable() {
-                return CaseOutcome::InvalidWorkload(format!(
-                    "unit test {name} is fully untranslatable"
-                ));
+                return Err(format!("unit test {name} is fully untranslatable"));
             }
             for (k, v) in &test.config {
                 config.insert(k.clone(), v.clone());
             }
-            before_ops = translation.ops;
-            // Post-upgrade, re-check health everywhere.
-            after_ops = (0..n).map(|i| ClientOp::new(i, "HEALTH")).collect();
+            translation.ops
         }
         WorkloadSource::UnitStateHandoff(name) => {
             let Some(test) = find_unit_test(sut, name) else {
-                return CaseOutcome::InvalidWorkload(format!("no unit test named {name}"));
+                return Err(format!("no unit test named {name}"));
             };
             for (k, v) in &test.config {
                 config.insert(k.clone(), v.clone());
@@ -366,15 +541,12 @@ fn execute_case_in(
             let storage = sim.host_storage_by_id(storage_host);
             for stmt in &test.statements {
                 if let Err(e) = sut.run_unit_statement(case.from, stmt, storage) {
-                    return CaseOutcome::InvalidWorkload(format!(
-                        "unit test {name} cannot run in place: {e}"
-                    ));
+                    return Err(format!("unit test {name} cannot run in place: {e}"));
                 }
             }
-            before_ops = Vec::new();
-            after_ops = (0..n).map(|i| ClientOp::new(i, "HEALTH")).collect();
+            Vec::new()
         }
-    }
+    };
 
     // Boot the old-version cluster.
     for i in 0..n {
@@ -386,33 +558,26 @@ fn execute_case_in(
             sut.spawn(case.from, &setup),
         );
         if sim.start_node(id).is_err() {
-            return CaseOutcome::InvalidWorkload("node failed to start".to_string());
+            return Err("node failed to start".to_string());
         }
     }
 
-    // Arm the fault plan right after boot, before the cluster settles, so
-    // the adversity spans the whole pre-upgrade/upgrade/quiesce timeline.
-    // The plan is a pure function of (intensity, durability, seed, cluster
-    // size): the repro string in a failure report rebuilds it exactly.
-    if let Some(plan) = fault_plan_for(case.faults, case.durability, case.seed, n) {
-        sim.log_sim(LogLevel::Info, format!("fault plan: {}", plan.describe()));
-        sim.install_fault_plan(plan);
-    }
+    // No fault plan yet: the plan is seed-dependent, so it belongs to the
+    // suffix. The prefix driver never has injected crashes to pump.
     let driver = FaultDriver {
         sut,
         case,
         config: &config,
         cluster: n,
-        active: case.faults != FaultIntensity::Off || case.durability != Durability::Strict,
+        active: false,
     };
 
     driver.run_for(sim, SETTLE);
     if let WorkloadSource::UnitStateHandoff(name) = &case.workload {
         // Validity check: the old version itself must be able to start from
-        // the unit test's persistent state (paper §6.1.2). Fault-plan
-        // crashes are injected, not evidence of invalid state.
+        // the unit test's persistent state (paper §6.1.2).
         if any_genuine_crash(sim) {
-            return CaseOutcome::InvalidWorkload(format!(
+            return Err(format!(
                 "state left by {name} does not boot the old version"
             ));
         }
@@ -420,8 +585,8 @@ fn execute_case_in(
 
     // Baseline message-rate window starts here — at first-op time — so the
     // pre-workload boot SETTLE (mostly idle) does not deflate the rate.
-    let first_op_time = sim.now();
-    let msgs_at_first_op = sim.messages_delivered();
+    data.first_op_time = sim.now();
+    data.msgs_at_first_op = sim.messages_delivered();
 
     run_ops(&driver, sim, &before_ops, false, false, ops);
     driver.run_for(sim, SETTLE);
@@ -430,10 +595,53 @@ fn execute_case_in(
     // case says nothing about upgrades (e.g. a config that breaks every
     // release from some point on, not just the upgraded one).
     if any_genuine_crash(sim) {
-        return CaseOutcome::InvalidWorkload(
-            "workload or configuration crashes the old version too".to_string(),
-        );
+        return Err("workload or configuration crashes the old version too".to_string());
     }
+
+    data.config = config;
+    Ok(())
+}
+
+/// The seed-dependent half of a case, entered with the simulator at the end
+/// of the prefix (freshly executed or restored) and already forked to
+/// `case.seed` via [`Sim::reseed`]: fault plan, the upgrade scenario itself,
+/// quiesce, post-upgrade verification, and the oracle.
+fn run_suffix(
+    sim: &mut Sim,
+    sut: &dyn SystemUnderTest,
+    case: &TestCase,
+    pre: &PrefixData,
+    ops: &mut Vec<OpResult>,
+) -> CaseOutcome {
+    let n = sut.cluster_size();
+    let config = &pre.config;
+
+    // The seed-dependent workload parts.
+    let mut during_ops: Vec<ClientOp> = Vec::new();
+    let after_ops: Vec<ClientOp> = match &case.workload {
+        WorkloadSource::Stress => {
+            during_ops = sut.stress_workload(case.seed, WorkloadPhase::DuringUpgrade, case.from);
+            sut.stress_workload(case.seed, WorkloadPhase::AfterUpgrade, case.from)
+        }
+        // Post-upgrade, re-check health everywhere.
+        _ => (0..n).map(|i| ClientOp::new(i, "HEALTH")).collect(),
+    };
+
+    // Arm the fault plan at the start of the suffix, anchored at the current
+    // time, so the adversity spans the upgrade-plus-quiesce timeline. The
+    // plan is a pure function of (intensity, durability, seed, cluster
+    // size, base): the repro string in a failure report rebuilds it exactly.
+    if let Some(plan) = fault_plan_for(case.faults, case.durability, case.seed, n, sim.now()) {
+        sim.log_sim(LogLevel::Info, format!("fault plan: {}", plan.describe()));
+        sim.install_fault_plan(plan);
+    }
+    let driver = FaultDriver {
+        sut,
+        case,
+        config,
+        cluster: n,
+        active: case.faults != FaultIntensity::Off || case.durability != Durability::Strict,
+    };
 
     // ----- the upgrade itself -------------------------------------------
     let log_mark = sim.logs().mark();
@@ -507,8 +715,8 @@ fn execute_case_in(
     // to upgrade start) onto the upgrade window's length.
     let window_msgs = sim.messages_delivered() - msgs_before_window;
     let window_len = sim.now().since(upgrade_started).as_millis().max(1);
-    let baseline_window_msgs = msgs_before_window - msgs_at_first_op;
-    let baseline_len = upgrade_started.since(first_op_time).as_millis();
+    let baseline_window_msgs = msgs_before_window - pre.msgs_at_first_op;
+    let baseline_len = upgrade_started.since(pre.first_op_time).as_millis();
     let baseline_msgs = project_baseline(baseline_window_msgs, baseline_len, window_len);
 
     let observations = oracle::evaluate(sim, log_mark, baseline_msgs, window_msgs, ops);

@@ -1,6 +1,7 @@
 //! Upgrade scenarios and workload sources (paper §6.1.1–§6.1.2).
 
 use std::fmt;
+use std::sync::Arc;
 
 /// The three upgrade scenarios DUPTester tests systematically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,12 +39,17 @@ pub enum WorkloadSource {
     /// The system's stress-testing operations with default configuration.
     Stress,
     /// A unit test translated into client commands by the translator
-    /// (§6.1.3); the string is the unit-test name.
-    TranslatedUnit(String),
+    /// (§6.1.3); the string is the unit-test name. The name is interned as
+    /// an `Arc<str>` so the million-plus [`TestCase`]s a lazy campaign
+    /// matrix materializes share one allocation per unit test instead of
+    /// cloning the `String` per case.
+    ///
+    /// [`TestCase`]: crate::harness::TestCase
+    TranslatedUnit(Arc<str>),
     /// A unit test executed in place against the old version's storage; the
     /// cluster then starts from the persistent state it left (§6.1.2,
-    /// second scheme).
-    UnitStateHandoff(String),
+    /// second scheme). Interned like [`WorkloadSource::TranslatedUnit`].
+    UnitStateHandoff(Arc<str>),
 }
 
 impl fmt::Display for WorkloadSource {

@@ -14,6 +14,7 @@
 //!    last three).
 
 use dup_core::VersionId;
+use dup_simnet::SimTime;
 use dup_tester::{
     fault_plan_for, Campaign, CaseMatrix, Durability, FaultIntensity, Scenario, TestCase,
     WorkloadSource,
@@ -159,7 +160,7 @@ fn fault_axis_multiplies_the_matrix_with_seeds_innermost() {
     // intensity shows up.
     let mut seen = std::collections::BTreeSet::new();
     for g in swept.groups() {
-        let cases = &swept.cases()[g.indices()];
+        let cases: Vec<TestCase> = g.indices().map(|i| swept.case_at(i)).collect();
         assert_eq!(cases.len(), 2);
         assert_eq!(cases[0].faults, cases[1].faults);
         assert_eq!((cases[0].seed, cases[1].seed), (1, 2));
@@ -173,14 +174,34 @@ fn plan_derivation_matches_what_cases_record() {
     // The repro contract: the plan a failing case ran under is recomputable
     // from its intensity + seed + cluster size alone.
     let n = 3;
-    let a = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 42, n).unwrap();
-    let b = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, 42, n).unwrap();
+    let a = fault_plan_for(
+        FaultIntensity::Heavy,
+        Durability::Strict,
+        42,
+        n,
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let b = fault_plan_for(
+        FaultIntensity::Heavy,
+        Durability::Strict,
+        42,
+        n,
+        SimTime::ZERO,
+    )
+    .unwrap();
     assert_eq!(a.describe(), b.describe());
     assert_ne!(
         a.describe(),
-        fault_plan_for(FaultIntensity::Light, Durability::Strict, 42, n)
-            .unwrap()
-            .describe(),
+        fault_plan_for(
+            FaultIntensity::Light,
+            Durability::Strict,
+            42,
+            n,
+            SimTime::ZERO
+        )
+        .unwrap()
+        .describe(),
         "intensities must differ"
     );
 }

@@ -113,6 +113,47 @@ fn traced_reports_are_byte_identical_across_threads_and_reruns() {
     );
 }
 
+#[test]
+fn traced_snapshot_campaigns_match_no_snapshot_campaigns() {
+    // Snapshot-and-fork with the trace ring live: restored prefixes carry
+    // the trace buffer too, so slices — the most state-sensitive output a
+    // campaign renders — must be byte-identical with snapshotting on or
+    // off, at 1 and 4 threads, twice each.
+    let run = |threads: usize, snapshot: bool| {
+        Campaign::builder(&dup_kvstore::KvStoreSystem)
+            .seeds([1, 2])
+            .scenarios([Scenario::FullStop, Scenario::Rolling])
+            .threads(threads)
+            .snapshot(snapshot)
+            .trace(TraceConfig::default())
+            .run()
+    };
+    let reference = run(1, false);
+    assert!(
+        !reference.failures.is_empty(),
+        "seeded bugs must be found so slices are compared"
+    );
+    for threads in [1, 4] {
+        for repeat in 0..2 {
+            let on = run(threads, true);
+            // FailureReport equality covers attached slices event by event.
+            assert_eq!(
+                reference.failures, on.failures,
+                "threads={threads}, repeat={repeat}"
+            );
+            assert_eq!(reference.render_table(), on.render_table());
+            assert_eq!(
+                reference.metrics.trace_events_recorded,
+                on.metrics.trace_events_recorded
+            );
+            assert_eq!(
+                reference.metrics.trace_events_dropped,
+                on.metrics.trace_events_dropped
+            );
+        }
+    }
+}
+
 /// Heavy faults + torn durability: the adversarial end of the matrix, where
 /// drops, duplicates, partitions, injected crashes, and torn storage tails
 /// all feed the trace. Slices must still replay byte-identically.
@@ -213,7 +254,7 @@ fn warm_runner_sweep_matches_fresh_runners_case_for_case() {
     assert!(!matrix.is_empty());
     let mut warm = dup_tester::CaseRunner::with_trace(sut, trace);
     for pass in 0..2 {
-        for case in matrix.cases() {
+        for case in matrix.iter() {
             let w = case.run_in(&mut warm);
             let f = case.run_in(&mut dup_tester::CaseRunner::with_trace(sut, trace));
             assert_eq!(w.outcome, f.outcome, "pass {pass}, case {case:?}");

@@ -31,6 +31,7 @@ fn known_strategies(v: VersionId) -> &'static [&'static str] {
 }
 
 /// A node of the mini Cassandra-like store.
+#[derive(Clone)]
 pub struct KvNode {
     version: VersionId,
     proto: u32,
@@ -377,6 +378,21 @@ impl KvNode {
 }
 
 impl Process for KvNode {
+    fn fork(&self) -> Option<Box<dyn Process>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn restore_from(&mut self, src: &dyn Process) -> bool {
+        let any: &dyn std::any::Any = src;
+        match any.downcast_ref::<Self>() {
+            Some(other) => {
+                self.clone_from(other);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
         // 1. Replay the commit log; segments from a *newer* format are fatal
         //    (this is what stops the CASSANDRA-15794 downgrade).

@@ -12,6 +12,7 @@ use dup_wire::Frame;
 const DEFAULT_RETENTION_MS: u64 = 86_400_000;
 
 /// A broker node.
+#[derive(Clone)]
 pub struct Broker {
     version: VersionId,
     setup: NodeSetup,
@@ -134,6 +135,21 @@ impl Broker {
 }
 
 impl Process for Broker {
+    fn fork(&self) -> Option<Box<dyn Process>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn restore_from(&mut self, src: &dyn Process) -> bool {
+        let any: &dyn std::any::Any = src;
+        match any.downcast_ref::<Self>() {
+            Some(other) => {
+                self.clone_from(other);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
         // KAFKA-6238: a `message.version` pinned by an old config file is
         // rejected by the upgraded broker.

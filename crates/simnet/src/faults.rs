@@ -222,6 +222,22 @@ impl FaultPlan {
             && self.reorder_probability <= 0.0
     }
 
+    /// Field-wise copy that reuses the destination's action and crash-point
+    /// vec capacities (the derived `clone_from` would clone-and-replace).
+    pub(crate) fn copy_from(&mut self, src: &FaultPlan) {
+        self.seed = src.seed;
+        self.drop_probability = src.drop_probability;
+        self.duplicate_probability = src.duplicate_probability;
+        self.delay_probability = src.delay_probability;
+        self.max_delay_spike = src.max_delay_spike;
+        self.reorder_probability = src.reorder_probability;
+        self.max_reorder_shift = src.max_reorder_shift;
+        self.durability = src.durability;
+        self.crash_point_restart = src.crash_point_restart;
+        self.actions.clone_from(&src.actions);
+        self.crash_points.clone_from(&src.crash_points);
+    }
+
     /// A compact one-line description, suitable for repro strings:
     /// `fault-plan[seed=0x2a drop=2.0% dup=0.0% delay=5.0%/800ms
     /// reorder=10.0%/40ms actions=3]`.
@@ -332,6 +348,25 @@ impl FaultState {
         false
     }
 
+    /// Captures this state — plan, both RNG stream positions, consumed
+    /// crash-point flags, injection counter — into a pooled snapshot.
+    pub(crate) fn capture_into(&self, snap: &mut FaultSnapshot) {
+        snap.plan.copy_from(&self.plan);
+        snap.rng = self.rng.clone();
+        snap.crash_rng = self.crash_rng.clone();
+        snap.consumed.clone_from(&self.consumed);
+        snap.injected = self.injected;
+    }
+
+    /// Restores this state from a snapshot, reusing retained capacity.
+    pub(crate) fn restore_from_snapshot(&mut self, snap: &FaultSnapshot) {
+        self.plan.copy_from(&snap.plan);
+        self.rng = snap.rng.clone();
+        self.crash_rng = snap.crash_rng.clone();
+        self.consumed.clone_from(&snap.consumed);
+        self.injected = snap.injected;
+    }
+
     /// Decides the fate of one node-to-node message. First matching fault
     /// wins; every non-`Deliver` fate counts as one injection. Draw order is
     /// fixed (drop, duplicate, delay, reorder) so the stream is stable.
@@ -358,6 +393,31 @@ impl FaultState {
             return MessageFate::Delay { extra };
         }
         MessageFate::Deliver
+    }
+}
+
+/// Pooled snapshot of a [`FaultState`]: the plan plus both RNG stream
+/// positions mid-run (unlike [`FaultState::reinstall`], which re-derives
+/// them from the seed), so a restored simulator continues drawing fates
+/// exactly where the snapshotted one stood.
+#[derive(Debug)]
+pub(crate) struct FaultSnapshot {
+    plan: FaultPlan,
+    rng: SimRng,
+    crash_rng: SimRng,
+    consumed: Vec<bool>,
+    injected: u64,
+}
+
+impl Default for FaultSnapshot {
+    fn default() -> Self {
+        FaultSnapshot {
+            plan: FaultPlan::new(0),
+            rng: SimRng::new(0),
+            crash_rng: SimRng::new(0),
+            consumed: Vec::new(),
+            injected: 0,
+        }
     }
 }
 

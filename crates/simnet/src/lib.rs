@@ -81,7 +81,7 @@ pub use crate::net::Network;
 pub use crate::node::{NodeMetrics, NodeStatus};
 pub use crate::process::{Ctx, Endpoint, Fatal, NodeId, Process, StepResult};
 pub use crate::rng::SimRng;
-pub use crate::sim::{ClientHandle, Sim, SimError};
+pub use crate::sim::{ClientHandle, Sim, SimError, SimSnapshot};
 pub use crate::storage::{Durability, HostId, HostStorage, StorageMap};
 pub use crate::time::{SimDuration, SimTime};
 pub use crate::trace::{TraceBuffer, TraceConfig, TraceEvent, TraceEventKind, TraceSlice};

@@ -125,6 +125,25 @@ impl LogBuffer {
         self.records.push(record);
     }
 
+    /// Makes this buffer byte-identical to `src`, reusing retained record
+    /// capacity (element-wise `clone_from`, so message strings keep their
+    /// allocations when they fit). Used by `Sim::snapshot`/`Sim::restore`
+    /// in both directions.
+    pub(crate) fn copy_from(&mut self, src: &LogBuffer) {
+        self.records.truncate(src.records.len());
+        for (dst, s) in self.records.iter_mut().zip(&src.records) {
+            dst.time = s.time;
+            dst.node = s.node;
+            dst.generation = s.generation;
+            dst.level = s.level;
+            dst.message.clone_from(&s.message);
+        }
+        for s in &src.records[self.records.len()..] {
+            self.records.push(s.clone());
+        }
+        self.level_counts = src.level_counts;
+    }
+
     /// Returns all records in emission order.
     pub fn records(&self) -> &[LogRecord] {
         &self.records

@@ -75,6 +75,17 @@ impl Network {
         self.partitions.clear();
     }
 
+    /// The partitioned pairs, for snapshot capture.
+    pub(crate) fn partition_pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.partitions
+    }
+
+    /// Overwrites the partition set from a snapshot, reusing capacity.
+    pub(crate) fn restore_partitions(&mut self, pairs: &[(NodeId, NodeId)]) {
+        self.partitions.clear();
+        self.partitions.extend_from_slice(pairs);
+    }
+
     /// Returns `true` if `a` and `b` are partitioned from each other.
     pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
         self.partitions.contains(&Self::key(a, b))

@@ -181,7 +181,14 @@ impl<'a> Ctx<'a> {
 /// Implementations are state machines: all I/O goes through the [`Ctx`].
 /// Any handler may return [`Fatal`] to crash the node; a panic inside a
 /// handler is caught by the simulator and treated identically.
-pub trait Process {
+///
+/// The `Any` supertrait (and thus `'static`) exists for snapshot-and-fork:
+/// [`Process::fork`] captures a node's in-memory state into a
+/// [`crate::SimSnapshot`], and [`Process::restore_from`] writes a captured
+/// state back into a live process of the same concrete type without
+/// reallocating it. Both have no-op defaults, so ordinary (non-snapshotted)
+/// processes implement only the three handlers.
+pub trait Process: std::any::Any {
     /// Called once when the node starts (fresh start or post-upgrade restart).
     fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult;
 
@@ -195,6 +202,24 @@ pub trait Process {
     /// the default does nothing. Crashes skip this hook.
     fn on_shutdown(&mut self, _ctx: &mut Ctx<'_>) -> StepResult {
         Ok(())
+    }
+
+    /// Deep-copies this process for a [`crate::SimSnapshot`]. Returning
+    /// `None` (the default) marks the process unsnapshottable, which makes
+    /// [`crate::Sim::snapshot`] fail soft — callers then fall back to
+    /// re-executing from scratch. Snapshot-aware processes implement this as
+    /// `Some(Box::new(self.clone()))`.
+    fn fork(&self) -> Option<Box<dyn Process>> {
+        None
+    }
+
+    /// Restores this process in place from `src`, reusing existing heap
+    /// capacity where possible. Returns `false` (the default) when the
+    /// states are not the same concrete type or in-place restore is
+    /// unsupported; the simulator then falls back to [`Process::fork`]`()`
+    /// on the snapshot side.
+    fn restore_from(&mut self, _src: &dyn Process) -> bool {
+        false
     }
 }
 

@@ -511,6 +511,17 @@ impl TraceBuffer {
         self.config
     }
 
+    /// Makes this buffer byte-identical to `src`. Slots are `Copy`, so when
+    /// both rings share a capacity this is a `memcpy` into retained storage;
+    /// a capacity change reallocates (cold — only when the config changed
+    /// between snapshot and restore).
+    pub(crate) fn copy_from(&mut self, src: &TraceBuffer) {
+        self.config = src.config;
+        self.events.clone_from(&src.events);
+        self.cursor = src.cursor;
+        self.next_id = src.next_id;
+    }
+
     /// Total events recorded (including those since evicted by ring wrap).
     pub fn events_recorded(&self) -> u64 {
         self.next_id - 1

@@ -9,7 +9,7 @@
 
 use dup_simnet::{
     Ctx, Durability, Endpoint, FaultKind, FaultPlan, HostStorage, Process, Sim, SimDuration,
-    SimRng, StepResult, TraceConfig,
+    SimRng, SimSnapshot, StepResult, TraceConfig,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -158,6 +158,113 @@ fn drive_case(sim: &mut Sim, seed: u64) -> String {
     );
     sim.run_for(SimDuration::from_secs(1));
     let anchor = sim.trace_observe(Some(b));
+    let slice = sim.trace().expect("trace enabled").slice(anchor);
+    format!(
+        "events={} delivered={} faults={} recorded={} resp={:?}\n{}\n{}",
+        sim.events_processed(),
+        sim.messages_delivered(),
+        sim.faults_injected(),
+        sim.trace().expect("trace enabled").events_recorded(),
+        resp,
+        sim.logs().render(),
+        slice.render_timeline(),
+    )
+}
+
+/// Forkable cousin of [`TimerPinger`] for the snapshot phase: static
+/// payload sends, a fixed-size WAL append per tick, and a tick counter so
+/// process state actually matters to the capture. Echoes client probes so
+/// the fingerprint can include an RPC response.
+#[derive(Clone)]
+struct ForkTimerPinger {
+    peer: u32,
+    ticks: u64,
+    payload: bytes::Bytes,
+}
+
+impl ForkTimerPinger {
+    fn new(peer: u32) -> Self {
+        ForkTimerPinger {
+            peer,
+            ticks: 0,
+            payload: bytes::Bytes::from_static(b"fork"),
+        }
+    }
+}
+
+impl Process for ForkTimerPinger {
+    fn fork(&self) -> Option<Box<dyn Process>> {
+        Some(Box::new(self.clone()))
+    }
+    fn restore_from(&mut self, src: &dyn Process) -> bool {
+        let any: &dyn std::any::Any = src;
+        match any.downcast_ref::<Self>() {
+            Some(other) => {
+                self.clone_from(other);
+                true
+            }
+            None => false,
+        }
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) -> StepResult {
+        ctx.set_timer(SimDuration::from_millis(10), 1);
+        Ok(())
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, p: &[u8]) -> StepResult {
+        if let Endpoint::Client(_) = from {
+            // Client echo allocates (payload copy); only the fingerprint
+            // helper sends client traffic, never the measured window.
+            ctx.send(from, bytes::Bytes::copy_from_slice(p));
+        }
+        Ok(())
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) -> StepResult {
+        self.ticks += 1;
+        ctx.storage().append("wal", b"x");
+        ctx.send(Endpoint::Node(self.peer), self.payload.clone());
+        ctx.set_timer(SimDuration::from_millis(10), 1);
+        Ok(())
+    }
+}
+
+/// Boots a traced, faulted, torn-durability two-node world of forkable
+/// timer pingers and runs the shared prefix — the phase-6 world, shaped
+/// like a campaign case up to its fork point.
+fn fork_world(seed: u64) -> Sim {
+    let mut sim = Sim::new(seed);
+    sim.enable_trace(TraceConfig {
+        capacity: 256,
+        tail_events: 8,
+        lineage_limit: 16,
+    });
+    let a = sim.add_node("fork-a", "v", Box::new(ForkTimerPinger::new(1)));
+    let b = sim.add_node("fork-b", "v", Box::new(ForkTimerPinger::new(0)));
+    sim.start_node(a).expect("starts");
+    sim.start_node(b).expect("starts");
+    let mut plan = FaultPlan::new(seed ^ 0x5EED);
+    plan.drop_probability = 0.02;
+    plan.duplicate_probability = 0.05;
+    plan.delay_probability = 0.05;
+    plan.max_delay_spike = SimDuration::from_millis(50);
+    plan.durability = Durability::Torn;
+    sim.install_fault_plan(plan);
+    sim.run_for(SimDuration::from_secs(2));
+    sim
+}
+
+/// Reseeds at the fork point, runs a divergent suffix, and fingerprints
+/// every observable surface (counters, logs, an RPC response, a rendered
+/// trace slice). Allocates freely — callers keep it outside measured
+/// windows.
+fn fork_suffix_fingerprint(sim: &mut Sim, fork_seed: u64) -> String {
+    sim.reseed(fork_seed);
+    sim.run_for(SimDuration::from_secs(2));
+    let resp = sim.rpc(
+        0,
+        bytes::Bytes::from_static(b"probe"),
+        SimDuration::from_millis(500),
+    );
+    let anchor = sim.trace_observe(Some(1));
     let slice = sim.trace().expect("trace enabled").slice(anchor);
     format!(
         "events={} delivered={} faults={} recorded={} resp={:?}\n{}\n{}",
@@ -443,5 +550,78 @@ fn steady_state_dispatch_allocates_nothing() {
         0,
         "steady-state Sim::reset allocated {} times",
         after - before
+    );
+
+    // ---- phase 6: snapshot-and-fork --------------------------------------
+    //
+    // The campaign-scaling extension of phase 5: capture a warm world once
+    // at its fork point, then fork many seed-divergent suffixes off the
+    // snapshot. Two properties:
+    //   1. Restore-equals-fresh: a restored world driven through a faulted,
+    //      traced, torn-durability suffix fingerprints byte-identically to
+    //      a fresh simulator driven straight through under the same fork
+    //      seed — even after unrelated suffixes dirtied the warm world.
+    //   2. Steady-state snapshot/restore/suffix cycles are allocation-free:
+    //      `snapshot_into` overwrites the pooled buffer and `restore`
+    //      writes the captured state back into retained capacity. (The one
+    //      allowed allocating path in restore — re-inserting a file the
+    //      suffix deleted from the storage tree — is cold and not hit by
+    //      this traffic; deallocation is free either way.)
+    let mut fresh = fork_world(4242);
+    let want = fork_suffix_fingerprint(&mut fresh, 1);
+
+    let mut warm = fork_world(4242);
+    let mut snap = SimSnapshot::new();
+    assert!(warm.snapshot_into(&mut snap), "world must be forkable");
+    // Dirty the warm world with a different fork seed, then restore: the
+    // reference seed must replay byte-for-byte off the snapshot.
+    let divergent = fork_suffix_fingerprint(&mut warm, 2);
+    assert_ne!(divergent, want, "fork seeds must diverge");
+    warm.restore(&snap);
+    assert_eq!(
+        fork_suffix_fingerprint(&mut warm, 1),
+        want,
+        "restored suffix diverged from a fresh simulator"
+    );
+
+    // Warm cycles: replay the exact seeds the measured loop uses, so every
+    // pool (snapshot buffer, event queue, storage images, trace ring) is at
+    // the high-water mark those trajectories reach. The fingerprint runs
+    // above already sized the suffix side.
+    let fork_seeds = [21u64, 22, 23];
+    for &s in &fork_seeds {
+        warm.restore(&snap);
+        assert!(
+            warm.snapshot_into(&mut snap),
+            "recapture must stay forkable"
+        );
+        warm.reseed(s);
+        warm.run_for(SimDuration::from_secs(4));
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for &s in &fork_seeds {
+        warm.restore(&snap); // back to the fork point, in place
+        warm.snapshot_into(&mut snap); // recapture over the pooled buffer
+        warm.reseed(s); // fork
+        warm.run_for(SimDuration::from_secs(4)); // divergent suffix
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state snapshot/restore/suffix cycles allocated {} times \
+         over {} forks",
+        after - before,
+        fork_seeds.len()
+    );
+
+    // The warm runner still replays the reference suffix exactly: the
+    // measured churn leaked nothing into the restored state.
+    warm.restore(&snap);
+    assert_eq!(
+        fork_suffix_fingerprint(&mut warm, 1),
+        want,
+        "post-churn restored suffix diverged"
     );
 }

@@ -2,7 +2,7 @@
 
 use ds_upgrade::core::{upgrade_pairs, VersionGap, VersionId};
 use ds_upgrade::idl::{lower, parse_proto};
-use ds_upgrade::simnet::{FaultKind, HostStorage, SimRng};
+use ds_upgrade::simnet::{FaultKind, HostStorage, SimRng, SimTime};
 use ds_upgrade::tester::{fault_plan_for, Durability, FaultIntensity};
 use ds_upgrade::wire::{proto, Frame, MessageValue, Value};
 use proptest::prelude::*;
@@ -229,13 +229,13 @@ proptest! {
     #[test]
     fn fault_plans_are_pure(seed in any::<u64>(), nodes in 1u32..6) {
         for intensity in [FaultIntensity::Light, FaultIntensity::Heavy] {
-            let a = fault_plan_for(intensity, Durability::Strict, seed, nodes).unwrap();
-            let b = fault_plan_for(intensity, Durability::Strict, seed, nodes).unwrap();
+            let a = fault_plan_for(intensity, Durability::Strict, seed, nodes, SimTime::ZERO).unwrap();
+            let b = fault_plan_for(intensity, Durability::Strict, seed, nodes, SimTime::ZERO).unwrap();
             prop_assert_eq!(a.seed(), b.seed());
             prop_assert_eq!(a.actions(), b.actions());
             prop_assert_eq!(a.describe(), b.describe());
         }
-        prop_assert!(fault_plan_for(FaultIntensity::Off, Durability::Strict, seed, nodes).is_none());
+        prop_assert!(fault_plan_for(FaultIntensity::Off, Durability::Strict, seed, nodes, SimTime::ZERO).is_none());
     }
 
     /// Every scheduled fault targets the booted cluster, partitions pair
@@ -243,7 +243,7 @@ proptest! {
     /// window — whatever the seed.
     #[test]
     fn fault_plan_targets_and_times_are_bounded(seed in any::<u64>(), nodes in 1u32..6) {
-        let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, seed, nodes).unwrap();
+        let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Strict, seed, nodes, SimTime::ZERO).unwrap();
         for action in plan.actions() {
             match action.kind {
                 FaultKind::Partition(a, b) | FaultKind::Heal(a, b) => {
@@ -286,7 +286,7 @@ proptest! {
             let b = sim.add_node("host-b", "v1", Box::new(Pinger(0)));
             sim.start_node(a).unwrap();
             sim.start_node(b).unwrap();
-            sim.install_fault_plan(fault_plan_for(FaultIntensity::Heavy, Durability::Strict, seed, 2).unwrap());
+            sim.install_fault_plan(fault_plan_for(FaultIntensity::Heavy, Durability::Strict, seed, 2, SimTime::ZERO).unwrap());
             sim.run_for(SimDuration::from_millis(800));
             (sim.events_processed(), sim.messages_delivered(), sim.faults_injected())
         };
