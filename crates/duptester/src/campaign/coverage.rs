@@ -1,0 +1,240 @@
+//! Coverage signatures over causal traces.
+//!
+//! A campaign case's [`TraceBuffer`] is a deterministic record of what the
+//! schedule actually did. This module folds that record into a fixed-size
+//! bitmap signature — each consecutive pair of structural event tokens
+//! (event kind + the endpoints/nodes it touches, never timings or byte
+//! counts) hashes to one bit — so "did this case do anything new?" becomes a
+//! bitmap union. Signatures are byte-identical across thread counts,
+//! warm-vs-fresh runners, and snapshot on/off, because the underlying
+//! structural token stream is; and both the per-case signature and the
+//! accumulated [`CoverageMap`] are pooled buffers that are cleared rather
+//! than reallocated, so the fold is allocation-free in steady state.
+
+use dup_simnet::TraceBuffer;
+
+/// Number of bits in a coverage signature. A 16 Ki-bit map (2 KiB) is large
+/// enough that the few-thousand-edge traces of the mini systems collide
+/// rarely, and small enough to union and hash in a few hundred word ops.
+pub const SIGNATURE_BITS: usize = 1 << 14;
+
+const SIGNATURE_WORDS: usize = SIGNATURE_BITS / 64;
+
+/// The coverage signature of one executed case: a fixed-size bitmap where
+/// each set bit witnesses one (previous-event, event) structural pair seen
+/// in the case's trace.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CaseSignature {
+    words: Vec<u64>,
+    bits: u32,
+}
+
+impl CaseSignature {
+    /// Creates an empty signature. This is the only allocating call; reuse
+    /// the value across cases via [`CaseSignature::clear`].
+    pub fn new() -> Self {
+        Self {
+            words: vec![0; SIGNATURE_WORDS],
+            bits: 0,
+        }
+    }
+
+    /// Resets the signature to empty without releasing its storage.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.bits = 0;
+    }
+
+    /// Folds a trace into the signature: hashes every consecutive pair of
+    /// structural tokens (seeded with a zero sentinel so the first event
+    /// also contributes) to a bit index and sets it. Allocation-free.
+    pub fn fold(&mut self, trace: &TraceBuffer) {
+        let words = &mut self.words;
+        let bits = &mut self.bits;
+        let mut prev = 0u64;
+        trace.fold_structural(|token| {
+            let pair = mix_pair(prev, token);
+            prev = token;
+            let bit = (pair as usize) & (SIGNATURE_BITS - 1);
+            let slot = &mut words[bit / 64];
+            let mask = 1u64 << (bit % 64);
+            if *slot & mask == 0 {
+                *slot |= mask;
+                *bits += 1;
+            }
+        });
+    }
+
+    /// Number of bits currently set.
+    pub fn bits_set(&self) -> u32 {
+        self.bits
+    }
+
+    /// The raw bitmap words, for byte-level equality checks in tests.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// A 64-bit digest of the bitmap, used as the corpus dedup key: two
+    /// cases whose traces set the same bits are the same schedule as far as
+    /// the search is concerned.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &w in &self.words {
+            h = mix_pair(h, w);
+        }
+        h
+    }
+}
+
+impl Default for CaseSignature {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CaseSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaseSignature")
+            .field("bits_set", &self.bits)
+            .field("digest", &format_args!("{:#018x}", self.digest()))
+            .finish()
+    }
+}
+
+/// The accumulated coverage of a search run: the union of every observed
+/// case signature. [`CoverageMap::observe`] reports how many bits a case
+/// contributed that no earlier case had — the search's novelty signal.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CoverageMap {
+    words: Vec<u64>,
+    bits: u32,
+}
+
+impl CoverageMap {
+    /// Creates an empty map. Like [`CaseSignature::new`], this is the only
+    /// allocating call; clear and reuse it between groups.
+    pub fn new() -> Self {
+        Self {
+            words: vec![0; SIGNATURE_WORDS],
+            bits: 0,
+        }
+    }
+
+    /// Resets the map to empty without releasing its storage.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.bits = 0;
+    }
+
+    /// Unions a case signature into the map and returns the number of bits
+    /// that were new — zero means the case explored nothing unseen.
+    pub fn observe(&mut self, signature: &CaseSignature) -> u32 {
+        let mut new_bits = 0u32;
+        for (acc, &w) in self.words.iter_mut().zip(signature.words.iter()) {
+            let fresh = w & !*acc;
+            new_bits += fresh.count_ones();
+            *acc |= fresh;
+        }
+        self.bits += new_bits;
+        new_bits
+    }
+
+    /// Total bits covered so far.
+    pub fn bits_set(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CoverageMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoverageMap")
+            .field("bits_set", &self.bits)
+            .finish()
+    }
+}
+
+/// SplitMix64-style two-input mixer shared by the pair hash and the digest.
+#[inline(always)]
+fn mix_pair(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dup_simnet::{TraceConfig, TraceEventKind};
+
+    fn trace_of(nodes: &[u32]) -> TraceBuffer {
+        let mut buf = TraceBuffer::new(TraceConfig::default());
+        for &n in nodes {
+            buf.record(
+                dup_simnet::SimTime::ZERO,
+                0,
+                TraceEventKind::TimerFire { node: n, token: 0 },
+            );
+        }
+        buf
+    }
+
+    #[test]
+    fn identical_traces_fold_to_identical_signatures() {
+        let mut a = CaseSignature::new();
+        let mut b = CaseSignature::new();
+        a.fold(&trace_of(&[1, 2, 3]));
+        b.fold(&trace_of(&[1, 2, 3]));
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.bits_set() > 0);
+    }
+
+    #[test]
+    fn order_matters_because_pairs_are_hashed() {
+        let mut a = CaseSignature::new();
+        let mut b = CaseSignature::new();
+        a.fold(&trace_of(&[1, 2, 3]));
+        b.fold(&trace_of(&[3, 2, 1]));
+        assert_ne!(
+            a.digest(),
+            b.digest(),
+            "reordered schedules are distinct coverage"
+        );
+    }
+
+    #[test]
+    fn clear_restores_the_empty_signature_without_reallocating() {
+        let mut sig = CaseSignature::new();
+        sig.fold(&trace_of(&[1, 2]));
+        assert!(sig.bits_set() > 0);
+        sig.clear();
+        assert_eq!(sig.bits_set(), 0);
+        assert_eq!(sig, CaseSignature::new());
+    }
+
+    #[test]
+    fn coverage_map_counts_only_new_bits() {
+        let mut sig = CaseSignature::new();
+        sig.fold(&trace_of(&[1, 2, 3]));
+        let mut map = CoverageMap::new();
+        let first = map.observe(&sig);
+        assert_eq!(first, sig.bits_set());
+        assert_eq!(map.observe(&sig), 0, "re-observing adds nothing");
+        assert_eq!(map.bits_set(), first);
+
+        let mut other = CaseSignature::new();
+        other.fold(&trace_of(&[4, 5]));
+        assert!(map.observe(&other) > 0, "a new schedule adds bits");
+    }
+}

@@ -23,6 +23,10 @@
 use crate::campaign::matrix::{CaseMatrix, SeedGroup};
 use crate::campaign::observer::{CampaignObserver, MetricsObserver};
 use crate::campaign::report::{dedup_key, CampaignReport, CaseStatus, FailureReport};
+use crate::campaign::search::{
+    aggregate_search, run_search_group, SearchConfig, SearchGroupRecord, SearchPools, SearchReport,
+    SearchRound,
+};
 use crate::faults::FaultIntensity;
 use crate::harness::{CaseDigest, CaseOutcome, CaseResult, CaseRunner, TestCase};
 use crate::oracle::Observation;
@@ -74,6 +78,11 @@ pub struct CampaignConfig {
     /// simulator, and runs the remaining seeds as restore + suffix. Purely
     /// a performance choice: reports are byte-identical either way.
     pub(crate) snapshot: bool,
+    /// Coverage-guided search configuration. When set, [`Campaign::run`]
+    /// (and [`Campaign::run_search`]) replaces the blind seed sweep with
+    /// the guided driver: the `seeds` axis is ignored in favour of the
+    /// search's bootstrap seeds and mutation rounds.
+    pub(crate) search: Option<SearchConfig>,
 }
 
 impl CampaignConfig {
@@ -111,6 +120,11 @@ impl CampaignConfig {
     pub fn snapshot(&self) -> bool {
         self.snapshot
     }
+
+    /// The coverage-guided search configuration, if one is set.
+    pub fn search(&self) -> Option<&SearchConfig> {
+        self.search.as_ref()
+    }
 }
 
 impl Default for CampaignConfig {
@@ -126,6 +140,7 @@ impl Default for CampaignConfig {
             prune_after: None,
             trace: None,
             snapshot: true,
+            search: None,
         }
     }
 }
@@ -159,35 +174,42 @@ struct GroupFailure {
 }
 
 /// Fans callbacks out to the engine's internal metrics collector plus the
-/// caller's observer, if any.
-struct FanOut<'o> {
+/// caller's observer, if any. Crate-visible so the search driver (in
+/// [`crate::campaign::search`]) reports through the same pipeline.
+pub(crate) struct FanOut<'o> {
     metrics: &'o MetricsObserver,
     user: Option<&'o dyn CampaignObserver>,
 }
 
 impl FanOut<'_> {
-    fn case_start(&self, index: usize, case: &TestCase) {
+    pub(crate) fn case_start(&self, index: usize, case: &TestCase) {
         self.metrics.on_case_start(index, case);
         if let Some(user) = self.user {
             user.on_case_start(index, case);
         }
     }
 
-    fn case_done(&self, index: usize, case: &TestCase, status: CaseStatus, wall: Duration) {
+    pub(crate) fn case_done(
+        &self,
+        index: usize,
+        case: &TestCase,
+        status: CaseStatus,
+        wall: Duration,
+    ) {
         self.metrics.on_case_done(index, case, status, wall);
         if let Some(user) = self.user {
             user.on_case_done(index, case, status, wall);
         }
     }
 
-    fn failure_found(&self, index: usize, case: &TestCase, failure: &FailureReport) {
+    pub(crate) fn failure_found(&self, index: usize, case: &TestCase, failure: &FailureReport) {
         self.metrics.on_failure_found(index, case, failure);
         if let Some(user) = self.user {
             user.on_failure_found(index, case, failure);
         }
     }
 
-    fn trace_slice(&self, index: usize, case: &TestCase, slice: &TraceSlice) {
+    pub(crate) fn trace_slice(&self, index: usize, case: &TestCase, slice: &TraceSlice) {
         self.metrics.on_trace_slice(index, case, slice);
         if let Some(user) = self.user {
             user.on_trace_slice(index, case, slice);
@@ -196,7 +218,16 @@ impl FanOut<'_> {
 
     /// Per-case trace counters go straight to the engine's metrics
     /// collector: every traced case counts, not just the failing ones.
-    fn trace_counts(&self, digest: &CaseDigest) {
+    /// Per-round search progress: the per-group driver reports each
+    /// bootstrap/mutation round through here.
+    pub(crate) fn search_round(&self, round: &SearchRound) {
+        self.metrics.on_search_round(round);
+        if let Some(user) = self.user {
+            user.on_search_round(round);
+        }
+    }
+
+    pub(crate) fn trace_counts(&self, digest: &CaseDigest) {
         self.metrics
             .record_trace(digest.trace_events_recorded, digest.trace_events_dropped);
     }
@@ -290,6 +321,17 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
+    /// Switches the campaign to coverage-guided search: instead of sweeping
+    /// the `seeds` axis blindly, each matrix group bootstraps from the
+    /// search's initial seeds and then mutates schedule-affecting inputs
+    /// (fault timings, per-message fates, crash points) guided by trace
+    /// coverage. Run it with [`Campaign::run_search`] for the full
+    /// [`SearchReport`]; [`Campaign::run`] returns just its campaign half.
+    pub fn search(mut self, search: SearchConfig) -> Self {
+        self.config.search = Some(search);
+        self
+    }
+
     /// Attaches an observer; it sees every case start/finish and every
     /// distinct failure.
     pub fn observer(mut self, observer: impl CampaignObserver + 'static) -> Self {
@@ -356,7 +398,15 @@ impl<'a> Campaign<'a> {
     /// Runs the full sweep. Deterministic for a given configuration: the
     /// returned report (failures, order, counts, signatures, rendered
     /// table) does not depend on the thread count.
+    ///
+    /// With a [`SearchConfig`] set (via [`CampaignBuilder::search`]) this
+    /// runs the coverage-guided search instead and returns its campaign
+    /// half; call [`Campaign::run_search`] for the search-specific evidence
+    /// (per-group coverage, corpora, detections).
     pub fn run(&self) -> CampaignReport {
+        if self.config.search.is_some() {
+            return self.run_search().campaign;
+        }
         let started = Instant::now();
         let matrix = CaseMatrix::enumerate(self.sut, &self.config);
         let metrics = MetricsObserver::new();
@@ -375,6 +425,112 @@ impl<'a> Campaign<'a> {
         let mut report = aggregate(self.sut.name(), &matrix, &records, &fan);
         report.metrics = metrics.finish(threads, started.elapsed());
         report
+    }
+
+    /// Runs the coverage-guided search (or, with `blind: true`, its blind
+    /// baseline) and returns the full [`SearchReport`].
+    ///
+    /// The campaign matrix's non-seed axes (pairs, scenarios, workloads,
+    /// faults, durabilities) still define the groups; within each group the
+    /// search drives its own input sequence — bootstrap seeds, then
+    /// coverage-gated mutation rounds — instead of the `seeds` axis. Trace
+    /// recording is always on (coverage needs it): an explicitly configured
+    /// trace config is honoured, otherwise the default one is used.
+    /// Deterministic like [`Campaign::run`]: the report is byte-identical
+    /// across thread counts, rerun-stable, and independent of snapshotting.
+    pub fn run_search(&self) -> SearchReport {
+        let started = Instant::now();
+        let search = self.config.search.clone().unwrap_or_default();
+        // One matrix slot per group: the placeholder seed is never executed
+        // (the search substitutes its own inputs), it only shapes the
+        // group/batch structure.
+        let mut shape = self.config.clone();
+        shape.seeds = vec![0];
+        let matrix = CaseMatrix::enumerate(self.sut, &shape);
+        let trace = Some(self.config.trace.unwrap_or_default());
+        let metrics = MetricsObserver::new();
+        let fan = FanOut {
+            metrics: &metrics,
+            user: self.observer.as_deref(),
+        };
+        let threads = self.resolve_threads(matrix.groups().len());
+
+        let records = if threads <= 1 {
+            let mut runner = CaseRunner::with_options(self.sut, trace, self.config.snapshot);
+            let mut pools = SearchPools::new();
+            matrix
+                .groups()
+                .iter()
+                .enumerate()
+                .map(|(g, group)| {
+                    let template = matrix.case_at(group.start);
+                    run_search_group(&mut runner, &mut pools, g, &template, &search, &fan)
+                })
+                .collect()
+        } else {
+            self.run_search_parallel(&matrix, &search, trace, &fan, threads)
+        };
+
+        let mut report = aggregate_search(
+            self.sut.name(),
+            search.budget_per_group.max(1),
+            records,
+            &fan,
+        );
+        report.campaign.metrics = metrics.finish(threads, started.elapsed());
+        report
+    }
+
+    fn run_search_parallel(
+        &self,
+        matrix: &CaseMatrix,
+        search: &SearchConfig,
+        trace: Option<TraceConfig>,
+        fan: &FanOut<'_>,
+        threads: usize,
+    ) -> Vec<SearchGroupRecord> {
+        let groups = matrix.groups();
+        let batches = matrix.batches();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SearchGroupRecord>>> =
+            groups.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // One warm runner and one set of pooled search buffers
+                    // per worker, reused across every group the worker runs.
+                    let mut runner =
+                        CaseRunner::with_options(self.sut, trace, self.config.snapshot);
+                    let mut pools = SearchPools::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(batch) = batches.get(b) else { break };
+                        for g in batch.clone() {
+                            let template = matrix.case_at(groups[g].start);
+                            let rec = run_search_group(
+                                &mut runner,
+                                &mut pools,
+                                g,
+                                &template,
+                                search,
+                                fan,
+                            );
+                            *slots[g].lock().expect("slot lock") = Some(rec);
+                        }
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every group slot filled once the scope joins")
+            })
+            .collect()
     }
 
     fn resolve_threads(&self, groups: usize) -> usize {
@@ -537,7 +693,7 @@ fn run_group(
 
 /// Renders a panic payload as text (panics carry `&str` or `String` in
 /// practice; anything else gets a placeholder).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

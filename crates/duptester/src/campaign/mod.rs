@@ -13,17 +13,29 @@
 //! - [`observer`] — the [`CampaignObserver`] callbacks plus the bundled
 //!   [`ProgressObserver`] and [`MetricsObserver`];
 //! - [`report`] — [`CampaignReport`], [`FailureReport`], and the per-run
-//!   [`CampaignMetrics`].
+//!   [`CampaignMetrics`];
+//! - [`coverage`] — trace-derived [`CaseSignature`]s and the accumulated
+//!   [`CoverageMap`] that turn the causal trace into a novelty signal;
+//! - [`search`] — the coverage-guided [`SearchConfig`]/[`SearchReport`]
+//!   driver that mutates schedule-affecting inputs instead of sweeping
+//!   seeds blindly.
 
+pub mod coverage;
 pub mod executor;
 pub mod matrix;
 pub mod observer;
 pub mod report;
+pub mod search;
 
+pub use coverage::{CaseSignature, CoverageMap, SIGNATURE_BITS};
 pub use executor::{Campaign, CampaignBuilder, CampaignConfig};
 pub use matrix::{CaseMatrix, SeedGroup};
 pub use observer::{CampaignObserver, MetricsObserver, NoopObserver, ProgressObserver};
 pub use report::{
     dedup_key, CampaignMetrics, CampaignReport, CaseStatus, FailureReport, RenderOptions,
     ScenarioCounts,
+};
+pub use search::{
+    Corpus, CorpusEntry, Detection, MutationOp, SearchConfig, SearchInput, SearchReport,
+    SearchRound,
 };

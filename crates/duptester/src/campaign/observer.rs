@@ -10,6 +10,7 @@
 //! index order.
 
 use crate::campaign::report::{CampaignMetrics, CaseStatus, FailureReport};
+use crate::campaign::search::SearchRound;
 use crate::harness::TestCase;
 use dup_simnet::TraceSlice;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -44,6 +45,14 @@ pub trait CampaignObserver: Send + Sync {
     fn on_trace_slice(&self, index: usize, case: &TestCase, slice: &TraceSlice) {
         let _ = (index, case, slice);
     }
+
+    /// A coverage-guided search round finished in one seed group: round 0 is
+    /// the group's bootstrap, later rounds are mutation rounds. Fires only
+    /// for campaigns run with a [`SearchConfig`](crate::campaign::SearchConfig),
+    /// from the worker thread that owns the group.
+    fn on_search_round(&self, round: &SearchRound) {
+        let _ = round;
+    }
 }
 
 impl<T: CampaignObserver + ?Sized> CampaignObserver for Arc<T> {
@@ -61,6 +70,10 @@ impl<T: CampaignObserver + ?Sized> CampaignObserver for Arc<T> {
 
     fn on_trace_slice(&self, index: usize, case: &TestCase, slice: &TraceSlice) {
         (**self).on_trace_slice(index, case, slice);
+    }
+
+    fn on_search_round(&self, round: &SearchRound) {
+        (**self).on_search_round(round);
     }
 }
 

@@ -155,6 +155,91 @@ pub fn fault_plan_for(
     Some(plan)
 }
 
+/// Largest magnitude (in milliseconds) a [`PlanNudge`] may shift scheduled
+/// fault times or crash-point windows by. Mutation operators draw shifts
+/// from `[-MAX_NUDGE_SHIFT_MS, MAX_NUDGE_SHIFT_MS]`.
+pub const MAX_NUDGE_SHIFT_MS: u64 = 20_000;
+
+/// The span after a plan's `base` install time inside which every nudged
+/// action and crash-point window is clamped. Matches the widest window
+/// [`fault_plan_for`] itself uses (the mid-upgrade crash-point window), so a
+/// nudged plan never aims adversity past the harness's verification phase.
+pub const PLAN_WINDOW_MS: u64 = 120_000;
+
+/// A deterministic perturbation of a case's fault plan — the unit the
+/// coverage-guided search mutates instead of drawing fresh seeds.
+///
+/// A nudge never touches the case seed, so the workload, cluster, and every
+/// non-fault random stream replay identically; only *when* the scheduled
+/// adversity lands and *which* messages the per-message fate stream picks
+/// on change. Applied via [`apply_nudge`], itself a pure function, which
+/// keeps the repro contract: `(intensity, durability, seed, nudge)` rebuilds
+/// the exact perturbed plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlanNudge {
+    /// Signed shift, in milliseconds, applied uniformly to every scheduled
+    /// partition/heal/crash/restart time.
+    pub action_shift_ms: i64,
+    /// Signed shift, in milliseconds, applied uniformly to both edges of
+    /// every state-triggered crash-point window.
+    pub crash_shift_ms: i64,
+    /// XOR salt folded into the plan's fate-stream seed: re-rolls which
+    /// messages get dropped/duplicated/delayed/reordered without changing
+    /// the probabilities.
+    pub fate_salt: u64,
+}
+
+impl PlanNudge {
+    /// True when applying this nudge would return the plan unchanged.
+    pub fn is_noop(&self) -> bool {
+        self.action_shift_ms == 0 && self.crash_shift_ms == 0 && self.fate_salt == 0
+    }
+}
+
+/// Applies a [`PlanNudge`] to a plan installed at `base`, returning the
+/// perturbed plan.
+///
+/// Pure: same `(plan, nudge, base)` always yields the same result. Scheduled
+/// action times shift uniformly by `action_shift_ms` and clamp into
+/// `[base, base + PLAN_WINDOW_MS]`; crash-point windows shift by
+/// `crash_shift_ms` under the same clamp. Because the shift is uniform and
+/// the clamp is monotone, relative ordering is preserved — a heal never
+/// moves before its partition, a restart never before its crash, and
+/// `after <= not_after` still holds for every crash point. A non-zero
+/// `fate_salt` reseeds only the per-message fate stream.
+pub fn apply_nudge(plan: &FaultPlan, nudge: &PlanNudge, base: SimTime) -> FaultPlan {
+    let mut out = FaultPlan::new(plan.seed() ^ nudge.fate_salt);
+    out.drop_probability = plan.drop_probability;
+    out.duplicate_probability = plan.duplicate_probability;
+    out.delay_probability = plan.delay_probability;
+    out.max_delay_spike = plan.max_delay_spike;
+    out.reorder_probability = plan.reorder_probability;
+    out.max_reorder_shift = plan.max_reorder_shift;
+    out.durability = plan.durability;
+    out.crash_point_restart = plan.crash_point_restart;
+    let clamp = |ms: u64, shift: i64| -> SimTime {
+        let lo = i128::from(base.as_millis());
+        let hi = lo + i128::from(PLAN_WINDOW_MS);
+        let shifted = i128::from(ms) + i128::from(shift);
+        SimTime::from_millis(shifted.clamp(lo, hi) as u64)
+    };
+    for action in plan.actions() {
+        out = out.schedule(
+            clamp(action.at.as_millis(), nudge.action_shift_ms),
+            action.kind,
+        );
+    }
+    for point in plan.crash_points() {
+        out = out.crash_point(
+            point.node,
+            point.kind,
+            clamp(point.after.as_millis(), nudge.crash_shift_ms),
+            clamp(point.not_after.as_millis(), nudge.crash_shift_ms),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,5 +442,72 @@ mod tests {
         assert!(
             fault_plan_for(FaultIntensity::Off, Durability::Strict, 9, 3, SimTime::ZERO).is_none()
         );
+    }
+
+    #[test]
+    fn noop_nudge_reproduces_the_plan_byte_for_byte() {
+        let base = SimTime::from_millis(5_000);
+        let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Torn, 7, 3, base).unwrap();
+        let nudged = apply_nudge(&plan, &PlanNudge::default(), base);
+        assert!(PlanNudge::default().is_noop());
+        assert_eq!(plan.seed(), nudged.seed());
+        assert_eq!(plan.actions(), nudged.actions());
+        assert_eq!(plan.crash_points(), nudged.crash_points());
+        assert_eq!(plan.describe(), nudged.describe());
+    }
+
+    #[test]
+    fn nudged_times_stay_in_window_and_preserve_order() {
+        let base = SimTime::from_millis(2_000);
+        let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Torn, 11, 3, base).unwrap();
+        for shift in [
+            -(MAX_NUDGE_SHIFT_MS as i64),
+            -7,
+            13,
+            MAX_NUDGE_SHIFT_MS as i64,
+        ] {
+            let nudge = PlanNudge {
+                action_shift_ms: shift,
+                crash_shift_ms: -shift,
+                fate_salt: 0,
+            };
+            let nudged = apply_nudge(&plan, &nudge, base);
+            let lo = base.as_millis();
+            let hi = lo + PLAN_WINDOW_MS;
+            for (orig, moved) in plan.actions().iter().zip(nudged.actions()) {
+                assert_eq!(orig.kind, moved.kind, "nudges never change targets");
+                assert!((lo..=hi).contains(&moved.at.as_millis()));
+            }
+            // Uniform shift + monotone clamp: every originally-ordered pair
+            // of actions stays ordered (heals after partitions, restarts
+            // after crashes).
+            for i in 0..plan.actions().len() {
+                for j in 0..plan.actions().len() {
+                    if plan.actions()[i].at <= plan.actions()[j].at {
+                        assert!(nudged.actions()[i].at <= nudged.actions()[j].at);
+                    }
+                }
+            }
+            for point in nudged.crash_points() {
+                assert!(point.after <= point.not_after);
+                assert!((lo..=hi).contains(&point.after.as_millis()));
+                assert!((lo..=hi).contains(&point.not_after.as_millis()));
+            }
+        }
+    }
+
+    #[test]
+    fn fate_salt_reseeds_without_moving_anything() {
+        let base = SimTime::ZERO;
+        let plan = fault_plan_for(FaultIntensity::Light, Durability::Strict, 3, 3, base).unwrap();
+        let nudge = PlanNudge {
+            action_shift_ms: 0,
+            crash_shift_ms: 0,
+            fate_salt: 0xDEAD_BEEF,
+        };
+        let nudged = apply_nudge(&plan, &nudge, base);
+        assert_eq!(nudged.seed(), plan.seed() ^ 0xDEAD_BEEF);
+        assert_eq!(plan.actions(), nudged.actions());
+        assert_eq!(plan.drop_probability, nudged.drop_probability);
     }
 }

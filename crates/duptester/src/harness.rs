@@ -21,13 +21,14 @@
 //! re-running the prefix from scratch, so results are identical whether
 //! snapshotting is on or off — only the per-case cost changes.
 
-use crate::faults::{fault_plan_for, FaultIntensity};
+use crate::faults::{apply_nudge, fault_plan_for, FaultIntensity, PlanNudge};
 use crate::oracle::{self, Observation, OpResult};
 use crate::scenario::{Scenario, WorkloadSource};
 use crate::translator::translate;
 use dup_core::{ClientOp, Config, NodeSetup, SystemUnderTest, UnitTest, VersionId, WorkloadPhase};
 use dup_simnet::{
-    Durability, LogLevel, NodeId, Sim, SimDuration, SimSnapshot, SimTime, TraceConfig, TraceSlice,
+    Durability, LogLevel, NodeId, Sim, SimDuration, SimSnapshot, SimTime, TraceBuffer, TraceConfig,
+    TraceSlice,
 };
 
 /// One test case: a version pair, a scenario, a workload, a seed, a fault
@@ -179,7 +180,27 @@ impl<'a> CaseRunner<'a> {
         self.use_snapshots
     }
 
+    /// The causal trace of the most recently executed case, if this runner
+    /// traces. The coverage-guided search folds this buffer into a
+    /// [`crate::campaign::CaseSignature`] right after each case.
+    pub fn trace_buffer(&self) -> Option<&TraceBuffer> {
+        self.sim.trace()
+    }
+
+    /// Runs `case` with its fault plan perturbed by `nudge` (see
+    /// [`apply_nudge`]): identical to [`TestCase::run_in`] except the
+    /// scheduled fault times, crash-point windows, and per-message fate
+    /// stream shift as the nudge dictates. The search's mutation operators
+    /// call this; a no-op nudge reproduces the un-nudged case byte-for-byte.
+    pub fn run_nudged(&mut self, case: &TestCase, nudge: &PlanNudge) -> CaseResult {
+        self.execute_nudged(case, Some(nudge))
+    }
+
     fn execute(&mut self, case: &TestCase) -> CaseResult {
+        self.execute_nudged(case, None)
+    }
+
+    fn execute_nudged(&mut self, case: &TestCase, nudge: Option<&PlanNudge>) -> CaseResult {
         let key = (case.from, case.workload.clone());
 
         // Fast path: a sibling case already executed this prefix.
@@ -198,8 +219,14 @@ impl<'a> CaseRunner<'a> {
                     self.sim.restore(&self.snapshot);
                     self.ops.truncate(pre.data.ops_len);
                     self.sim.reseed(case.seed);
-                    let outcome =
-                        run_suffix(&mut self.sim, self.sut, case, &pre.data, &mut self.ops);
+                    let outcome = run_suffix(
+                        &mut self.sim,
+                        self.sut,
+                        case,
+                        &pre.data,
+                        nudge,
+                        &mut self.ops,
+                    );
                     return finalize(&mut self.sim, outcome);
                 }
             }
@@ -250,7 +277,7 @@ impl<'a> CaseRunner<'a> {
             };
         }
         self.sim.reseed(case.seed);
-        let outcome = run_suffix(&mut self.sim, self.sut, case, pre, &mut self.ops);
+        let outcome = run_suffix(&mut self.sim, self.sut, case, pre, nudge, &mut self.ops);
         finalize(&mut self.sim, outcome)
     }
 }
@@ -611,6 +638,7 @@ fn run_suffix(
     sut: &dyn SystemUnderTest,
     case: &TestCase,
     pre: &PrefixData,
+    nudge: Option<&PlanNudge>,
     ops: &mut Vec<OpResult>,
 ) -> CaseOutcome {
     let n = sut.cluster_size();
@@ -632,6 +660,10 @@ fn run_suffix(
     // plan is a pure function of (intensity, durability, seed, cluster
     // size, base): the repro string in a failure report rebuilds it exactly.
     if let Some(plan) = fault_plan_for(case.faults, case.durability, case.seed, n, sim.now()) {
+        let plan = match nudge {
+            Some(n) if !n.is_noop() => apply_nudge(&plan, n, sim.now()),
+            _ => plan,
+        };
         sim.log_sim(LogLevel::Info, format!("fault plan: {}", plan.describe()));
         sim.install_fault_plan(plan);
     }

@@ -52,12 +52,17 @@ mod oracle;
 mod scenario;
 mod translator;
 
+pub use crate::campaign::search::mutate;
 pub use crate::campaign::{
     dedup_key, Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics, CampaignObserver,
-    CampaignReport, CaseMatrix, CaseStatus, FailureReport, MetricsObserver, NoopObserver,
-    ProgressObserver, RenderOptions, ScenarioCounts, SeedGroup,
+    CampaignReport, CaseMatrix, CaseSignature, CaseStatus, Corpus, CorpusEntry, CoverageMap,
+    Detection, FailureReport, MetricsObserver, MutationOp, NoopObserver, ProgressObserver,
+    RenderOptions, ScenarioCounts, SearchConfig, SearchInput, SearchReport, SearchRound, SeedGroup,
+    SIGNATURE_BITS,
 };
-pub use crate::faults::{fault_plan_for, FaultIntensity};
+pub use crate::faults::{
+    apply_nudge, fault_plan_for, FaultIntensity, PlanNudge, MAX_NUDGE_SHIFT_MS, PLAN_WINDOW_MS,
+};
 pub use crate::harness::{CaseDigest, CaseOutcome, CaseResult, CaseRunner, TestCase};
 pub use crate::oracle::{evaluate, Observation, OpResult};
 pub use crate::scenario::{Scenario, WorkloadSource};

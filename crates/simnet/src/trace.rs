@@ -367,6 +367,47 @@ fn unpack_endpoint(packed: u64) -> Endpoint {
     }
 }
 
+/// Derives the structural token of one packed event: the tag byte mixed with
+/// the identity payloads only. Timing payloads (delays, durations), byte
+/// counts, and generation counters are deliberately excluded so the token is
+/// invariant under wall-clock jitter within the same logical schedule.
+#[inline(always)]
+fn structural_token(packed: &PackedEvent) -> u64 {
+    let (x, y) = match packed.tag {
+        // Message send/deliver/drop and partition/heal carry two endpoints
+        // or node ids in (a, b); the byte count in c is not structural.
+        0 | 1 | 2 | 13 | 14 => (packed.a, packed.b),
+        // Duplicate/delay payloads are pure timing.
+        3 | 4 => (0, 0),
+        // Timer set/fire: token + node; the delay in b is timing.
+        5 | 6 => (packed.a, packed.c as u64),
+        // NodeStart carries a generation counter in a — excluded.
+        7 => (packed.c as u64, 0),
+        // Node lifecycle and fault crash/restart: the node alone.
+        8..=12 | 16 | 17 => (packed.c as u64, 0),
+        // Storage flush/crash: the host; at-risk byte count is not identity.
+        18 | 19 => (packed.a, 0),
+        // Client request names both the client and the target node.
+        20 => (packed.a, packed.b),
+        // Client response: the client; bytes excluded.
+        21 => (packed.a, 0),
+        // Observations: the optional node in c (0 for the anonymous form).
+        _ => (packed.c as u64, 0),
+    };
+    let mut h = (packed.tag as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = mix(h ^ x);
+    mix(h ^ y)
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer, the standard choice
+/// for hashing small fixed tuples without tables or allocation.
+#[inline(always)]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl fmt::Display for TraceEventKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
@@ -538,9 +579,11 @@ impl TraceBuffer {
     }
 
     /// Records one event and returns its id. This is the hot path: one slot
-    /// store plus cursor/id bookkeeping, nothing else.
+    /// store plus cursor/id bookkeeping, nothing else. Public so tooling can
+    /// build standalone buffers (e.g. coverage-signature tests); the
+    /// simulator only ever exposes its own buffer immutably.
     #[inline(always)]
-    pub(crate) fn record(&mut self, time: SimTime, parent: u64, kind: TraceEventKind) -> u64 {
+    pub fn record(&mut self, time: SimTime, parent: u64, kind: TraceEventKind) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         let (tag, a, b, c) = kind.pack();
@@ -602,6 +645,26 @@ impl TraceBuffer {
     pub fn events(&self) -> impl Iterator<Item = TraceEvent> + '_ {
         let first = self.next_id - self.live();
         (first..self.next_id).filter_map(move |id| self.get(id))
+    }
+
+    /// Folds the structural identity of every live event, oldest first, into
+    /// `visit`: one token per event, derived only from the event's kind and
+    /// the endpoints, nodes, hosts, and clients it touches — never from
+    /// times, delays, payload sizes, or generation counters. Two executions
+    /// that perform the same logical steps therefore yield the same token
+    /// stream even when their timings differ, which is what makes the stream
+    /// usable as a coverage signal over the schedule space.
+    ///
+    /// Allocation-free: the walk reads packed ring slots in place, so it can
+    /// run once per case inside a campaign hot loop.
+    pub fn fold_structural(&self, mut visit: impl FnMut(u64)) {
+        let first = self.next_id - self.live();
+        let capacity = self.config.capacity as u64;
+        for id in first..self.next_id {
+            if let Some(packed) = self.events.get(((id - 1) % capacity) as usize) {
+                visit(structural_token(packed));
+            }
+        }
     }
 
     /// Extracts the bounded causal slice anchored at `anchor`: the lineage
@@ -733,6 +796,53 @@ mod tests {
         );
         assert_eq!(slice.events_recorded, 3);
         assert_eq!(slice.events_dropped, 0);
+    }
+
+    #[test]
+    fn structural_fold_ignores_timing_payloads_but_not_identity() {
+        let mut buf = TraceBuffer::new(TraceConfig::default());
+        buf.record(
+            SimTime::ZERO,
+            0,
+            TraceEventKind::TimerSet {
+                node: 2,
+                token: 7,
+                delay: SimDuration::from_millis(100),
+            },
+        );
+        let mut base = Vec::new();
+        buf.fold_structural(|t| base.push(t));
+        assert_eq!(base.len(), 1);
+
+        // Same logical event at a different delay folds identically.
+        let mut jittered = TraceBuffer::new(TraceConfig::default());
+        jittered.record(
+            SimTime::from_millis(9),
+            0,
+            TraceEventKind::TimerSet {
+                node: 2,
+                token: 7,
+                delay: SimDuration::from_millis(500),
+            },
+        );
+        let mut tokens = Vec::new();
+        jittered.fold_structural(|t| tokens.push(t));
+        assert_eq!(tokens, base, "delay and timestamp are not structural");
+
+        // A different node is a different token.
+        let mut other = TraceBuffer::new(TraceConfig::default());
+        other.record(
+            SimTime::ZERO,
+            0,
+            TraceEventKind::TimerSet {
+                node: 3,
+                token: 7,
+                delay: SimDuration::from_millis(100),
+            },
+        );
+        let mut distinct = Vec::new();
+        other.fold_structural(|t| distinct.push(t));
+        assert_ne!(distinct, base, "node identity is structural");
     }
 
     #[test]

@@ -624,4 +624,62 @@ fn steady_state_dispatch_allocates_nothing() {
         want,
         "post-churn restored suffix diverged"
     );
+
+    // ---- phase 7: coverage signature folding + corpus lookup -------------
+    //
+    // The coverage-guided search adds one step to every executed case: fold
+    // the trace ring into a pooled `CaseSignature`, digest it, and probe the
+    // corpus for novelty. On the steady-state path — pools sized, corpus
+    // populated — that step must not touch the allocator. (Retaining a
+    // genuinely *novel* input does insert into the corpus BTree and may
+    // allocate; that is the cold path by definition, so the measured loop
+    // replays known trajectories and only probes.)
+    use dup_tester::{CaseSignature, Corpus, CorpusEntry, SearchInput};
+
+    let mut signature = CaseSignature::new();
+    let mut corpus = Corpus::new();
+    // Warm-up: fold each fork trajectory once, sizing the signature pool and
+    // seeding the corpus with every digest the measured loop will probe.
+    for &s in &fork_seeds {
+        warm.restore(&snap);
+        warm.reseed(s);
+        warm.run_for(SimDuration::from_secs(4));
+        signature.clear();
+        signature.fold(warm.trace().expect("trace enabled"));
+        corpus.insert(CorpusEntry {
+            input: SearchInput::from_seed(s),
+            digest: signature.digest(),
+            new_bits: signature.bits_set(),
+            bits_set: signature.bits_set(),
+        });
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut probes_hit = 0u32;
+    for &s in &fork_seeds {
+        warm.restore(&snap); // back to the fork point (alloc-free, phase 6)
+        warm.reseed(s); // fork
+        warm.run_for(SimDuration::from_secs(4)); // replay the sized suffix
+        signature.clear(); // zero the pooled bitmap in place
+        signature.fold(warm.trace().expect("trace enabled"));
+        if corpus.contains(signature.digest()) {
+            probes_hit += 1;
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state signature folding + corpus lookup allocated {} times \
+         over {} cases",
+        after - before,
+        fork_seeds.len()
+    );
+    // Determinism double-check: every replayed trajectory folded back to
+    // the digest its warm-up pass retained.
+    assert_eq!(
+        probes_hit,
+        fork_seeds.len() as u32,
+        "replayed trajectories must fold to their retained digests"
+    );
 }

@@ -159,3 +159,10 @@ with open(out_path, "w", encoding="utf-8") as f:
 
 print(f"bench_smoke: wrote {out_path} with {len(results)} result(s)")
 PYEOF
+
+# Regenerate the coverage-guided search efficiency artifact (deterministic:
+# fixed seeds and repetition counts, no timestamps — reruns byte-identical).
+cargo run --release -q -p dup-tester --example search_efficiency
+if [ ! -f SEARCH_efficiency.json ]; then
+    echo "bench_smoke: warning: SEARCH_efficiency.json missing after regeneration" >&2
+fi

@@ -42,9 +42,11 @@ pub mod prelude {
     };
     pub use dup_tester::{
         fault_plan_for, Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics,
-        CampaignObserver, CampaignReport, CaseOutcome, CaseResult, CaseRunner, CaseStatus,
-        Durability, FailureReport, FaultIntensity, MetricsObserver, NoopObserver, ProgressObserver,
-        RenderOptions, Scenario, TestCase, TraceConfig, TraceSlice, WorkloadSource,
+        CampaignObserver, CampaignReport, CaseOutcome, CaseResult, CaseRunner, CaseSignature,
+        CaseStatus, Corpus, CoverageMap, Durability, FailureReport, FaultIntensity,
+        MetricsObserver, MutationOp, NoopObserver, PlanNudge, ProgressObserver, RenderOptions,
+        Scenario, SearchConfig, SearchInput, SearchReport, TestCase, TraceConfig, TraceSlice,
+        WorkloadSource,
     };
 }
 

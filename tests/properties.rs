@@ -3,7 +3,10 @@
 use ds_upgrade::core::{upgrade_pairs, VersionGap, VersionId};
 use ds_upgrade::idl::{lower, parse_proto};
 use ds_upgrade::simnet::{FaultKind, HostStorage, SimRng, SimTime};
-use ds_upgrade::tester::{fault_plan_for, Durability, FaultIntensity};
+use ds_upgrade::tester::{
+    apply_nudge, fault_plan_for, mutate, Corpus, CorpusEntry, Durability, FaultIntensity,
+    MutationOp, PlanNudge, SearchInput, MAX_NUDGE_SHIFT_MS, PLAN_WINDOW_MS,
+};
 use ds_upgrade::wire::{proto, Frame, MessageValue, Value};
 use proptest::prelude::*;
 
@@ -291,5 +294,117 @@ proptest! {
             (sim.events_processed(), sim.messages_delivered(), sim.faults_injected())
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Mutation operators are pure functions of `(input, rng state)`: the
+    /// same derivation yields the same mutant, the mutant keeps the parent's
+    /// seed (mutants never reseed), and every shift stays within the nudge
+    /// bound.
+    #[test]
+    fn search_mutations_are_pure_seeded_and_bounded(
+        rng_seed in any::<u64>(),
+        streams in proptest::collection::vec(any::<u64>(), 1..4),
+        parent_seed in any::<u64>(),
+    ) {
+        let parent = SearchInput::from_seed(parent_seed);
+        for op in MutationOp::ALL {
+            let derive = || {
+                let mut rng = SimRng::new(rng_seed);
+                for s in &streams {
+                    rng = rng.split(*s);
+                }
+                rng
+            };
+            let a = mutate(&parent, op, &mut derive());
+            let b = mutate(&parent, op, &mut derive());
+            prop_assert_eq!(a, b, "same derivation must yield the same mutant");
+            prop_assert_eq!(a.seed, parent.seed, "mutants never change the seed");
+            let bound = MAX_NUDGE_SHIFT_MS as i64;
+            prop_assert!(a.nudge.action_shift_ms.abs() <= bound);
+            prop_assert!(a.nudge.crash_shift_ms.abs() <= bound);
+            if op == MutationOp::SwapReorderFates {
+                prop_assert_ne!(a.nudge.fate_salt, 0, "fate swap must re-roll");
+            }
+        }
+    }
+
+    /// However extreme the nudge, every action and crash point of the
+    /// nudged plan stays inside `[base, base + PLAN_WINDOW_MS]`, and the
+    /// relative order of actions is preserved.
+    #[test]
+    fn nudged_plan_times_stay_in_window_and_ordered(
+        seed in any::<u64>(),
+        action_shift_ms in -200_000i64..200_000,
+        crash_shift_ms in -200_000i64..200_000,
+        fate_salt in any::<u64>(),
+        base_ms in 0u64..60_000,
+    ) {
+        let base = SimTime::from_millis(base_ms);
+        let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Buffered, seed, 4, base)
+            .expect("heavy+buffered always yields a plan");
+        let nudge = PlanNudge { action_shift_ms, crash_shift_ms, fate_salt };
+        let nudged = apply_nudge(&plan, &nudge, base);
+
+        let lo = base.as_millis();
+        let hi = lo + PLAN_WINDOW_MS;
+        for action in nudged.actions() {
+            prop_assert!(action.at.as_millis() >= lo && action.at.as_millis() <= hi);
+        }
+        for point in nudged.crash_points() {
+            prop_assert!(point.after.as_millis() >= lo && point.after.as_millis() <= hi);
+            prop_assert!(point.not_after.as_millis() >= lo && point.not_after.as_millis() <= hi);
+            prop_assert!(point.after <= point.not_after);
+        }
+        let before = plan.actions();
+        let after = nudged.actions();
+        prop_assert_eq!(before.len(), after.len());
+        for i in 0..before.len() {
+            for j in 0..before.len() {
+                if before[i].at <= before[j].at {
+                    prop_assert!(after[i].at <= after[j].at, "uniform shift must preserve order");
+                }
+            }
+        }
+    }
+
+    /// Corpus insertion is commutative: the retained set is a pure function
+    /// of the observation *set*, not the order observations arrive in.
+    #[test]
+    fn corpus_insertion_is_permutation_stable(
+        raw in proptest::collection::vec((0u64..6, any::<u64>(), -30_000i64..30_000), 1..24),
+    ) {
+        // Payload fields derive from (digest, input) — as in the real search,
+        // where an identical input folds an identical signature.
+        let entries: Vec<CorpusEntry> = raw
+            .iter()
+            .map(|&(digest, seed, shift)| CorpusEntry {
+                input: SearchInput {
+                    seed,
+                    nudge: PlanNudge { action_shift_ms: shift, ..PlanNudge::default() },
+                },
+                digest,
+                new_bits: (digest as u32) ^ (seed as u32),
+                bits_set: seed as u32 & 0xFF,
+            })
+            .collect();
+
+        let fill = |order: &[CorpusEntry]| {
+            let mut corpus = Corpus::new();
+            for e in order {
+                corpus.insert(*e);
+            }
+            corpus
+        };
+        let forward = fill(&entries);
+        let mut reversed_order = entries.clone();
+        reversed_order.reverse();
+        let mut rotated_order = entries.clone();
+        rotated_order.rotate_left(entries.len() / 2);
+        prop_assert_eq!(&forward, &fill(&reversed_order));
+        prop_assert_eq!(&forward, &fill(&rotated_order));
+        prop_assert!(forward.len() <= entries.len());
+        for e in forward.entries() {
+            prop_assert!(forward.contains(e.digest));
+        }
     }
 }
