@@ -332,7 +332,7 @@ fn bench_campaign(c: &mut Criterion) {
                 // 167 seeds x 60 cases/seed = 10 020 cases.
                 let report = Campaign::builder(&dup_mq::MqSystem)
                     .seeds(1..=167)
-                    .scenarios(Scenario::ALL)
+                    .scenarios(Scenario::paper())
                     .threads(threads)
                     .run();
                 assert!(report.cases_run >= 10_000, "matrix shrank below 10k");
@@ -358,8 +358,30 @@ fn bench_campaign(c: &mut Criterion) {
             b.iter(|| {
                 Campaign::builder(&dup_mq::MqSystem)
                     .seeds(1..=32)
-                    .scenarios(Scenario::ALL)
+                    .scenarios(Scenario::paper())
                     .snapshot(snapshot)
+                    .run()
+            })
+        });
+    }
+    group.finish();
+
+    // Rollout-plan scenarios vs the paper's three on the same mq matrix:
+    // every case now compiles its scenario into an explicit `RolloutPlan`
+    // (pooled, validated, allocation-free when warm), so `paper` prices the
+    // plan interpreter against the historical hard-coded drivers, and
+    // `extended` prices the four new schedules (rollback, multi-hop,
+    // canary-then-fleet, rolling-with-churn) that only exist as plans.
+    let mut group = c.benchmark_group("rollout_plans");
+    group.sample_size(10);
+    let paper = Scenario::paper().to_vec();
+    let extended = Scenario::extended()[3..].to_vec();
+    for (label, scenarios) in [("paper", paper), ("extended", extended)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                Campaign::builder(&dup_mq::MqSystem)
+                    .seeds(1..=8)
+                    .scenarios(scenarios.iter().copied())
                     .run()
             })
         });

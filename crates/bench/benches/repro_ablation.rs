@@ -36,7 +36,7 @@ fn main() {
     fn full(sut: &dup_kvstore::KvStoreSystem) -> CampaignBuilder<'_> {
         Campaign::builder(sut)
             .seeds([1, 2, 3, 4])
-            .scenarios(Scenario::ALL)
+            .scenarios(Scenario::paper())
     }
     let baseline = recall_line("full configuration", &full(&sut).run());
 

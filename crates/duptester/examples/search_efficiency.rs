@@ -103,7 +103,10 @@ fn main() {
             blind.total_cases()
         );
         for bug in catalog::seeded_bugs() {
-            if bug.system != name || bug.timing_dependent {
+            // Scenario-gated bugs need an extended rollout plan the
+            // paper-shaped recall config never compiles; they get their own
+            // pass below.
+            if bug.system != name || bug.timing_dependent || bug.scenario.is_some() {
                 continue;
             }
             let (from, to): (VersionId, VersionId) = (bug.from_version(), bug.to_version());
@@ -120,6 +123,56 @@ fn main() {
                 b.map_or("null".to_string(), |n| n.to_string()),
             );
         }
+    }
+
+    // ---- rollout-plan-exclusive bugs: extended scenarios only -----------
+    // Each scenario-gated bug runs under exactly its gating scenario, with
+    // the `NudgeRolloutPlan` operator live for the guided mode. Multi-hop
+    // pairs span two releases, so that matrix needs gap-2 pairs.
+    for bug in catalog::seeded_bugs() {
+        let Some(scenario) = bug.scenario else {
+            continue;
+        };
+        let sut = system(bug.system);
+        let (from, to) = (bug.from_version(), bug.to_version());
+        let run = |blind: bool| {
+            Campaign::builder(sut)
+                .scenarios([scenario])
+                .gap_two(scenario == Scenario::MultiHop)
+                .unit_tests(false)
+                .faults([FaultIntensity::Off])
+                .search(SearchConfig {
+                    budget_per_group: BUDGET,
+                    initial_seeds: vec![1],
+                    search_seed: 0x5EAC_C0DE,
+                    blind,
+                    ..SearchConfig::default()
+                })
+                .build()
+                .run_search()
+        };
+        let guided = run(false);
+        let blind = run(true);
+        guided_total += guided.total_cases();
+        blind_total += blind.total_cases();
+        let g = guided.cases_to_detect(from, to, bug.marker);
+        let b = blind.cases_to_detect(from, to, bug.marker);
+        eprintln!(
+            "[search-efficiency] {} ({scenario}): guided {} cases, blind {} cases",
+            bug.ticket,
+            guided.total_cases(),
+            blind.total_cases()
+        );
+        let _ = writeln!(
+            rows,
+            "    {{\"ticket\": {:?}, \"system\": {:?}, \"from\": {:?}, \"to\": {:?}, \"timing_dependent\": false, \"scenario\": \"{scenario}\", \"guided_cases_to_detect\": {}, \"blind_cases_to_detect\": {}}},",
+            bug.ticket,
+            bug.system,
+            bug.from,
+            bug.to,
+            g.map_or("null".to_string(), |n| n.to_string()),
+            b.map_or("null".to_string(), |n| n.to_string()),
+        );
     }
 
     // ---- timing-dependent bugs: detection rate at a fixed budget --------
@@ -181,7 +234,7 @@ fn main() {
     let rows = rows.trim_end().trim_end_matches(',');
 
     let json = format!(
-        "{{\n  \"schema\": \"search-efficiency/v1\",\n  \"config\": {{\"budget_per_group\": {BUDGET}, \"initial_seeds\": [1], \"scenarios\": [\"full-stop\", \"rolling\"], \"faults\": \"off\", \"timing_reps\": {REPS}, \"timing_budget_per_group\": {RATE_BUDGET}, \"timing_faults\": \"light\"}},\n  \"bugs\": [\n{rows}\n  ],\n  \"totals\": {{\"guided_cases\": {guided_total}, \"blind_cases\": {blind_total}}}\n}}\n"
+        "{{\n  \"schema\": \"search-efficiency/v2\",\n  \"config\": {{\"budget_per_group\": {BUDGET}, \"initial_seeds\": [1], \"scenarios\": [\"full-stop\", \"rolling\"], \"rollout_scenarios\": \"per-bug (scenario-gated catalog entries)\", \"faults\": \"off\", \"timing_reps\": {REPS}, \"timing_budget_per_group\": {RATE_BUDGET}, \"timing_faults\": \"light\"}},\n  \"bugs\": [\n{rows}\n  ],\n  \"totals\": {{\"guided_cases\": {guided_total}, \"blind_cases\": {blind_total}}}\n}}\n"
     );
 
     let out = std::env::var("SEARCH_EFFICIENCY_OUT")

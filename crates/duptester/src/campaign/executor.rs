@@ -132,7 +132,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             seeds: vec![1, 2, 3],
             include_gap_two: false,
-            scenarios: Scenario::ALL.to_vec(),
+            scenarios: Scenario::paper().to_vec(),
             use_unit_tests: true,
             fault_intensities: vec![FaultIntensity::Off],
             durabilities: vec![Durability::Strict],
@@ -422,7 +422,14 @@ impl<'a> Campaign<'a> {
             self.run_groups_parallel(&matrix, &fan, threads)
         };
 
-        let mut report = aggregate(self.sut.name(), &matrix, &records, &fan);
+        let mut report = aggregate(
+            self.sut.name(),
+            &matrix,
+            &records,
+            &fan,
+            &self.sut.versions(),
+            self.sut.cluster_size(),
+        );
         report.metrics = metrics.finish(threads, started.elapsed());
         report
     }
@@ -476,6 +483,8 @@ impl<'a> Campaign<'a> {
             search.budget_per_group.max(1),
             records,
             &fan,
+            &self.sut.versions(),
+            self.sut.cluster_size(),
         );
         report.campaign.metrics = metrics.finish(threads, started.elapsed());
         report
@@ -712,6 +721,8 @@ fn aggregate(
     matrix: &CaseMatrix,
     records: &[GroupRecord],
     fan: &FanOut<'_>,
+    catalog: &[VersionId],
+    cluster_size: u32,
 ) -> CampaignReport {
     debug_assert_eq!(matrix.groups().len(), records.len());
     let mut report = CampaignReport {
@@ -761,6 +772,7 @@ fn aggregate(
                     observations: observations.clone(),
                     reproductions: 1,
                     trace: failure_case.slice.clone(),
+                    plan: crate::rollout::rendered_plan(&case, None, catalog, cluster_size),
                 });
                 let failure = report.failures.last().expect("just pushed");
                 fan.failure_found(index, &case, failure);
@@ -842,7 +854,7 @@ mod tests {
             metrics: &metrics,
             user: None,
         };
-        let report = aggregate("sys", &matrix, &records, &fan);
+        let report = aggregate("sys", &matrix, &records, &fan, &[], 3);
         assert_eq!(report.failures.len(), 2, "{:#?}", report.failures);
         // Case 3 has the same *set* as case 1 (order-insensitive): a dedup hit.
         assert_eq!(report.failures[0].reproductions, 2);
@@ -864,7 +876,7 @@ mod tests {
             metrics: &metrics,
             user: None,
         };
-        let report = aggregate("sys", &matrix, &records, &fan);
+        let report = aggregate("sys", &matrix, &records, &fan, &[], 3);
         assert_eq!(report.cases_run, 1);
         assert_eq!(report.cases_pruned, 1);
         assert_eq!(report.failures.len(), 1);

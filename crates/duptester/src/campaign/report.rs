@@ -45,6 +45,11 @@ pub struct FailureReport {
     /// ending at the violating observation plus the trailing event window.
     /// `None` when the campaign ran without tracing.
     pub trace: Option<TraceSlice>,
+    /// The rendered rollout plan of the first exposing case, recorded for
+    /// extended scenarios (whose plans depend on seed and — under search —
+    /// the detecting nudge). `None` for the paper scenarios, whose plans
+    /// are pinned by `scenario` + `seed` alone.
+    pub plan: Option<String>,
 }
 
 impl FailureReport {
@@ -57,8 +62,13 @@ impl FailureReport {
     /// ```text
     /// repro: 1.0.0->2.0.0 scenario=rolling workload=stress seed=7 faults=heavy durability=torn
     /// ```
+    ///
+    /// Extended-scenario failures append a `plan=` segment — the rendered
+    /// [`RolloutPlan`](crate::RolloutPlan), parseable standalone via
+    /// [`RolloutPlan::parse`](crate::RolloutPlan::parse) — so rollback and
+    /// multi-hop cases replay without recompiling the plan.
     pub fn repro(&self) -> String {
-        format!(
+        let mut out = format!(
             "repro: {}->{} scenario={} workload={} seed={} faults={} durability={}",
             self.from,
             self.to,
@@ -67,7 +77,12 @@ impl FailureReport {
             self.seed,
             self.faults,
             self.durability
-        )
+        );
+        if let Some(plan) = &self.plan {
+            out.push_str(" plan=");
+            out.push_str(plan);
+        }
+        out
     }
 
     /// Renders this failure under explicit [`RenderOptions`]. The first line
@@ -501,10 +516,36 @@ mod tests {
             observations: vec![],
             reproductions: 1,
             trace: None,
+            plan: None,
         };
         assert_eq!(
             f.repro(),
             "repro: 1.0.0->2.0.0 scenario=rolling workload=stress seed=7 faults=heavy durability=torn"
+        );
+    }
+
+    #[test]
+    fn repro_string_appends_the_rollout_plan() {
+        let f = FailureReport {
+            system: "kvstore".into(),
+            from: "1.0.0".parse().unwrap(),
+            to: "2.0.0".parse().unwrap(),
+            scenario: Scenario::RollbackAfterPartial,
+            workload: WorkloadSource::Stress,
+            seed: 7,
+            faults: FaultIntensity::Off,
+            durability: Durability::Strict,
+            signature: String::new(),
+            cause: "Unclassified",
+            observations: vec![],
+            reproductions: 1,
+            trace: None,
+            plan: Some("[1.0.0>2.0.0]s0,w3600,u0:1,w2000,t0/2".to_string()),
+        };
+        assert_eq!(
+            f.repro(),
+            "repro: 1.0.0->2.0.0 scenario=rollback-after-partial workload=stress seed=7 \
+             faults=off durability=strict plan=[1.0.0>2.0.0]s0,w3600,u0:1,w2000,t0/2"
         );
     }
 
@@ -525,6 +566,7 @@ mod tests {
             observations: vec![],
             reproductions: 1,
             trace: None,
+            plan: None,
         };
         // Plain render is exactly the Display line.
         assert_eq!(f.render(RenderOptions::plain()), format!("{f}\n"));

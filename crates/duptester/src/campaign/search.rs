@@ -73,14 +73,21 @@ pub enum MutationOp {
     /// ±[`MAX_NUDGE_SHIFT_MS`], moving mid-upgrade and unflushed-write
     /// crashes to different points of the rollout.
     MoveCrashPoints,
+    /// Perturb the compiled rollout plan itself: shift settle durations by
+    /// up to ±[`MAX_SETTLE_SHIFT_MS`](crate::MAX_SETTLE_SHIFT_MS) and swap
+    /// one adjacent pair of steps, both within
+    /// [`RolloutPlan::validate`](crate::RolloutPlan::validate)'s
+    /// constraints.
+    NudgeRolloutPlan,
 }
 
 impl MutationOp {
     /// All operators, in the order the mutation RNG indexes them.
-    pub const ALL: [MutationOp; 3] = [
+    pub const ALL: [MutationOp; 4] = [
         MutationOp::ShiftFaultTimes,
         MutationOp::SwapReorderFates,
         MutationOp::MoveCrashPoints,
+        MutationOp::NudgeRolloutPlan,
     ];
 }
 
@@ -104,6 +111,12 @@ pub fn mutate(input: &SearchInput, op: MutationOp, rng: &mut SimRng) -> SearchIn
         MutationOp::MoveCrashPoints => {
             out.nudge.crash_shift_ms =
                 rng.next_range(0, 2 * MAX_NUDGE_SHIFT_MS) as i64 - MAX_NUDGE_SHIFT_MS as i64;
+        }
+        MutationOp::NudgeRolloutPlan => {
+            out.nudge.settle_shift_ms = rng.next_range(0, 2 * crate::MAX_SETTLE_SHIFT_MS) as i64
+                - crate::MAX_SETTLE_SHIFT_MS as i64;
+            // Force a non-zero salt so a swap is actually attempted.
+            out.nudge.step_swap_salt = rng.next_u64() | 1;
         }
     }
     out
@@ -194,12 +207,14 @@ impl Corpus {
         for e in self.entries.values() {
             let _ = writeln!(
                 out,
-                "digest={:#018x} seed={} action_shift_ms={} crash_shift_ms={} fate_salt={:#x} new_bits={} bits_set={}",
+                "digest={:#018x} seed={} action_shift_ms={} crash_shift_ms={} fate_salt={:#x} settle_shift_ms={} step_swap_salt={:#x} new_bits={} bits_set={}",
                 e.digest,
                 e.input.seed,
                 e.input.nudge.action_shift_ms,
                 e.input.nudge.crash_shift_ms,
                 e.input.nudge.fate_salt,
+                e.input.nudge.settle_shift_ms,
+                e.input.nudge.step_swap_salt,
                 e.new_bits,
                 e.bits_set,
             );
@@ -354,12 +369,14 @@ impl SearchReport {
             for e in &g.corpus {
                 let _ = writeln!(
                     out,
-                    "  digest={:#018x} seed={} nudge=({},{},{:#x}) new_bits={}",
+                    "  digest={:#018x} seed={} nudge=({},{},{:#x},{},{:#x}) new_bits={}",
                     e.digest,
                     e.input.seed,
                     e.input.nudge.action_shift_ms,
                     e.input.nudge.crash_shift_ms,
                     e.input.nudge.fate_salt,
+                    e.input.nudge.settle_shift_ms,
+                    e.input.nudge.step_swap_salt,
                     e.new_bits,
                 );
             }
@@ -474,9 +491,11 @@ pub(crate) fn run_search_group(
         // strict durability — has nothing a nudge could perturb: every
         // mutant would replay its parent byte-for-byte. Skip mutation
         // outright; the bootstrap already explored everything a nudge
-        // could.
-        let has_plan =
-            template.faults != FaultIntensity::Off || template.durability != Durability::Strict;
+        // could. Extended scenarios carry a mutable rollout plan even with
+        // faults off, so they always mutate.
+        let has_plan = template.faults != FaultIntensity::Off
+            || template.durability != Durability::Strict
+            || template.scenario.is_extended();
         let mut round = 0usize;
         let mut dry = 0usize;
         while has_plan
@@ -663,6 +682,8 @@ pub(crate) fn aggregate_search(
     budget: usize,
     records: Vec<SearchGroupRecord>,
     fan: &FanOut<'_>,
+    catalog: &[VersionId],
+    cluster_size: u32,
 ) -> SearchReport {
     let mut campaign = CampaignReport {
         system: system.to_string(),
@@ -706,6 +727,12 @@ pub(crate) fn aggregate_search(
                     observations: failure.observations.clone(),
                     reproductions: 1,
                     trace: failure.slice.clone(),
+                    plan: crate::rollout::rendered_plan(
+                        &failure.case,
+                        Some(&failure.input.nudge),
+                        catalog,
+                        cluster_size,
+                    ),
                 });
                 let report = campaign.failures.last().expect("just pushed");
                 let index = group_index * budget + failure.ordinal;
@@ -766,10 +793,15 @@ mod tests {
                 let m = mutate(&input, op, &mut rng);
                 assert!(m.nudge.action_shift_ms.unsigned_abs() <= MAX_NUDGE_SHIFT_MS);
                 assert!(m.nudge.crash_shift_ms.unsigned_abs() <= MAX_NUDGE_SHIFT_MS);
+                assert!(m.nudge.settle_shift_ms.unsigned_abs() <= crate::MAX_SETTLE_SHIFT_MS);
             }
             let mut rng = SimRng::new(trial);
             let swapped = mutate(&input, MutationOp::SwapReorderFates, &mut rng);
             assert_ne!(swapped.nudge.fate_salt, 0, "fate swap must re-roll");
+            let mut rng = SimRng::new(trial);
+            let nudged = mutate(&input, MutationOp::NudgeRolloutPlan, &mut rng);
+            assert_ne!(nudged.nudge.step_swap_salt, 0, "plan nudge must swap");
+            assert_eq!(nudged.nudge.fate_salt, 0, "plan nudge leaves fates");
         }
     }
 

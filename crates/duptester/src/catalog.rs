@@ -2,6 +2,7 @@
 //! DUPTester's recall (the analog of the paper's §6.1.4 false-negative
 //! experiment, where DUPTester reproduced 5 of 15 sampled study failures).
 
+use crate::Scenario;
 use dup_core::VersionId;
 
 /// One seeded bug: where it lives and how to recognize it in the evidence.
@@ -19,6 +20,10 @@ pub struct SeededBug {
     pub marker: &'static str,
     /// Whether the trigger needs timing luck (Finding 11's ~11%).
     pub timing_dependent: bool,
+    /// The extended rollout-plan scenario required to reach the bug, or
+    /// `None` when the paper's three scenarios suffice. Recall suites use
+    /// this to decide which scenario sweep each bug belongs to.
+    pub scenario: Option<Scenario>,
 }
 
 impl SeededBug {
@@ -43,6 +48,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "1.2.0",
             marker: "cannot deserialize gossip ApplicationState",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "CASSANDRA-6678",
@@ -51,6 +57,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "2.0.0",
             marker: "cannot apply schema migrated from",
             timing_dependent: true,
+            scenario: None,
         },
         SeededBug {
             ticket: "CASSANDRA-16257 (shape)",
@@ -59,6 +66,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "2.1.0",
             marker: "corrupt sstable row",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "CASSANDRA-13441",
@@ -67,6 +75,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "3.11.0",
             marker: "message storm",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "CASSANDRA-16292 (shape)",
@@ -75,6 +84,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "3.11.0",
             marker: "tombstone for dropped keyspace",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "CASSANDRA-15794",
@@ -83,6 +93,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "4.0.0",
             marker: "Compact Tables are not allowed",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "CASSANDRA-16301",
@@ -91,6 +102,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "4.0.0",
             marker: "unable to find replication strategy class",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "HDFS-1936",
@@ -99,6 +111,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "1.0.0",
             marker: "must be compressed",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "HDFS-5988",
@@ -107,6 +120,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "2.0.0",
             marker: "no inode found",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "HDFS-8676",
@@ -115,6 +129,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "2.7.0",
             marker: "marked dead",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "HDFS-11856",
@@ -123,6 +138,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "2.8.0",
             marker: "bad permanently",
             timing_dependent: true,
+            scenario: None,
         },
         SeededBug {
             ticket: "HDFS-14726",
@@ -131,6 +147,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "3.2.0",
             marker: "InvalidProtocolBufferException",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "HDFS-15624",
@@ -139,6 +156,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "3.3.0",
             marker: "NVDIMM",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "KAFKA-6238",
@@ -147,6 +165,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "1.0.0",
             marker: "message.version",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "KAFKA-7403",
@@ -155,6 +174,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "2.1.0",
             marker: "offset commit",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "KAFKA-10173",
@@ -163,6 +183,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "2.4.0",
             marker: "corrupt replica batch",
             timing_dependent: false,
+            scenario: None,
         },
         SeededBug {
             ticket: "ZOOKEEPER-1805",
@@ -171,6 +192,7 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "3.5.0",
             marker: "inconsistent peerEpoch",
             timing_dependent: true,
+            scenario: None,
         },
         SeededBug {
             ticket: "MESOS-3834 (shape)",
@@ -179,6 +201,35 @@ pub fn seeded_bugs() -> Vec<SeededBug> {
             to: "3.6.0",
             marker: "checkpoint",
             timing_dependent: false,
+            scenario: None,
+        },
+        // Rollout-plan-exclusive bugs: unreachable under the paper's three
+        // scenarios, which never downgrade and never take multi-hop paths.
+        SeededBug {
+            // CASSANDRA-13441's rollback face: 4.0 writes a format-40
+            // commit-log header before validation, so a 3.11 node
+            // downgraded over that durable state fatals replaying a
+            // segment format newer than its own.
+            ticket: "CASSANDRA-15794 (rollback)",
+            system: "cassandra-mini",
+            from: "3.11.0",
+            to: "4.0.0",
+            marker: "unknown format 40",
+            timing_dependent: false,
+            scenario: Some(Scenario::RollbackAfterPartial),
+        },
+        SeededBug {
+            // The multi-hop face of CASSANDRA-13441: a direct 3.0 → 4.0
+            // rolling upgrade is storm-free (4.0 checks proto versions
+            // before pulling), but the 3.0 → 3.11 → 4.0 path storms in its
+            // first hop because 3.0 and 3.11 share a protocol version.
+            ticket: "CASSANDRA-13441 (multi-hop)",
+            system: "cassandra-mini",
+            from: "3.0.0",
+            to: "4.0.0",
+            marker: "message storm",
+            timing_dependent: false,
+            scenario: Some(Scenario::MultiHop),
         },
     ]
 }
@@ -191,6 +242,14 @@ pub fn recall(report: &crate::campaign::CampaignReport) -> (Vec<&'static str>, V
     for bug in seeded_bugs() {
         if bug.system != report.system {
             continue;
+        }
+        // A scenario-gated bug only counts against campaigns that actually
+        // ran its gating scenario; the paper sweep structurally cannot
+        // reach the rollout-exclusive bugs.
+        if let Some(scenario) = bug.scenario {
+            if !report.metrics.per_scenario.contains_key(&scenario) {
+                continue;
+            }
         }
         let hit = report
             .failures_on(bug.from_version(), bug.to_version())
@@ -216,7 +275,7 @@ mod tests {
     #[test]
     fn catalog_covers_four_systems() {
         let bugs = seeded_bugs();
-        assert_eq!(bugs.len(), 18);
+        assert_eq!(bugs.len(), 20);
         for system in [
             "cassandra-mini",
             "hdfs-mini",
@@ -228,6 +287,17 @@ mod tests {
         // Every from/to parses and is ordered.
         for b in &bugs {
             assert!(b.from_version() < b.to_version(), "{}", b.ticket);
+        }
+    }
+
+    #[test]
+    fn scenario_gated_bugs_require_extended_scenarios() {
+        let bugs = seeded_bugs();
+        let gated: Vec<_> = bugs.iter().filter(|b| b.scenario.is_some()).collect();
+        assert_eq!(gated.len(), 2);
+        for b in gated {
+            let s = b.scenario.expect("filtered on is_some");
+            assert!(s.is_extended(), "{} gates on a paper scenario", b.ticket);
         }
     }
 

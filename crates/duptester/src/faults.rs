@@ -187,12 +187,27 @@ pub struct PlanNudge {
     /// messages get dropped/duplicated/delayed/reordered without changing
     /// the probabilities.
     pub fate_salt: u64,
+    /// Signed shift, in milliseconds, applied to every settle step of the
+    /// case's compiled [`RolloutPlan`](crate::RolloutPlan), bounded by
+    /// [`MAX_SETTLE_SHIFT_MS`](crate::MAX_SETTLE_SHIFT_MS). Ignored by
+    /// [`apply_nudge`] — the rollout plan consumes it via
+    /// [`RolloutPlan::nudge`](crate::RolloutPlan::nudge).
+    pub settle_shift_ms: i64,
+    /// Selects one validity-preserving adjacent step swap in the case's
+    /// compiled rollout plan (`0` = no swap). Like `settle_shift_ms`,
+    /// consumed by the rollout plan, not by [`apply_nudge`].
+    pub step_swap_salt: u64,
 }
 
 impl PlanNudge {
-    /// True when applying this nudge would return the plan unchanged.
+    /// True when applying this nudge would return the fault plan *and* the
+    /// rollout plan unchanged.
     pub fn is_noop(&self) -> bool {
-        self.action_shift_ms == 0 && self.crash_shift_ms == 0 && self.fate_salt == 0
+        self.action_shift_ms == 0
+            && self.crash_shift_ms == 0
+            && self.fate_salt == 0
+            && self.settle_shift_ms == 0
+            && self.step_swap_salt == 0
     }
 }
 
@@ -469,7 +484,7 @@ mod tests {
             let nudge = PlanNudge {
                 action_shift_ms: shift,
                 crash_shift_ms: -shift,
-                fate_salt: 0,
+                ..PlanNudge::default()
             };
             let nudged = apply_nudge(&plan, &nudge, base);
             let lo = base.as_millis();
@@ -501,9 +516,8 @@ mod tests {
         let base = SimTime::ZERO;
         let plan = fault_plan_for(FaultIntensity::Light, Durability::Strict, 3, 3, base).unwrap();
         let nudge = PlanNudge {
-            action_shift_ms: 0,
-            crash_shift_ms: 0,
             fate_salt: 0xDEAD_BEEF,
+            ..PlanNudge::default()
         };
         let nudged = apply_nudge(&plan, &nudge, base);
         assert_eq!(nudged.seed(), plan.seed() ^ 0xDEAD_BEEF);

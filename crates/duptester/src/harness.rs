@@ -1,6 +1,7 @@
 //! The test-case runner: boots a cluster of the old version in the
-//! simulator, drives the workload through one of the three upgrade
-//! scenarios, and hands the evidence to the oracle.
+//! simulator, compiles the case's scenario into an explicit [`RolloutPlan`],
+//! drives the workload through the plan's steps, and hands the evidence to
+//! the oracle.
 //!
 //! # Snapshot-and-fork execution
 //!
@@ -23,6 +24,7 @@
 
 use crate::faults::{apply_nudge, fault_plan_for, FaultIntensity, PlanNudge};
 use crate::oracle::{self, Observation, OpResult};
+use crate::rollout::{RolloutPlan, RolloutStep};
 use crate::scenario::{Scenario, WorkloadSource};
 use crate::translator::translate;
 use dup_core::{ClientOp, Config, NodeSetup, SystemUnderTest, UnitTest, VersionId, WorkloadPhase};
@@ -104,6 +106,8 @@ pub struct CaseRunner<'a> {
     prefix: Option<PrefixCache>,
     /// Per-op oracle evidence, reused across cases.
     ops: Vec<OpResult>,
+    /// Pooled rollout plan, recompiled in place per case.
+    plan: RolloutPlan,
 }
 
 /// Everything the suffix needs from an executed prefix.
@@ -162,6 +166,7 @@ impl<'a> CaseRunner<'a> {
             snapshot: SimSnapshot::new(),
             prefix: None,
             ops: Vec::new(),
+            plan: RolloutPlan::new(),
         }
     }
 
@@ -225,6 +230,7 @@ impl<'a> CaseRunner<'a> {
                         case,
                         &pre.data,
                         nudge,
+                        &mut self.plan,
                         &mut self.ops,
                     );
                     return finalize(&mut self.sim, outcome);
@@ -277,7 +283,15 @@ impl<'a> CaseRunner<'a> {
             };
         }
         self.sim.reseed(case.seed);
-        let outcome = run_suffix(&mut self.sim, self.sut, case, pre, nudge, &mut self.ops);
+        let outcome = run_suffix(
+            &mut self.sim,
+            self.sut,
+            case,
+            pre,
+            nudge,
+            &mut self.plan,
+            &mut self.ops,
+        );
         finalize(&mut self.sim, outcome)
     }
 }
@@ -397,10 +411,6 @@ impl CaseOutcome {
 }
 
 const SETTLE: SimDuration = SimDuration::from_secs(2);
-/// Downtime of a node during one rolling-upgrade step. Longer than the
-/// pipeline-restart tolerance (3 s) — as real upgrades are (paper Fig. 1) —
-/// but far shorter than the 60 s dead timeout.
-const ROLLING_DOWNTIME: SimDuration = SimDuration::from_millis(3600);
 /// Post-upgrade quiesce. Long enough for slow-burn symptoms (trash-purge
 /// heartbeat stalls, storms) to surface.
 const QUIESCE: SimDuration = SimDuration::from_secs(75);
@@ -422,6 +432,9 @@ struct FaultDriver<'a> {
     case: &'a TestCase,
     config: &'a Config,
     cluster: u32,
+    /// The rollout plan's version path: the versions a node may legally be
+    /// on mid-case (multi-hop plans have a middle version beyond the pair).
+    path: &'a [VersionId],
     active: bool,
 }
 
@@ -434,11 +447,15 @@ impl FaultDriver<'_> {
             if !sim.is_fault_crashed(node) {
                 continue;
             }
-            let version = if sim.node_version(node) == self.case.to.to_string() {
-                self.case.to
-            } else {
-                self.case.from
-            };
+            // Re-spawn whatever path version the node was on when the plan
+            // crashed it (only the fault plan crashes get pumped, so genuine
+            // downgrade failures persist as oracle evidence).
+            let version = sim
+                .node_version(node)
+                .parse::<VersionId>()
+                .ok()
+                .filter(|v| self.path.contains(v))
+                .unwrap_or(self.case.from);
             let size = if node >= self.cluster {
                 self.cluster + 1
             } else {
@@ -596,6 +613,7 @@ fn run_prefix(
         case,
         config: &config,
         cluster: n,
+        path: std::slice::from_ref(&case.from),
         active: false,
     };
 
@@ -631,14 +649,20 @@ fn run_prefix(
 
 /// The seed-dependent half of a case, entered with the simulator at the end
 /// of the prefix (freshly executed or restored) and already forked to
-/// `case.seed` via [`Sim::reseed`]: fault plan, the upgrade scenario itself,
-/// quiesce, post-upgrade verification, and the oracle.
+/// `case.seed` via [`Sim::reseed`]: fault plan, the compiled rollout plan's
+/// steps, quiesce, post-upgrade verification, and the oracle.
+///
+/// `plan` is the runner's pooled [`RolloutPlan`]; it is recompiled in place
+/// for this case (a pure function of the case plus the system's catalog, so
+/// plans fork per seed exactly like fault plans do) and perturbed by the
+/// plan-level half of `nudge`.
 fn run_suffix(
     sim: &mut Sim,
     sut: &dyn SystemUnderTest,
     case: &TestCase,
     pre: &PrefixData,
     nudge: Option<&PlanNudge>,
+    plan: &mut RolloutPlan,
     ops: &mut Vec<OpResult>,
 ) -> CaseOutcome {
     let n = sut.cluster_size();
@@ -655,89 +679,133 @@ fn run_suffix(
         _ => (0..n).map(|i| ClientOp::new(i, "HEALTH")).collect(),
     };
 
+    // Compile the scenario into the pooled rollout plan — a pure function of
+    // `(scenario, pair, catalog, cluster, seed)`, so the `plan=` segment of
+    // a failure report rebuilds it exactly — and apply the plan-level half
+    // of the nudge.
+    let catalog = sut.versions();
+    plan.compile(case.scenario, case.from, case.to, &catalog, n, case.seed);
+    if let Some(nd) = nudge {
+        plan.nudge(nd);
+    }
+    debug_assert!(
+        plan.validate(n).is_ok(),
+        "compiled plan invalid ({:?}): {plan}",
+        plan.validate(n)
+    );
+    let plan: &RolloutPlan = plan;
+
     // Arm the fault plan at the start of the suffix, anchored at the current
     // time, so the adversity spans the upgrade-plus-quiesce timeline. The
     // plan is a pure function of (intensity, durability, seed, cluster
     // size, base): the repro string in a failure report rebuilds it exactly.
-    if let Some(plan) = fault_plan_for(case.faults, case.durability, case.seed, n, sim.now()) {
-        let plan = match nudge {
-            Some(n) if !n.is_noop() => apply_nudge(&plan, n, sim.now()),
-            _ => plan,
+    if let Some(fplan) = fault_plan_for(case.faults, case.durability, case.seed, n, sim.now()) {
+        let fplan = match nudge {
+            Some(n) if !n.is_noop() => apply_nudge(&fplan, n, sim.now()),
+            _ => fplan,
         };
-        sim.log_sim(LogLevel::Info, format!("fault plan: {}", plan.describe()));
-        sim.install_fault_plan(plan);
+        sim.log_sim(LogLevel::Info, format!("fault plan: {}", fplan.describe()));
+        sim.install_fault_plan(fplan);
     }
     let driver = FaultDriver {
         sut,
         case,
         config,
         cluster: n,
+        path: plan.path(),
         active: case.faults != FaultIntensity::Off || case.durability != Durability::Strict,
     };
 
-    // ----- the upgrade itself -------------------------------------------
+    // ----- the rollout itself -------------------------------------------
     let log_mark = sim.logs().mark();
     let upgrade_started = sim.now();
     let msgs_before_window = sim.messages_delivered();
 
-    match case.scenario {
-        Scenario::FullStop => {
-            for i in (0..n).rev() {
-                let _ = sim.stop_node(i);
+    for step in plan.steps() {
+        match *step {
+            RolloutStep::Stop { node } | RolloutStep::Leave { node } => {
+                let _ = sim.stop_node(node);
             }
-            driver.run_for(sim, SimDuration::from_millis(200));
-            for i in 0..n {
-                let mut setup = NodeSetup::new(i, n);
+            RolloutStep::Settle { millis } => {
+                driver.run_for(sim, SimDuration::from_millis(millis));
+            }
+            RolloutStep::Upgrade { node, version } | RolloutStep::Downgrade { node, version } => {
+                let v = plan.version(version);
+                let size = if node >= n { n + 1 } else { n };
+                let mut setup = NodeSetup::new(node, size);
                 setup.config = config.clone();
-                if sim
-                    .install(i, &case.to.to_string(), sut.spawn(case.to, &setup))
-                    .is_ok()
-                {
-                    let _ = sim.start_node(i);
+                let process = sut.spawn(v, &setup);
+                let installed = if matches!(step, RolloutStep::Downgrade { .. }) {
+                    sim.install_downgrade(node, &v.to_string(), process)
+                } else {
+                    sim.install(node, &v.to_string(), process)
+                };
+                if installed.is_ok() {
+                    let _ = sim.start_node(node);
                 }
             }
-            driver.run_for(sim, SETTLE);
-            run_ops(&driver, sim, &during_ops, true, false, ops);
-        }
-        Scenario::Rolling => {
-            // Split the during-workload across the rolling steps: half of
-            // each node's chunk runs while the node is down (past the
-            // restart tolerance — the HDFS-11856 window), the other half
-            // right after it restarts (the mixed-version live window where
-            // cross-version messages actually flow).
-            let chunks = chunk_ops(&during_ops, 2 * n as usize);
-            for i in 0..n {
-                let _ = sim.stop_node(i);
-                driver.run_for(sim, ROLLING_DOWNTIME);
-                run_ops(&driver, sim, &chunks[2 * i as usize], true, false, ops);
-                let mut setup = NodeSetup::new(i, n);
+            RolloutStep::Join { node, version } => {
+                let v = plan.version(version);
+                let mut setup = NodeSetup::new(node, n + 1);
                 setup.config = config.clone();
-                if sim
-                    .install(i, &case.to.to_string(), sut.spawn(case.to, &setup))
-                    .is_ok()
-                {
-                    let _ = sim.start_node(i);
-                }
-                driver.run_for(sim, SETTLE);
-                run_ops(&driver, sim, &chunks[2 * i as usize + 1], true, false, ops);
+                let id = sim.add_node(&host(node), &v.to_string(), sut.spawn(v, &setup));
+                let _ = sim.start_node(id);
             }
-        }
-        Scenario::NewNodeJoin => {
-            let joined = n;
-            let mut setup = NodeSetup::new(joined, n + 1);
-            setup.config = config.clone();
-            let id = sim.add_node(
-                &host(joined),
-                &case.to.to_string(),
-                sut.spawn(case.to, &setup),
-            );
-            let _ = sim.start_node(id);
-            driver.run_for(sim, SETTLE);
-            run_ops(&driver, sim, &during_ops, true, false, ops);
-            let probe = vec![ClientOp::new(joined, "HEALTH")];
-            run_ops(&driver, sim, &probe, true, false, ops);
+            RolloutStep::Traffic { chunk, of } => {
+                // Round-robin partition of the during-upgrade workload by op
+                // index; `of` shared across the plan's traffic steps, so the
+                // steps together run each op exactly once, in order.
+                let of = of.max(1) as usize;
+                for (i, op) in during_ops.iter().enumerate() {
+                    if i % of == chunk as usize {
+                        run_op(&driver, sim, op, true, false, ops);
+                    }
+                }
+            }
+            RolloutStep::Probe { node } => {
+                run_op(
+                    &driver,
+                    sim,
+                    &ClientOp::new(node, "HEALTH"),
+                    true,
+                    false,
+                    ops,
+                );
+            }
+            RolloutStep::CanaryGate { node } => {
+                run_op(
+                    &driver,
+                    sim,
+                    &ClientOp::new(node, "HEALTH"),
+                    true,
+                    false,
+                    ops,
+                );
+                let answered = ops.last().is_some_and(|r| r.response.is_some());
+                let crashed = sim
+                    .crashed_nodes()
+                    .into_iter()
+                    .any(|c| c == node && !sim.is_fault_crashed(c));
+                if crashed || !answered {
+                    // The canary failed its gate: the operator halts the
+                    // rollout. Quiesce and verification still run, so the
+                    // oracle sees whatever the canary broke.
+                    sim.log_sim(
+                        LogLevel::Info,
+                        format!("canary gate failed on node {node}: halting rollout"),
+                    );
+                    break;
+                }
+            }
         }
     }
+
+    // Messages and elapsed time of the rollout phase alone, captured before
+    // the quiesce: a storm that dies with the rollout (a multi-hop storm
+    // ends when the final hop leaves the buggy version behind) would be
+    // diluted below threshold by the long quiet quiesce window.
+    let rollout_msgs = sim.messages_delivered() - msgs_before_window;
+    let rollout_len = sim.now().since(upgrade_started).as_millis().max(1);
 
     driver.run_for(sim, QUIESCE);
     run_ops(&driver, sim, &after_ops, true, true, ops);
@@ -750,6 +818,21 @@ fn run_suffix(
     let baseline_window_msgs = msgs_before_window - pre.msgs_at_first_op;
     let baseline_len = upgrade_started.since(pre.first_op_time).as_millis();
     let baseline_msgs = project_baseline(baseline_window_msgs, baseline_len, window_len);
+    let baseline_rollout = project_baseline(baseline_window_msgs, baseline_len, rollout_len);
+
+    // The full window takes precedence (identical evidence to what it
+    // always produced); the rollout-only window is consulted only when the
+    // full window is quiet, so a transient rollout-phase storm still trips
+    // the same oracle rule.
+    let storm = |msgs: u64, baseline: u64| {
+        msgs > oracle::STORM_FLOOR && msgs > baseline.saturating_mul(oracle::STORM_FACTOR)
+    };
+    let (window_msgs, baseline_msgs) =
+        if !storm(window_msgs, baseline_msgs) && storm(rollout_msgs, baseline_rollout) {
+            (rollout_msgs, baseline_rollout)
+        } else {
+            (window_msgs, baseline_msgs)
+        };
 
     let observations = oracle::evaluate(sim, log_mark, baseline_msgs, window_msgs, ops);
     if observations.is_empty() {
@@ -775,12 +858,29 @@ fn find_unit_test(sut: &dyn SystemUnderTest, name: &str) -> Option<UnitTest> {
     sut.unit_tests().into_iter().find(|t| t.name == name)
 }
 
-fn chunk_ops(ops: &[ClientOp], chunks: usize) -> Vec<Vec<ClientOp>> {
-    let mut out = vec![Vec::new(); chunks.max(1)];
-    for (i, op) in ops.iter().enumerate() {
-        out[i % chunks.max(1)].push(op.clone());
-    }
-    out
+fn run_op(
+    driver: &FaultDriver<'_>,
+    sim: &mut Sim,
+    op: &ClientOp,
+    after_upgrade_started: bool,
+    in_after_phase: bool,
+    out: &mut Vec<OpResult>,
+) {
+    let response = driver
+        .rpc(
+            sim,
+            op.node,
+            op.command.clone().into_bytes().into(),
+            OP_TIMEOUT,
+        )
+        .map(|b| String::from_utf8_lossy(&b).into_owned());
+    out.push(OpResult {
+        command: op.command.clone(),
+        node: op.node,
+        response,
+        after_upgrade_started,
+        in_after_phase,
+    });
 }
 
 fn run_ops(
@@ -792,21 +892,7 @@ fn run_ops(
     out: &mut Vec<OpResult>,
 ) {
     for op in batch {
-        let response = driver
-            .rpc(
-                sim,
-                op.node,
-                op.command.clone().into_bytes().into(),
-                OP_TIMEOUT,
-            )
-            .map(|b| String::from_utf8_lossy(&b).into_owned());
-        out.push(OpResult {
-            command: op.command.clone(),
-            node: op.node,
-            response,
-            after_upgrade_started,
-            in_after_phase,
-        });
+        run_op(driver, sim, op, after_upgrade_started, in_after_phase, out);
     }
 }
 
@@ -829,16 +915,5 @@ mod tests {
         // Degenerate windows stay finite.
         assert_eq!(project_baseline(0, 0, 100), 0);
         assert_eq!(project_baseline(7, 0, 0), 0);
-    }
-
-    #[test]
-    fn chunking_round_robins() {
-        let ops: Vec<ClientOp> = (0..7).map(|i| ClientOp::new(0, format!("OP{i}"))).collect();
-        let chunks = chunk_ops(&ops, 3);
-        assert_eq!(chunks.len(), 3);
-        assert_eq!(chunks[0].len(), 3);
-        assert_eq!(chunks[1].len(), 2);
-        assert_eq!(chunks[2].len(), 2);
-        assert!(chunk_ops(&ops, 0).len() == 1);
     }
 }

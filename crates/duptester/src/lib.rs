@@ -4,7 +4,11 @@
 //!
 //! - **version pairs**: consecutive releases, optionally distance-2 pairs
 //!   (Finding 9 — this covers ~90% of studied failures with O(N) pairs);
-//! - **scenarios** ([`Scenario`]): full-stop, rolling, and new-node-join;
+//! - **scenarios** ([`Scenario`]): the paper's full-stop, rolling, and
+//!   new-node-join, plus extended rollout-plan scenarios — rollback after a
+//!   partial upgrade, multi-hop version paths, canary-gated fleets, and
+//!   rolling upgrades under membership churn — each compiled to an explicit,
+//!   validated [`RolloutPlan`] the harness interprets step by step;
 //! - **workloads** ([`WorkloadSource`]): the system's stress operations,
 //!   unit tests *translated* into client commands ([`translate`], §6.1.3),
 //!   and unit tests executed in place whose persistent state the upgraded
@@ -35,7 +39,7 @@
 //! use dup_tester::{Campaign, Scenario};
 //! let report = Campaign::builder(&dup_kvstore::KvStoreSystem)
 //!     .seeds([1, 2, 3])
-//!     .scenarios(Scenario::ALL)
+//!     .scenarios(Scenario::paper())
 //!     .threads(4)
 //!     .run();
 //! print!("{}", report.render_table());
@@ -49,6 +53,7 @@ pub mod catalog;
 mod faults;
 mod harness;
 mod oracle;
+mod rollout;
 mod scenario;
 mod translator;
 
@@ -65,6 +70,8 @@ pub use crate::faults::{
 };
 pub use crate::harness::{CaseDigest, CaseOutcome, CaseResult, CaseRunner, TestCase};
 pub use crate::oracle::{evaluate, Observation, OpResult};
+pub use crate::rollout::{RolloutPlan, RolloutStep, MAX_PATH_LEN, MAX_SETTLE_SHIFT_MS};
 pub use crate::scenario::{Scenario, WorkloadSource};
 pub use crate::translator::{translate, Translation};
+pub use dup_core::VersionId;
 pub use dup_simnet::{CrashPoint, CrashPointKind, Durability, TraceConfig, TraceSlice};

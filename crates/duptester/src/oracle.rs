@@ -227,8 +227,8 @@ fn is_benign_miss(response: &str) -> bool {
 
 /// Storm thresholds: the window must both exceed an absolute floor and be a
 /// large multiple of the pre-upgrade baseline.
-const STORM_FLOOR: u64 = 2_000;
-const STORM_FACTOR: u64 = 10;
+pub(crate) const STORM_FLOOR: u64 = 2_000;
+pub(crate) const STORM_FACTOR: u64 = 10;
 
 /// Evaluates everything the harness recorded and returns the observations.
 ///

@@ -201,8 +201,9 @@ fn heavy_torn_crashes_on_same_version_pair_report_zero_upgrade_failures() {
     // construction; anything the oracle reports under heavy faults *plus*
     // mid-upgrade crash points and torn tails is injected chaos bleeding
     // through — exactly what the flush points at commit boundaries and the
-    // crash-exempt oracle rules must prevent.
-    for scenario in Scenario::ALL {
+    // crash-exempt oracle rules must prevent. Extended scenarios included:
+    // same-version downgrades, hops, and churn are equally bug-free.
+    for scenario in Scenario::extended() {
         for seed in [1, 2, 3] {
             let case = TestCase {
                 from: v("2.1.0"),

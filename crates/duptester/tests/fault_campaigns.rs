@@ -90,7 +90,9 @@ fn heavy_faults_on_same_version_pair_report_zero_upgrade_failures() {
     // A system "upgraded" to its own version has no upgrade bugs by
     // construction; anything the oracle reports under heavy chaos is the
     // fault injection bleeding through — exactly what it must not do.
-    for scenario in Scenario::ALL {
+    // Extended scenarios included: same-version rollback, hops, canary, and
+    // churn plans are equally bug-free.
+    for scenario in Scenario::extended() {
         for seed in [1, 2, 3] {
             let case = TestCase {
                 from: v("2.1.0"),

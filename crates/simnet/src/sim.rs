@@ -920,6 +920,32 @@ impl Sim {
         Ok(())
     }
 
+    /// Installs an *older* process version into a stopped, crashed, or idle
+    /// slot — the rollback step of a downgrade rollout. Mechanically
+    /// identical to [`Sim::install`] (the host keeps its persistent storage,
+    /// including any newer-format state the replaced version wrote), but the
+    /// trace records a distinct downgrade event so rollbacks are separable
+    /// from forward rollouts in signatures and slices.
+    pub fn install_downgrade(
+        &mut self,
+        node: NodeId,
+        version_label: &str,
+        process: Box<dyn Process>,
+    ) -> Result<(), SimError> {
+        let slot = self.slot_mut(node)?;
+        if slot.status == NodeStatus::Running || slot.status == NodeStatus::Starting {
+            return Err(SimError::BadStatus {
+                node,
+                status: slot.status,
+                op: "install over",
+            });
+        }
+        slot.process = Some(process);
+        slot.version_label = version_label.to_string();
+        self.trace_record(0, TraceEventKind::NodeDowngrade { node });
+        Ok(())
+    }
+
     /// Interns `host` (the same id [`Sim::add_node`] would assign) for use
     /// with the id-addressed storage API.
     pub fn host_id(&mut self, host: &str) -> HostId {

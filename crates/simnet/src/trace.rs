@@ -153,6 +153,14 @@ pub enum TraceEventKind {
         /// The node whose process was replaced.
         node: NodeId,
     },
+    /// An *older* process version was installed over newer on-disk state —
+    /// the rollback step of a downgrade rollout. Distinct from
+    /// [`TraceEventKind::NodeUpgrade`] so trace signatures separate
+    /// forward rollouts from rollbacks.
+    NodeDowngrade {
+        /// The node whose process was replaced with an older version.
+        node: NodeId,
+    },
     /// A plan-scheduled restart of a fault-crashed node came due.
     NodeRestartDue {
         /// The node queued for harness restart.
@@ -220,6 +228,7 @@ impl TraceEventKind {
             | TraceEventKind::NodeKill { node }
             | TraceEventKind::NodeCrash { node }
             | TraceEventKind::NodeUpgrade { node }
+            | TraceEventKind::NodeDowngrade { node }
             | TraceEventKind::NodeRestartDue { node }
             | TraceEventKind::ClientRequest { node, .. } => Some(node),
             _ => None,
@@ -268,6 +277,7 @@ impl TraceEventKind {
             TraceEventKind::ClientResponse { client, bytes } => (21, client, 0, bytes),
             TraceEventKind::Observation { node: None } => (22, 0, 0, 0),
             TraceEventKind::Observation { node: Some(node) } => (23, 0, 0, node),
+            TraceEventKind::NodeDowngrade { node } => (24, 0, 0, node),
         }
     }
 
@@ -342,6 +352,7 @@ impl TraceEventKind {
                 bytes: c,
             },
             22 => TraceEventKind::Observation { node: None },
+            24 => TraceEventKind::NodeDowngrade { node: c },
             _ => TraceEventKind::Observation { node: Some(c) },
         }
     }
@@ -384,7 +395,7 @@ fn structural_token(packed: &PackedEvent) -> u64 {
         // NodeStart carries a generation counter in a — excluded.
         7 => (packed.c as u64, 0),
         // Node lifecycle and fault crash/restart: the node alone.
-        8..=12 | 16 | 17 => (packed.c as u64, 0),
+        8..=12 | 16 | 17 | 24 => (packed.c as u64, 0),
         // Storage flush/crash: the host; at-risk byte count is not identity.
         18 | 19 => (packed.a, 0),
         // Client request names both the client and the target node.
@@ -433,6 +444,7 @@ impl fmt::Display for TraceEventKind {
             TraceEventKind::NodeKill { node } => write!(f, "node-kill node-{node}"),
             TraceEventKind::NodeCrash { node } => write!(f, "node-crash node-{node}"),
             TraceEventKind::NodeUpgrade { node } => write!(f, "install node-{node}"),
+            TraceEventKind::NodeDowngrade { node } => write!(f, "downgrade node-{node}"),
             TraceEventKind::NodeRestartDue { node } => write!(f, "restart-due node-{node}"),
             TraceEventKind::FaultAction { kind } => write!(f, "fault {kind}"),
             TraceEventKind::StorageFlush { host } => {

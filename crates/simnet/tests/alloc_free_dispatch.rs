@@ -682,4 +682,60 @@ fn steady_state_dispatch_allocates_nothing() {
         fork_seeds.len() as u32,
         "replayed trajectories must fold to their retained digests"
     );
+
+    // ---- phase 8: rollout-plan compile + nudge + validate ----------------
+    //
+    // Every case the campaign driver runs starts by compiling its scenario
+    // into a pooled `RolloutPlan`, optionally nudging it (the search's
+    // fourth mutation operator), and validating the schedule. On the warm
+    // path — path/step buffers sized by the largest plan ever compiled —
+    // that whole step must not touch the allocator. (`render` is the repro
+    // path and allocates its string; it stays out of the measured loop.)
+    use dup_tester::{PlanNudge, RolloutPlan, Scenario, VersionId};
+
+    let catalog: Vec<VersionId> = ["1.0.0", "2.0.0", "3.0.0"]
+        .iter()
+        .map(|s| s.parse().expect("version"))
+        .collect();
+    let (from, to) = (catalog[0], catalog[2]);
+    let cluster = 3;
+    let mut plan = RolloutPlan::new();
+    // Warm-up: compile every scenario once so the pooled buffers reach the
+    // widest plan's capacity, and exercise the nudge + validate path.
+    for scenario in Scenario::extended() {
+        for seed in 0..4u64 {
+            plan.compile(scenario, from, to, &catalog, cluster, seed);
+            plan.nudge(&PlanNudge {
+                settle_shift_ms: 500,
+                step_swap_salt: seed | 1,
+                ..PlanNudge::default()
+            });
+            plan.validate(cluster).expect("nudged plan stays valid");
+        }
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut steps_compiled = 0usize;
+    for round in 0..8u64 {
+        for scenario in Scenario::extended() {
+            plan.compile(scenario, from, to, &catalog, cluster, round);
+            plan.nudge(&PlanNudge {
+                settle_shift_ms: -250,
+                step_swap_salt: round | 1,
+                ..PlanNudge::default()
+            });
+            plan.validate(cluster).expect("nudged plan stays valid");
+            steps_compiled += plan.steps().len();
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state plan compile + nudge + validate allocated {} times \
+         over {} steps",
+        after - before,
+        steps_compiled
+    );
+    assert!(steps_compiled > 0, "plans must compile non-empty schedules");
 }

@@ -94,11 +94,13 @@ for expected in (
     "campaign_scaling/threads_4",
     "campaign_snapshot/off",
     "campaign_snapshot/on",
+    "rollout_plans/paper",
+    "rollout_plans/extended",
 ):
     if expected not in results:
         print(f"bench_smoke: warning: {expected} missing from results", file=sys.stderr)
 for name, stats in results.items():
-    if name.split("/")[0] in ("campaign_kvstore", "campaign_scaling", "campaign_snapshot"):
+    if name.split("/")[0] in ("campaign_kvstore", "campaign_scaling", "campaign_snapshot", "rollout_plans"):
         if stats.get("iters", 0) < 2:
             sys.exit(f"bench_smoke: {name} ran {stats.get('iters')} iteration(s); need >=2")
         if "min_ns" not in stats:

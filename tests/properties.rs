@@ -5,7 +5,8 @@ use ds_upgrade::idl::{lower, parse_proto};
 use ds_upgrade::simnet::{FaultKind, HostStorage, SimRng, SimTime};
 use ds_upgrade::tester::{
     apply_nudge, fault_plan_for, mutate, Corpus, CorpusEntry, Durability, FaultIntensity,
-    MutationOp, PlanNudge, SearchInput, MAX_NUDGE_SHIFT_MS, PLAN_WINDOW_MS,
+    MutationOp, PlanNudge, RolloutPlan, Scenario, SearchInput, MAX_NUDGE_SHIFT_MS,
+    MAX_SETTLE_SHIFT_MS, PLAN_WINDOW_MS,
 };
 use ds_upgrade::wire::{proto, Frame, MessageValue, Value};
 use proptest::prelude::*;
@@ -322,8 +323,12 @@ proptest! {
             let bound = MAX_NUDGE_SHIFT_MS as i64;
             prop_assert!(a.nudge.action_shift_ms.abs() <= bound);
             prop_assert!(a.nudge.crash_shift_ms.abs() <= bound);
+            prop_assert!(a.nudge.settle_shift_ms.abs() <= MAX_SETTLE_SHIFT_MS as i64);
             if op == MutationOp::SwapReorderFates {
                 prop_assert_ne!(a.nudge.fate_salt, 0, "fate swap must re-roll");
+            }
+            if op == MutationOp::NudgeRolloutPlan {
+                prop_assert_ne!(a.nudge.step_swap_salt, 0, "plan nudge must swap");
             }
         }
     }
@@ -342,7 +347,12 @@ proptest! {
         let base = SimTime::from_millis(base_ms);
         let plan = fault_plan_for(FaultIntensity::Heavy, Durability::Buffered, seed, 4, base)
             .expect("heavy+buffered always yields a plan");
-        let nudge = PlanNudge { action_shift_ms, crash_shift_ms, fate_salt };
+        let nudge = PlanNudge {
+            action_shift_ms,
+            crash_shift_ms,
+            fate_salt,
+            ..PlanNudge::default()
+        };
         let nudged = apply_nudge(&plan, &nudge, base);
 
         let lo = base.as_millis();
@@ -364,6 +374,73 @@ proptest! {
                     prop_assert!(after[i].at <= after[j].at, "uniform shift must preserve order");
                 }
             }
+        }
+    }
+
+    /// Every (scenario, cluster size, version pair, seed) in range compiles
+    /// to a rollout plan that passes validation and round-trips through its
+    /// rendered `plan=` form.
+    #[test]
+    fn compiled_rollout_plans_are_valid_and_round_trip(
+        seed in any::<u64>(),
+        n in 1u32..6,
+        a in arb_version(),
+        b in arb_version(),
+        mid in arb_version(),
+    ) {
+        let (from, to) = if a < b {
+            (a, b)
+        } else if b < a {
+            (b, a)
+        } else {
+            // Equal draws: synthesize a strictly newer `to`.
+            (a, VersionId::new(a.major + 1, 0, 0))
+        };
+        let mut catalog = vec![from, mid, to];
+        catalog.sort();
+        catalog.dedup();
+        let mut plan = RolloutPlan::new();
+        for scenario in Scenario::extended() {
+            plan.compile(scenario, from, to, &catalog, n, seed);
+            prop_assert!(
+                plan.validate(n).is_ok(),
+                "{}: {:?} for plan {}", scenario, plan.validate(n), plan.render()
+            );
+            let parsed = RolloutPlan::parse(&plan.render()).expect("rendered plans parse");
+            prop_assert_eq!(&parsed, &plan, "{} round trip", scenario);
+        }
+    }
+
+    /// `NudgeRolloutPlan`'s effect ([`RolloutPlan::nudge`]) is pure and
+    /// validity-preserving for arbitrary — even wildly out-of-range —
+    /// nudges, on every scenario's compiled plan.
+    #[test]
+    fn plan_nudges_preserve_validity(
+        seed in any::<u64>(),
+        n in 1u32..6,
+        settle_shift_ms in -200_000i64..200_000,
+        step_swap_salt in any::<u64>(),
+    ) {
+        let from: VersionId = "1.0.0".parse().unwrap();
+        let mid: VersionId = "2.0.0".parse().unwrap();
+        let to: VersionId = "3.0.0".parse().unwrap();
+        let catalog = [from, mid, to];
+        let nudge = PlanNudge {
+            settle_shift_ms,
+            step_swap_salt,
+            ..PlanNudge::default()
+        };
+        for scenario in Scenario::extended() {
+            let mut plan = RolloutPlan::new();
+            plan.compile(scenario, from, to, &catalog, n, seed);
+            let mut twin = plan.clone();
+            plan.nudge(&nudge);
+            twin.nudge(&nudge);
+            prop_assert_eq!(&plan, &twin, "{}: nudge must be pure", scenario);
+            prop_assert!(
+                plan.validate(n).is_ok(),
+                "{}: nudged plan invalid: {:?}", scenario, plan.validate(n)
+            );
         }
     }
 
