@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dup_core::VersionId;
 use dup_simnet::{Ctx, Endpoint, Process, Sim, SimDuration, SimSnapshot, StepResult};
-use dup_tester::{Campaign, Scenario, TestCase, WorkloadSource};
+use dup_tester::{Campaign, OpenLoopSpec, Scenario, TestCase, WorkloadSpec};
 
 struct Pinger {
     peer: u32,
@@ -253,7 +253,7 @@ fn bench_simnet(c: &mut Criterion) {
             from: "2.1.0".parse::<VersionId>().expect("parses"),
             to: "3.0.0".parse().expect("parses"),
             scenario: Scenario::FullStop,
-            workload: WorkloadSource::Stress,
+            workload: WorkloadSpec::Stress,
             seed: 1,
             faults: Default::default(),
             durability: Default::default(),
@@ -265,7 +265,7 @@ fn bench_simnet(c: &mut Criterion) {
             from: "2.0.0".parse::<VersionId>().expect("parses"),
             to: "2.6.0".parse().expect("parses"),
             scenario: Scenario::Rolling,
-            workload: WorkloadSource::Stress,
+            workload: WorkloadSpec::Stress,
             seed: 1,
             faults: Default::default(),
             durability: Default::default(),
@@ -282,7 +282,7 @@ fn bench_simnet(c: &mut Criterion) {
             from: "2.1.0".parse::<VersionId>().expect("parses"),
             to: "3.0.0".parse().expect("parses"),
             scenario: Scenario::Rolling,
-            workload: WorkloadSource::Stress,
+            workload: WorkloadSpec::Stress,
             seed: 1,
             faults: dup_tester::FaultIntensity::Heavy,
             durability: dup_tester::Durability::Torn,
@@ -290,6 +290,36 @@ fn bench_simnet(c: &mut Criterion) {
         b.iter(|| case.run(&dup_kvstore::KvStoreSystem))
     });
 
+    group.finish();
+
+    // Open-loop traffic at two client scales: the same seeded arrival
+    // schedule (500 req/s over the case's traffic window, bursts included)
+    // driving 10^3 vs 10^6 logical clients. Logical clients are arithmetic
+    // — `client = mix(index ^ churn_salt) % clients` — so the two benches
+    // must price identically; CI warns when `1m_clients` drifts past
+    // ~1.25x `1k_clients`, which would mean client count leaked into
+    // per-arrival work. (Memory independence is asserted separately by the
+    // counting-allocator test in `crates/simnet/tests/alloc_free_dispatch.rs`.)
+    let mut group = c.benchmark_group("open_loop_traffic");
+    group.sample_size(10);
+    for (label, clients) in [("1k_clients", 1_000u64), ("1m_clients", 1_000_000)] {
+        group.bench_function(label, |b| {
+            let case = TestCase {
+                from: "2.1.0".parse::<VersionId>().expect("parses"),
+                to: "3.0.0".parse().expect("parses"),
+                scenario: Scenario::Rolling,
+                workload: WorkloadSpec::OpenLoop(OpenLoopSpec {
+                    clients,
+                    rate_per_sec: 500,
+                    ..OpenLoopSpec::small()
+                }),
+                seed: 1,
+                faults: Default::default(),
+                durability: Default::default(),
+            };
+            b.iter(|| case.run(&dup_kvstore::KvStoreSystem))
+        });
+    }
     group.finish();
 }
 

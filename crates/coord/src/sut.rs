@@ -38,33 +38,49 @@ impl SystemUnderTest for CoordSystem {
         Box::new(CoordNode::new(version, setup.clone()))
     }
 
-    fn stress_workload(
+    fn stress_ops(
         &self,
         _seed: u64,
         phase: WorkloadPhase,
         _client_version: VersionId,
-    ) -> Vec<ClientOp> {
-        let mut ops = Vec::new();
+        emit: &mut dyn FnMut(ClientOp),
+    ) {
         match phase {
             WorkloadPhase::BeforeUpgrade => {
                 for i in 0..5 {
-                    ops.push(ClientOp::new(i % 3, format!("SET key{i} val{i}")));
+                    emit(ClientOp::new(i % 3, format!("SET key{i} val{i}")));
                 }
             }
             WorkloadPhase::DuringUpgrade => {
                 for i in 0..6 {
-                    ops.push(ClientOp::new(i % 3, "STAT".to_string()));
+                    emit(ClientOp::new(i % 3, "STAT".to_string()));
                 }
             }
             WorkloadPhase::AfterUpgrade => {
                 for node in 0..3 {
-                    ops.push(ClientOp::new(node, "HEALTH"));
-                    ops.push(ClientOp::new(node, format!("GET key{node}")));
+                    emit(ClientOp::new(node, "HEALTH"));
+                    emit(ClientOp::new(node, format!("GET key{node}")));
                 }
-                ops.push(ClientOp::new(0, "SET post done"));
+                emit(ClientOp::new(0, "SET post done"));
             }
         }
-        ops
+    }
+
+    fn open_loop_op(
+        &self,
+        key: u64,
+        client: u64,
+        read: bool,
+        _client_version: VersionId,
+    ) -> ClientOp {
+        // Znode traffic routed by key; reads of absent znodes return the
+        // benign "ERR not found".
+        let node = (key % 3) as u32;
+        if read {
+            ClientOp::new(node, format!("GET olk{key}"))
+        } else {
+            ClientOp::new(node, format!("SET olk{key} c{client}"))
+        }
     }
 
     fn unit_tests(&self) -> Vec<UnitTest> {
@@ -94,12 +110,24 @@ mod tests {
         assert_eq!(CoordSystem::release_history().len(), 3);
     }
 
+    // Test-only compat shim over the streaming op API.
+    fn stress_workload(
+        s: &dyn SystemUnderTest,
+        seed: u64,
+        phase: WorkloadPhase,
+        v: VersionId,
+    ) -> Vec<ClientOp> {
+        let mut ops = Vec::new();
+        s.stress_ops(seed, phase, v, &mut |op| ops.push(op));
+        ops
+    }
+
     #[test]
     fn workload_reads_back_what_it_wrote() {
         let s = CoordSystem;
         let v = VersionId::new(3, 4, 0);
-        let before = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, v);
-        let after = s.stress_workload(1, WorkloadPhase::AfterUpgrade, v);
+        let before = stress_workload(&s, 1, WorkloadPhase::BeforeUpgrade, v);
+        let after = stress_workload(&s, 1, WorkloadPhase::AfterUpgrade, v);
         // key0..key2 are written to nodes 0..2 and read back from the same.
         for n in 0..3u32 {
             assert!(before

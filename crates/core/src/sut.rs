@@ -216,16 +216,37 @@ pub trait SystemUnderTest: Sync {
     /// Builds the node process for `version`.
     fn spawn(&self, version: VersionId, setup: &NodeSetup) -> Box<dyn Process>;
 
-    /// The stress-test workload for the given phase, seeded deterministically.
+    /// Streams the stress-test workload for the given phase, seeded
+    /// deterministically, into `emit` — one op at a time, so callers drive
+    /// traffic from pooled buffers (or none at all) instead of receiving a
+    /// freshly allocated `Vec` per phase.
     ///
     /// `client_version` is the version of the *client library* issuing the
     /// ops (usually the old version during upgrades — the Kafka-7403 shape).
-    fn stress_workload(
+    fn stress_ops(
         &self,
         seed: u64,
         phase: WorkloadPhase,
         client_version: VersionId,
-    ) -> Vec<ClientOp>;
+        emit: &mut dyn FnMut(ClientOp),
+    );
+
+    /// Renders one open-loop arrival as a client command: `key` is the
+    /// Zipf-drawn key, `client` the logical client id, and `read` the op
+    /// kind. The default routes a health probe by key so systems without an
+    /// override still accept open-loop traffic.
+    fn open_loop_op(
+        &self,
+        key: u64,
+        _client: u64,
+        _read: bool,
+        _client_version: VersionId,
+    ) -> ClientOp {
+        ClientOp::new(
+            (key % u64::from(self.cluster_size().max(1))) as u32,
+            "HEALTH",
+        )
+    }
 
     /// Unit-test corpus (may be empty).
     fn unit_tests(&self) -> Vec<UnitTest> {

@@ -44,43 +44,58 @@ impl SystemUnderTest for DfsSystem {
         }
     }
 
-    fn stress_workload(
+    fn stress_ops(
         &self,
         _seed: u64,
         phase: WorkloadPhase,
         _client_version: VersionId,
-    ) -> Vec<ClientOp> {
-        let mut ops = Vec::new();
+        emit: &mut dyn FnMut(ClientOp),
+    ) {
         match phase {
             WorkloadPhase::BeforeUpgrade => {
                 for i in 0..8 {
-                    ops.push(ClientOp::new(0, format!("WRITE /data/f{i} payload{i}")));
+                    emit(ClientOp::new(0, format!("WRITE /data/f{i} payload{i}")));
                 }
                 // Deletes fill the DataNode trash — the HDFS-8676 trigger.
                 for i in 0..6 {
-                    ops.push(ClientOp::new(0, format!("WRITE /tmp/t{i} temp{i}")));
+                    emit(ClientOp::new(0, format!("WRITE /tmp/t{i} temp{i}")));
                 }
                 for i in 0..6 {
-                    ops.push(ClientOp::new(0, format!("DELETE /tmp/t{i}")));
+                    emit(ClientOp::new(0, format!("DELETE /tmp/t{i}")));
                 }
             }
             WorkloadPhase::DuringUpgrade => {
                 for i in 0..6 {
-                    ops.push(ClientOp::new(0, format!("WRITE /mid/m{i} mid{i}")));
-                    ops.push(ClientOp::new(0, format!("READ /data/f{}", i % 8)));
+                    emit(ClientOp::new(0, format!("WRITE /mid/m{i} mid{i}")));
+                    emit(ClientOp::new(0, format!("READ /data/f{}", i % 8)));
                 }
             }
             WorkloadPhase::AfterUpgrade => {
                 for i in 0..8 {
-                    ops.push(ClientOp::new(0, format!("READ /data/f{i}")));
+                    emit(ClientOp::new(0, format!("READ /data/f{i}")));
                 }
                 for i in 0..6 {
-                    ops.push(ClientOp::new(0, format!("CHECK /mid/m{i}")));
+                    emit(ClientOp::new(0, format!("CHECK /mid/m{i}")));
                 }
-                ops.push(ClientOp::new(0, "HEALTH"));
+                emit(ClientOp::new(0, "HEALTH"));
             }
         }
-        ops
+    }
+
+    fn open_loop_op(
+        &self,
+        key: u64,
+        client: u64,
+        read: bool,
+        _client_version: VersionId,
+    ) -> ClientOp {
+        // All client traffic goes through the NameNode; reads of paths never
+        // written return the benign "ERR not found".
+        if read {
+            ClientOp::new(0, format!("READ /ol/k{key}"))
+        } else {
+            ClientOp::new(0, format!("WRITE /ol/k{key} c{client}"))
+        }
     }
 
     fn unit_tests(&self) -> Vec<UnitTest> {
@@ -115,6 +130,18 @@ impl SystemUnderTest for DfsSystem {
 mod tests {
     use super::*;
 
+    // Test-only compat shim over the streaming op API.
+    fn stress_workload(
+        s: &dyn SystemUnderTest,
+        seed: u64,
+        phase: WorkloadPhase,
+        v: VersionId,
+    ) -> Vec<ClientOp> {
+        let mut ops = Vec::new();
+        s.stress_ops(seed, phase, v, &mut |op| ops.push(op));
+        ops
+    }
+
     #[test]
     fn history_is_sorted() {
         let vs = DfsSystem::release_history();
@@ -132,7 +159,7 @@ mod tests {
             WorkloadPhase::DuringUpgrade,
             WorkloadPhase::AfterUpgrade,
         ] {
-            for op in s.stress_workload(1, phase, VersionId::new(3, 3, 0)) {
+            for op in stress_workload(&s, 1, phase, VersionId::new(3, 3, 0)) {
                 assert_eq!(op.node, 0);
             }
         }
@@ -141,7 +168,7 @@ mod tests {
     #[test]
     fn before_phase_fills_the_trash() {
         let s = DfsSystem;
-        let before = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, VersionId::new(2, 6, 0));
+        let before = stress_workload(&s, 1, WorkloadPhase::BeforeUpgrade, VersionId::new(2, 6, 0));
         assert!(
             before
                 .iter()

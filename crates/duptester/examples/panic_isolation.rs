@@ -46,16 +46,17 @@ impl SystemUnderTest for PanickySut {
     fn spawn(&self, _version: VersionId, _setup: &NodeSetup) -> Box<dyn Process> {
         Box::new(Echo)
     }
-    fn stress_workload(
+    fn stress_ops(
         &self,
         seed: u64,
         phase: WorkloadPhase,
         _client_version: VersionId,
-    ) -> Vec<ClientOp> {
+        emit: &mut dyn FnMut(ClientOp),
+    ) {
         if seed == 2 && phase == WorkloadPhase::DuringUpgrade {
             panic!("deliberate example panic for seed 2");
         }
-        vec![ClientOp::new(0, "HEALTH")]
+        emit(ClientOp::new(0, "HEALTH"));
     }
 }
 

@@ -4,11 +4,14 @@
 //!
 //! For every non-timing-dependent catalog bug the artifact records
 //! cases-to-first-detection for the guided search vs the blind seed sweep
-//! (same bootstrap seed, same per-group budget). For the timing-dependent
-//! bugs — where a single run is a coin flip by design — it records the
-//! detection *rate* at a fixed budget across several repetitions with
-//! varying bootstrap seeds, under light fault injection so the mutation
-//! operators have a plan to perturb.
+//! (same bootstrap seed, same per-group budget) — once over the paper
+//! matrix, and once more (schema v3's `workload_axis` rows) with the
+//! open-loop workload axis enabled, where guided groups draw from the
+//! widened operator set (bursts, hot keys, arrival churn). For the
+//! timing-dependent bugs — where a single run is a coin flip by design —
+//! it records the detection *rate* at a fixed budget across several
+//! repetitions with varying bootstrap seeds, under light fault injection
+//! so the mutation operators have a plan to perturb.
 //!
 //! Deterministic: fixed seeds and repetition counts, no timestamps — rerun
 //! it and the file is byte-identical. Run from the repo root (or via
@@ -19,7 +22,10 @@
 //! ```
 
 use dup_core::{SystemUnderTest, VersionId};
-use dup_tester::{catalog, Campaign, FaultIntensity, Scenario, SearchConfig, SearchReport};
+use dup_tester::{
+    catalog, Campaign, FaultIntensity, OpenLoopSpec, Scenario, SearchConfig, SearchReport,
+    WorkloadSpec,
+};
 use std::fmt::Write as _;
 
 /// Per-group budget for the non-timing cases-to-detection table.
@@ -115,6 +121,58 @@ fn main() {
             let _ = writeln!(
                 rows,
                 "    {{\"ticket\": {:?}, \"system\": {:?}, \"from\": {:?}, \"to\": {:?}, \"timing_dependent\": false, \"guided_cases_to_detect\": {}, \"blind_cases_to_detect\": {}}},",
+                bug.ticket,
+                bug.system,
+                bug.from,
+                bug.to,
+                g.map_or("null".to_string(), |n| n.to_string()),
+                b.map_or("null".to_string(), |n| n.to_string()),
+            );
+        }
+    }
+
+    // ---- workload-axis pass: open-loop groups, widened operator set -----
+    // The same recall comparison with the open-loop workload axis enabled:
+    // every matrix slot gains an open-loop group whose guided search draws
+    // from the full operator set — `ShiftBursts`, `ReRankHotKeys`, and
+    // `MoveArrivalChurn` included — so this prices the widened search
+    // space, not just the legacy fault/rollout operators.
+    for name in systems {
+        let sut = system(name);
+        let run = |blind: bool| {
+            Campaign::builder(sut)
+                .scenarios(recall_scenarios)
+                .faults([FaultIntensity::Off])
+                .workloads([OpenLoopSpec::small()])
+                .search(SearchConfig {
+                    budget_per_group: BUDGET,
+                    initial_seeds: vec![1],
+                    search_seed: 0x5EAC_C0DE,
+                    blind,
+                    ..SearchConfig::default()
+                })
+                .build()
+                .run_search()
+        };
+        let guided = run(false);
+        let blind = run(true);
+        guided_total += guided.total_cases();
+        blind_total += blind.total_cases();
+        eprintln!(
+            "[search-efficiency] {name} (open-loop axis): guided {} cases, blind {} cases",
+            guided.total_cases(),
+            blind.total_cases()
+        );
+        for bug in catalog::seeded_bugs() {
+            if bug.system != name || bug.timing_dependent || bug.scenario.is_some() {
+                continue;
+            }
+            let (from, to): (VersionId, VersionId) = (bug.from_version(), bug.to_version());
+            let g = guided.cases_to_detect(from, to, bug.marker);
+            let b = blind.cases_to_detect(from, to, bug.marker);
+            let _ = writeln!(
+                rows,
+                "    {{\"ticket\": {:?}, \"system\": {:?}, \"from\": {:?}, \"to\": {:?}, \"timing_dependent\": false, \"workload_axis\": true, \"guided_cases_to_detect\": {}, \"blind_cases_to_detect\": {}}},",
                 bug.ticket,
                 bug.system,
                 bug.from,
@@ -234,7 +292,8 @@ fn main() {
     let rows = rows.trim_end().trim_end_matches(',');
 
     let json = format!(
-        "{{\n  \"schema\": \"search-efficiency/v2\",\n  \"config\": {{\"budget_per_group\": {BUDGET}, \"initial_seeds\": [1], \"scenarios\": [\"full-stop\", \"rolling\"], \"rollout_scenarios\": \"per-bug (scenario-gated catalog entries)\", \"faults\": \"off\", \"timing_reps\": {REPS}, \"timing_budget_per_group\": {RATE_BUDGET}, \"timing_faults\": \"light\"}},\n  \"bugs\": [\n{rows}\n  ],\n  \"totals\": {{\"guided_cases\": {guided_total}, \"blind_cases\": {blind_total}}}\n}}\n"
+        "{{\n  \"schema\": \"search-efficiency/v3\",\n  \"config\": {{\"budget_per_group\": {BUDGET}, \"initial_seeds\": [1], \"scenarios\": [\"full-stop\", \"rolling\"], \"rollout_scenarios\": \"per-bug (scenario-gated catalog entries)\", \"workload_axis\": \"{open_spec}\", \"faults\": \"off\", \"timing_reps\": {REPS}, \"timing_budget_per_group\": {RATE_BUDGET}, \"timing_faults\": \"light\"}},\n  \"bugs\": [\n{rows}\n  ],\n  \"totals\": {{\"guided_cases\": {guided_total}, \"blind_cases\": {blind_total}}}\n}}\n",
+        open_spec = WorkloadSpec::OpenLoop(OpenLoopSpec::small()),
     );
 
     let out = std::env::var("SEARCH_EFFICIENCY_OUT")

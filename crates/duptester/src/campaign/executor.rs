@@ -62,6 +62,10 @@ pub struct CampaignConfig {
     /// intensity) combination. Defaults to `[Durability::Strict]` — the
     /// pre-durability-axis matrix exactly.
     pub(crate) durabilities: Vec<Durability>,
+    /// Open-loop workload specs appended to the workload axis (after the
+    /// stress and unit-test entries). Defaults to empty — the
+    /// pre-open-loop-axis matrix exactly.
+    pub(crate) workloads: Vec<crate::workload::OpenLoopSpec>,
     /// Worker threads; `0` means one per available CPU.
     pub(crate) threads: usize,
     /// Dedup-aware seed pruning: once a failure signature has reproduced
@@ -106,6 +110,12 @@ impl CampaignConfig {
         &self.durabilities
     }
 
+    /// The open-loop workload axis (empty unless
+    /// [`CampaignBuilder::workloads`] added specs).
+    pub fn workloads(&self) -> &[crate::workload::OpenLoopSpec] {
+        &self.workloads
+    }
+
     /// The worker thread count (`0` means one per available CPU).
     pub fn threads(&self) -> usize {
         self.threads
@@ -136,6 +146,7 @@ impl Default for CampaignConfig {
             use_unit_tests: true,
             fault_intensities: vec![FaultIntensity::Off],
             durabilities: vec![Durability::Strict],
+            workloads: Vec::new(),
             threads: 0,
             prune_after: None,
             trace: None,
@@ -288,6 +299,18 @@ impl<'a> CampaignBuilder<'a> {
     /// unflushed tail on every crash.
     pub fn durabilities(mut self, modes: impl IntoIterator<Item = Durability>) -> Self {
         self.config.durabilities = modes.into_iter().collect();
+        self
+    }
+
+    /// Appends open-loop workload specs to the workload axis: every matrix
+    /// combination is additionally swept under each spec's seeded arrival
+    /// plan ([`WorkloadSpec::OpenLoop`](crate::WorkloadSpec::OpenLoop)),
+    /// alongside the stress and unit-test workloads.
+    pub fn workloads(
+        mut self,
+        specs: impl IntoIterator<Item = crate::workload::OpenLoopSpec>,
+    ) -> Self {
+        self.config.workloads = specs.into_iter().collect();
         self
     }
 
@@ -789,7 +812,6 @@ fn aggregate(
 mod tests {
     use super::*;
     use crate::oracle::Observation;
-    use crate::scenario::WorkloadSource;
 
     fn crash(reason: &str) -> Observation {
         Observation::NodeCrash {
@@ -804,7 +826,7 @@ mod tests {
             from: "1.0.0".parse().unwrap(),
             to: "2.0.0".parse().unwrap(),
             scenario: Scenario::FullStop,
-            workload: WorkloadSource::Stress,
+            workload: crate::workload::WorkloadSpec::Stress,
             seed,
             faults: FaultIntensity::Off,
             durability: Durability::Strict,
@@ -827,6 +849,7 @@ mod tests {
         assert!(c.use_unit_tests);
         assert_eq!(c.fault_intensities, vec![FaultIntensity::Off]);
         assert_eq!(c.durabilities, vec![Durability::Strict]);
+        assert!(c.workloads.is_empty(), "open-loop axis is opt-in");
         assert_eq!(c.threads, 0);
         assert!(c.prune_after.is_none());
         assert!(c.trace.is_none());

@@ -16,7 +16,8 @@
 use crate::campaign::CampaignConfig;
 use crate::faults::FaultIntensity;
 use crate::harness::TestCase;
-use crate::scenario::{Scenario, WorkloadSource};
+use crate::scenario::Scenario;
+use crate::workload::WorkloadSpec;
 use dup_core::{upgrade_pairs, SystemUnderTest, VersionId};
 use dup_simnet::Durability;
 use std::sync::Arc;
@@ -56,7 +57,7 @@ impl SeedGroup {
 struct MatrixShape {
     pairs: Vec<(VersionId, VersionId)>,
     scenarios: Vec<Scenario>,
-    workloads: Vec<WorkloadSource>,
+    workloads: Vec<WorkloadSpec>,
     faults: Vec<FaultIntensity>,
     durabilities: Vec<Durability>,
     seeds: Vec<u64>,
@@ -126,13 +127,16 @@ impl CaseMatrix {
         let versions = sut.versions();
         let pairs = upgrade_pairs(&versions, config.include_gap_two);
 
-        let mut workloads: Vec<WorkloadSource> = vec![WorkloadSource::Stress];
+        let mut workloads: Vec<WorkloadSpec> = vec![WorkloadSpec::Stress];
         if config.use_unit_tests {
             for test in sut.unit_tests() {
                 let name: Arc<str> = Arc::from(test.name.as_str());
-                workloads.push(WorkloadSource::TranslatedUnit(Arc::clone(&name)));
-                workloads.push(WorkloadSource::UnitStateHandoff(name));
+                workloads.push(WorkloadSpec::TranslatedUnit(Arc::clone(&name)));
+                workloads.push(WorkloadSpec::UnitStateHandoff(name));
             }
+        }
+        for spec in &config.workloads {
+            workloads.push(WorkloadSpec::OpenLoop(*spec));
         }
 
         let shape = MatrixShape {
@@ -258,7 +262,7 @@ mod tests {
             from: v(from),
             to: v(to),
             scenario,
-            workload: WorkloadSource::Stress,
+            workload: WorkloadSpec::Stress,
             seed,
             faults: crate::faults::FaultIntensity::Off,
             durability: dup_simnet::Durability::Strict,
@@ -300,16 +304,20 @@ mod tests {
             .seeds([1, 2, 3])
             .faults(crate::faults::FaultIntensity::ALL)
             .durabilities([Durability::Strict, Durability::Torn])
+            .workloads([crate::workload::OpenLoopSpec::small()])
             .into_config();
         let lazy = CaseMatrix::enumerate(sut, &config);
 
         let versions = sut.versions();
         let pairs = upgrade_pairs(&versions, config.include_gap_two);
-        let mut workloads: Vec<WorkloadSource> = vec![WorkloadSource::Stress];
+        let mut workloads: Vec<WorkloadSpec> = vec![WorkloadSpec::Stress];
         for test in sut.unit_tests() {
-            workloads.push(WorkloadSource::TranslatedUnit(test.name.as_str().into()));
-            workloads.push(WorkloadSource::UnitStateHandoff(test.name.as_str().into()));
+            workloads.push(WorkloadSpec::TranslatedUnit(test.name.as_str().into()));
+            workloads.push(WorkloadSpec::UnitStateHandoff(test.name.as_str().into()));
         }
+        workloads.push(WorkloadSpec::OpenLoop(
+            crate::workload::OpenLoopSpec::small(),
+        ));
         let mut eager: Vec<TestCase> = Vec::new();
         for (from, to) in pairs {
             for &scenario in &config.scenarios {
@@ -393,8 +401,8 @@ mod tests {
         // Seeds 1 and 2 of each run fold into one group already; force
         // distinct groups per seed by alternating workloads instead.
         let mut cases = cases;
-        cases[1].workload = WorkloadSource::TranslatedUnit("t".into());
-        cases[4].workload = WorkloadSource::TranslatedUnit("t".into());
+        cases[1].workload = WorkloadSpec::TranslatedUnit("t".into());
+        cases[4].workload = WorkloadSpec::TranslatedUnit("t".into());
         let m = CaseMatrix::from_cases(cases);
         assert_eq!(m.groups().len(), 5);
         let batches = m.batches();

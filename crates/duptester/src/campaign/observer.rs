@@ -188,14 +188,15 @@ impl CampaignObserver for MetricsObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{Scenario, WorkloadSource};
+    use crate::scenario::Scenario;
+    use crate::workload::WorkloadSpec;
 
     fn case() -> TestCase {
         TestCase {
             from: "1.0.0".parse().unwrap(),
             to: "2.0.0".parse().unwrap(),
             scenario: Scenario::Rolling,
-            workload: WorkloadSource::Stress,
+            workload: WorkloadSpec::Stress,
             seed: 7,
             faults: Default::default(),
             durability: Default::default(),

@@ -3,7 +3,8 @@
 
 use crate::faults::FaultIntensity;
 use crate::oracle::Observation;
-use crate::scenario::{Scenario, WorkloadSource};
+use crate::scenario::Scenario;
+use crate::workload::WorkloadSpec;
 use dup_core::VersionId;
 use dup_simnet::{Durability, TraceSlice};
 use std::collections::BTreeMap;
@@ -22,7 +23,7 @@ pub struct FailureReport {
     /// The scenario that first exposed it.
     pub scenario: Scenario,
     /// The workload that first exposed it.
-    pub workload: WorkloadSource,
+    pub workload: WorkloadSpec,
     /// Seed of the first exposing run.
     pub seed: u64,
     /// Fault intensity of the first exposing run. Together with the
@@ -507,7 +508,7 @@ mod tests {
             from: "1.0.0".parse().unwrap(),
             to: "2.0.0".parse().unwrap(),
             scenario: Scenario::Rolling,
-            workload: WorkloadSource::Stress,
+            workload: WorkloadSpec::Stress,
             seed: 7,
             faults: FaultIntensity::Heavy,
             durability: Durability::Torn,
@@ -531,7 +532,7 @@ mod tests {
             from: "1.0.0".parse().unwrap(),
             to: "2.0.0".parse().unwrap(),
             scenario: Scenario::RollbackAfterPartial,
-            workload: WorkloadSource::Stress,
+            workload: WorkloadSpec::Stress,
             seed: 7,
             faults: FaultIntensity::Off,
             durability: Durability::Strict,
@@ -557,7 +558,7 @@ mod tests {
             from: "1.0.0".parse().unwrap(),
             to: "2.0.0".parse().unwrap(),
             scenario: Scenario::Rolling,
-            workload: WorkloadSource::Stress,
+            workload: WorkloadSpec::Stress,
             seed: 7,
             faults: FaultIntensity::Heavy,
             durability: Durability::Torn,

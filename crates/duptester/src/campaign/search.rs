@@ -8,8 +8,10 @@
 //! which structural event pairs have been seen, and inputs that reached
 //! *new* coverage enter a [`Corpus`] whose entries are then perturbed by
 //! seeded [`MutationOp`]s — shifting fault times, re-rolling per-message
-//! fates, moving crash points across the upgrade window — rather than by
-//! drawing unrelated fresh seeds. Groups whose coverage stops growing stop
+//! fates, moving crash points across the upgrade window, and (for
+//! open-loop workload groups) sliding traffic bursts, re-ranking hot keys,
+//! and moving arrival churn — rather than by drawing unrelated fresh
+//! seeds. Groups whose coverage stops growing stop
 //! early, so a guided run spends its budget where the schedule space is
 //! still yielding.
 //!
@@ -79,15 +81,42 @@ pub enum MutationOp {
     /// [`RolloutPlan::validate`](crate::RolloutPlan::validate)'s
     /// constraints.
     NudgeRolloutPlan,
+    /// Slide the open-loop workload's burst segments across the traffic
+    /// window ([`WorkloadPlan::nudge`](crate::WorkloadPlan::nudge) clamps
+    /// the shift to a quarter burst slot), so load spikes land on different
+    /// rollout steps.
+    ShiftBursts,
+    /// Re-roll the Zipf rank→key permutation salt: a different key set
+    /// becomes hot while the arrival schedule stays fixed.
+    ReRankHotKeys,
+    /// Re-roll the arrival→client churn salt: the same arrivals issue from
+    /// a different assignment of logical clients.
+    MoveArrivalChurn,
 }
 
 impl MutationOp {
-    /// All operators, in the order the mutation RNG indexes them.
-    pub const ALL: [MutationOp; 4] = [
+    /// The fault/rollout-plan operators — everything a non-open-loop group
+    /// can usefully mutate. Kept as its own slice (in the original order)
+    /// so groups without an open-loop workload draw exactly the schedules
+    /// they always have.
+    pub const CORE: [MutationOp; 4] = [
         MutationOp::ShiftFaultTimes,
         MutationOp::SwapReorderFates,
         MutationOp::MoveCrashPoints,
         MutationOp::NudgeRolloutPlan,
+    ];
+
+    /// All operators, in the order the mutation RNG indexes them. The
+    /// search draws from this slice only for groups whose template carries
+    /// an open-loop workload; everyone else draws from [`CORE`](Self::CORE).
+    pub const ALL: [MutationOp; 7] = [
+        MutationOp::ShiftFaultTimes,
+        MutationOp::SwapReorderFates,
+        MutationOp::MoveCrashPoints,
+        MutationOp::NudgeRolloutPlan,
+        MutationOp::ShiftBursts,
+        MutationOp::ReRankHotKeys,
+        MutationOp::MoveArrivalChurn,
     ];
 }
 
@@ -117,6 +146,17 @@ pub fn mutate(input: &SearchInput, op: MutationOp, rng: &mut SimRng) -> SearchIn
                 - crate::MAX_SETTLE_SHIFT_MS as i64;
             // Force a non-zero salt so a swap is actually attempted.
             out.nudge.step_swap_salt = rng.next_u64() | 1;
+        }
+        MutationOp::ShiftBursts => {
+            out.nudge.burst_shift_ms =
+                rng.next_range(0, 2 * MAX_NUDGE_SHIFT_MS) as i64 - MAX_NUDGE_SHIFT_MS as i64;
+        }
+        MutationOp::ReRankHotKeys => {
+            // Force a non-zero salt so the permutation actually changes.
+            out.nudge.key_rank_salt = rng.next_u64() | 1;
+        }
+        MutationOp::MoveArrivalChurn => {
+            out.nudge.arrival_churn_salt = rng.next_u64() | 1;
         }
     }
     out
@@ -207,7 +247,7 @@ impl Corpus {
         for e in self.entries.values() {
             let _ = writeln!(
                 out,
-                "digest={:#018x} seed={} action_shift_ms={} crash_shift_ms={} fate_salt={:#x} settle_shift_ms={} step_swap_salt={:#x} new_bits={} bits_set={}",
+                "digest={:#018x} seed={} action_shift_ms={} crash_shift_ms={} fate_salt={:#x} settle_shift_ms={} step_swap_salt={:#x} burst_shift_ms={} key_rank_salt={:#x} arrival_churn_salt={:#x} new_bits={} bits_set={}",
                 e.digest,
                 e.input.seed,
                 e.input.nudge.action_shift_ms,
@@ -215,6 +255,9 @@ impl Corpus {
                 e.input.nudge.fate_salt,
                 e.input.nudge.settle_shift_ms,
                 e.input.nudge.step_swap_salt,
+                e.input.nudge.burst_shift_ms,
+                e.input.nudge.key_rank_salt,
+                e.input.nudge.arrival_churn_salt,
                 e.new_bits,
                 e.bits_set,
             );
@@ -369,7 +412,7 @@ impl SearchReport {
             for e in &g.corpus {
                 let _ = writeln!(
                     out,
-                    "  digest={:#018x} seed={} nudge=({},{},{:#x},{},{:#x}) new_bits={}",
+                    "  digest={:#018x} seed={} nudge=({},{},{:#x},{},{:#x},{},{:#x},{:#x}) new_bits={}",
                     e.digest,
                     e.input.seed,
                     e.input.nudge.action_shift_ms,
@@ -377,6 +420,9 @@ impl SearchReport {
                     e.input.nudge.fate_salt,
                     e.input.nudge.settle_shift_ms,
                     e.input.nudge.step_swap_salt,
+                    e.input.nudge.burst_shift_ms,
+                    e.input.nudge.key_rank_salt,
+                    e.input.nudge.arrival_churn_salt,
                     e.new_bits,
                 );
             }
@@ -492,10 +538,25 @@ pub(crate) fn run_search_group(
         // mutant would replay its parent byte-for-byte. Skip mutation
         // outright; the bootstrap already explored everything a nudge
         // could. Extended scenarios carry a mutable rollout plan even with
-        // faults off, so they always mutate.
+        // faults off, so they always mutate — and so do open-loop workload
+        // groups, whose compiled arrival plan the workload operators
+        // perturb even when every fault knob is off.
+        let open_loop = matches!(
+            template.workload,
+            crate::workload::WorkloadSpec::OpenLoop(_)
+        );
         let has_plan = template.faults != FaultIntensity::Off
             || template.durability != Durability::Strict
-            || template.scenario.is_extended();
+            || template.scenario.is_extended()
+            || open_loop;
+        // Open-loop groups draw from the full operator set; everyone else
+        // keeps the original four so pre-existing searches replay
+        // byte-for-byte.
+        let ops: &[MutationOp] = if open_loop {
+            &MutationOp::ALL
+        } else {
+            &MutationOp::CORE
+        };
         let mut round = 0usize;
         let mut dry = 0usize;
         while has_plan
@@ -520,7 +581,7 @@ pub(crate) fn run_search_group(
                         .split(round as u64)
                         .split(entry_idx as u64)
                         .split(mutant as u64);
-                    let op = *rng.pick(&MutationOp::ALL).expect("ALL is non-empty");
+                    let op = *rng.pick(ops).expect("operator set is non-empty");
                     let input = mutate(parent, op, &mut rng);
                     round_new += run_case(
                         runner,
@@ -794,6 +855,7 @@ mod tests {
                 assert!(m.nudge.action_shift_ms.unsigned_abs() <= MAX_NUDGE_SHIFT_MS);
                 assert!(m.nudge.crash_shift_ms.unsigned_abs() <= MAX_NUDGE_SHIFT_MS);
                 assert!(m.nudge.settle_shift_ms.unsigned_abs() <= crate::MAX_SETTLE_SHIFT_MS);
+                assert!(m.nudge.burst_shift_ms.unsigned_abs() <= MAX_NUDGE_SHIFT_MS);
             }
             let mut rng = SimRng::new(trial);
             let swapped = mutate(&input, MutationOp::SwapReorderFates, &mut rng);
@@ -802,7 +864,27 @@ mod tests {
             let nudged = mutate(&input, MutationOp::NudgeRolloutPlan, &mut rng);
             assert_ne!(nudged.nudge.step_swap_salt, 0, "plan nudge must swap");
             assert_eq!(nudged.nudge.fate_salt, 0, "plan nudge leaves fates");
+            let mut rng = SimRng::new(trial);
+            let ranked = mutate(&input, MutationOp::ReRankHotKeys, &mut rng);
+            assert_ne!(ranked.nudge.key_rank_salt, 0, "re-rank must re-roll");
+            assert_eq!(ranked.nudge.burst_shift_ms, 0, "re-rank leaves timing");
+            let mut rng = SimRng::new(trial);
+            let churned = mutate(&input, MutationOp::MoveArrivalChurn, &mut rng);
+            assert_ne!(churned.nudge.arrival_churn_salt, 0, "churn must re-roll");
+            assert_eq!(churned.nudge.key_rank_salt, 0, "churn leaves ranking");
         }
+    }
+
+    #[test]
+    fn core_operators_are_a_prefix_of_all() {
+        // Non-open-loop groups draw from CORE; the invariant that CORE is
+        // exactly the legacy operator set (and a prefix of ALL) is what
+        // keeps their mutation schedules stable across this API widening.
+        assert_eq!(
+            &MutationOp::ALL[..MutationOp::CORE.len()],
+            &MutationOp::CORE[..]
+        );
+        assert!(MutationOp::ALL.len() > MutationOp::CORE.len());
     }
 
     #[test]

@@ -197,17 +197,35 @@ pub struct PlanNudge {
     /// compiled rollout plan (`0` = no swap). Like `settle_shift_ms`,
     /// consumed by the rollout plan, not by [`apply_nudge`].
     pub step_swap_salt: u64,
+    /// Signed shift, in milliseconds, applied to every burst segment of the
+    /// case's compiled [`WorkloadPlan`](crate::WorkloadPlan), clamped to a
+    /// quarter burst slot so segments stay disjoint. Ignored by
+    /// [`apply_nudge`] — the workload plan consumes it via
+    /// [`WorkloadPlan::nudge`](crate::WorkloadPlan::nudge).
+    pub burst_shift_ms: i64,
+    /// XOR salt folded into the workload plan's rank→key permutation:
+    /// re-ranks *which* keys are hot without changing the Zipf profile.
+    /// Consumed by the workload plan, not by [`apply_nudge`].
+    pub key_rank_salt: u64,
+    /// XOR salt folded into the workload plan's index→client hash: moves
+    /// which logical clients issue which arrivals without changing arrival
+    /// timing or keys. Consumed by the workload plan, not by
+    /// [`apply_nudge`].
+    pub arrival_churn_salt: u64,
 }
 
 impl PlanNudge {
-    /// True when applying this nudge would return the fault plan *and* the
-    /// rollout plan unchanged.
+    /// True when applying this nudge would return the fault plan, the
+    /// rollout plan, *and* the workload plan unchanged.
     pub fn is_noop(&self) -> bool {
         self.action_shift_ms == 0
             && self.crash_shift_ms == 0
             && self.fate_salt == 0
             && self.settle_shift_ms == 0
             && self.step_swap_salt == 0
+            && self.burst_shift_ms == 0
+            && self.key_rank_salt == 0
+            && self.arrival_churn_salt == 0
     }
 }
 

@@ -25,8 +25,9 @@
 use crate::faults::{apply_nudge, fault_plan_for, FaultIntensity, PlanNudge};
 use crate::oracle::{self, Observation, OpResult};
 use crate::rollout::{RolloutPlan, RolloutStep};
-use crate::scenario::{Scenario, WorkloadSource};
+use crate::scenario::Scenario;
 use crate::translator::translate;
+use crate::workload::{WorkloadPlan, WorkloadSpec};
 use dup_core::{ClientOp, Config, NodeSetup, SystemUnderTest, UnitTest, VersionId, WorkloadPhase};
 use dup_simnet::{
     Durability, LogLevel, NodeId, Sim, SimDuration, SimSnapshot, SimTime, TraceBuffer, TraceConfig,
@@ -43,8 +44,8 @@ pub struct TestCase {
     pub to: VersionId,
     /// Upgrade scenario.
     pub scenario: Scenario,
-    /// Workload source.
-    pub workload: WorkloadSource,
+    /// Workload specification.
+    pub workload: WorkloadSpec,
     /// Simulation seed (only matters for the ~11% timing-dependent bugs).
     pub seed: u64,
     /// Injected-fault intensity; the concrete plan is a pure function of
@@ -106,8 +107,27 @@ pub struct CaseRunner<'a> {
     prefix: Option<PrefixCache>,
     /// Per-op oracle evidence, reused across cases.
     ops: Vec<OpResult>,
+    /// Pooled per-case working state, recompiled/refilled in place.
+    pools: CasePools,
+}
+
+/// The runner's pooled per-case working state: plans recompiled in place and
+/// phase buffers the streaming [`SystemUnderTest::stress_ops`] API emits
+/// into, so the warm path allocates no fresh `Vec` per phase.
+#[derive(Default)]
+struct CasePools {
     /// Pooled rollout plan, recompiled in place per case.
     plan: RolloutPlan,
+    /// Pooled open-loop workload plan, recompiled in place per case; its
+    /// arrival stream is consumed directly by the rollout plan's traffic
+    /// steps, so open-loop during-traffic is never materialized as a batch.
+    wplan: WorkloadPlan,
+    /// Pre-upgrade phase ops (cleared and refilled per prefix).
+    before_ops: Vec<ClientOp>,
+    /// During-upgrade phase ops (empty for open-loop cases, which stream).
+    during_ops: Vec<ClientOp>,
+    /// Post-upgrade phase ops.
+    after_ops: Vec<ClientOp>,
 }
 
 /// Everything the suffix needs from an executed prefix.
@@ -132,7 +152,7 @@ struct PrefixData {
 /// A cached prefix: its identity, its data, and whether `snapshot` holds a
 /// restorable capture of the simulator at the prefix's end.
 struct PrefixCache {
-    key: (VersionId, WorkloadSource),
+    key: (VersionId, WorkloadSpec),
     snapshot_valid: bool,
     data: PrefixData,
 }
@@ -166,7 +186,7 @@ impl<'a> CaseRunner<'a> {
             snapshot: SimSnapshot::new(),
             prefix: None,
             ops: Vec::new(),
-            plan: RolloutPlan::new(),
+            pools: CasePools::default(),
         }
     }
 
@@ -230,7 +250,7 @@ impl<'a> CaseRunner<'a> {
                         case,
                         &pre.data,
                         nudge,
-                        &mut self.plan,
+                        &mut self.pools,
                         &mut self.ops,
                     );
                     return finalize(&mut self.sim, outcome);
@@ -254,6 +274,7 @@ impl<'a> CaseRunner<'a> {
             case,
             pseed,
             &mut data,
+            &mut self.pools.before_ops,
             &mut self.ops,
         );
         if self.sim.budget_exhausted() {
@@ -289,7 +310,7 @@ impl<'a> CaseRunner<'a> {
             case,
             pre,
             nudge,
-            &mut self.plan,
+            &mut self.pools,
             &mut self.ops,
         );
         finalize(&mut self.sim, outcome)
@@ -300,7 +321,7 @@ impl<'a> CaseRunner<'a> {
 /// `(from, workload)`. Pure and stable, so every case sharing those two
 /// fields — across seeds, target versions, scenarios, fault intensities and
 /// durabilities — replays a byte-identical prefix.
-fn prefix_seed(from: VersionId, workload: &WorkloadSource) -> u64 {
+fn prefix_seed(from: VersionId, workload: &WorkloadSpec) -> u64 {
     fn eat(mut hash: u64, bytes: &[u8]) -> u64 {
         for &b in bytes {
             hash ^= u64::from(b);
@@ -415,6 +436,10 @@ const SETTLE: SimDuration = SimDuration::from_secs(2);
 /// heartbeat stalls, storms) to surface.
 const QUIESCE: SimDuration = SimDuration::from_secs(75);
 const OP_TIMEOUT: SimDuration = SimDuration::from_secs(3);
+/// The logical phase window an open-loop [`WorkloadPlan`] compiles over:
+/// it sizes the during-upgrade arrival schedule (rate × window arrivals,
+/// plus bursts), independent of how long the rollout steps actually take.
+const OPEN_LOOP_WINDOW_MS: u64 = 2_000;
 /// Watchdog: hard ceiling on simulator events per case. A healthy case
 /// (even heavy-fault stress on the chattiest system) stays well under one
 /// million events; a case that hits the ceiling is runaway — a livelock,
@@ -546,20 +571,26 @@ fn run_prefix(
     case: &TestCase,
     pseed: u64,
     data: &mut PrefixData,
+    before_ops: &mut Vec<ClientOp>,
     ops: &mut Vec<OpResult>,
 ) -> Result<(), String> {
     let n = sut.cluster_size();
     let mut config = sut.default_config();
 
-    // Workload-specific setup.
-    let before_ops: Vec<ClientOp> = match &case.workload {
-        WorkloadSource::Stress => {
+    // Workload-specific setup, streamed into the pooled `before_ops` buffer.
+    before_ops.clear();
+    match &case.workload {
+        // Open-loop cases share the stress prefix: the pre-upgrade stress
+        // batch creates the schemas/topics the open-loop traffic lands on.
+        WorkloadSpec::Stress | WorkloadSpec::OpenLoop(_) => {
             // The pre-upgrade stress ops draw from the prefix seed: they run
             // before the case's seed can matter, and keying them off `pseed`
             // keeps them identical across a seed group.
-            sut.stress_workload(pseed, WorkloadPhase::BeforeUpgrade, case.from)
+            sut.stress_ops(pseed, WorkloadPhase::BeforeUpgrade, case.from, &mut |op| {
+                before_ops.push(op)
+            });
         }
-        WorkloadSource::TranslatedUnit(name) => {
+        WorkloadSpec::TranslatedUnit(name) => {
             let Some(test) = find_unit_test(sut, name) else {
                 return Err(format!("no unit test named {name}"));
             };
@@ -570,9 +601,9 @@ fn run_prefix(
             for (k, v) in &test.config {
                 config.insert(k.clone(), v.clone());
             }
-            translation.ops
+            before_ops.extend(translation.ops);
         }
-        WorkloadSource::UnitStateHandoff(name) => {
+        WorkloadSpec::UnitStateHandoff(name) => {
             let Some(test) = find_unit_test(sut, name) else {
                 return Err(format!("no unit test named {name}"));
             };
@@ -588,7 +619,6 @@ fn run_prefix(
                     return Err(format!("unit test {name} cannot run in place: {e}"));
                 }
             }
-            Vec::new()
         }
     };
 
@@ -618,7 +648,7 @@ fn run_prefix(
     };
 
     driver.run_for(sim, SETTLE);
-    if let WorkloadSource::UnitStateHandoff(name) = &case.workload {
+    if let WorkloadSpec::UnitStateHandoff(name) = &case.workload {
         // Validity check: the old version itself must be able to start from
         // the unit test's persistent state (paper §6.1.2).
         if any_genuine_crash(sim) {
@@ -633,7 +663,7 @@ fn run_prefix(
     data.first_op_time = sim.now();
     data.msgs_at_first_op = sim.messages_delivered();
 
-    run_ops(&driver, sim, &before_ops, false, false, ops);
+    run_ops(&driver, sim, before_ops, false, false, ops);
     driver.run_for(sim, SETTLE);
 
     // If the *old* version already fails under this workload/config, the
@@ -662,27 +692,66 @@ fn run_suffix(
     case: &TestCase,
     pre: &PrefixData,
     nudge: Option<&PlanNudge>,
-    plan: &mut RolloutPlan,
+    pools: &mut CasePools,
     ops: &mut Vec<OpResult>,
 ) -> CaseOutcome {
     let n = sut.cluster_size();
     let config = &pre.config;
 
-    // The seed-dependent workload parts.
-    let mut during_ops: Vec<ClientOp> = Vec::new();
-    let after_ops: Vec<ClientOp> = match &case.workload {
-        WorkloadSource::Stress => {
-            during_ops = sut.stress_workload(case.seed, WorkloadPhase::DuringUpgrade, case.from);
-            sut.stress_workload(case.seed, WorkloadPhase::AfterUpgrade, case.from)
+    // The seed-dependent workload parts, streamed into the pooled phase
+    // buffers. Open-loop cases compile the pooled [`WorkloadPlan`] instead
+    // of a during-batch: the traffic steps below consume its arrival stream
+    // directly, so during-traffic volume never costs a materialized `Vec`.
+    let during_ops = &mut pools.during_ops;
+    let after_ops = &mut pools.after_ops;
+    let wplan = &mut pools.wplan;
+    during_ops.clear();
+    after_ops.clear();
+    match &case.workload {
+        WorkloadSpec::Stress => {
+            sut.stress_ops(
+                case.seed,
+                WorkloadPhase::DuringUpgrade,
+                case.from,
+                &mut |op| during_ops.push(op),
+            );
+            sut.stress_ops(
+                case.seed,
+                WorkloadPhase::AfterUpgrade,
+                case.from,
+                &mut |op| after_ops.push(op),
+            );
+        }
+        WorkloadSpec::OpenLoop(spec) => {
+            // The arrival schedule forks per seed like the fault plan does,
+            // and the nudge's workload half perturbs it in place.
+            wplan.compile(spec, case.seed, OPEN_LOOP_WINDOW_MS);
+            if let Some(nd) = nudge {
+                wplan.nudge(nd);
+            }
+            debug_assert!(wplan.validate().is_ok(), "{:?}", wplan.validate());
+            // Post-upgrade, the stress read-back probes verify pre-upgrade
+            // data survived under the open-loop barrage.
+            sut.stress_ops(
+                case.seed,
+                WorkloadPhase::AfterUpgrade,
+                case.from,
+                &mut |op| after_ops.push(op),
+            );
         }
         // Post-upgrade, re-check health everywhere.
-        _ => (0..n).map(|i| ClientOp::new(i, "HEALTH")).collect(),
+        _ => after_ops.extend((0..n).map(|i| ClientOp::new(i, "HEALTH"))),
     };
+    let during_ops: &[ClientOp] = during_ops;
+    let after_ops: &[ClientOp] = after_ops;
+    let open_loop = matches!(&case.workload, WorkloadSpec::OpenLoop(_));
+    let wplan: &WorkloadPlan = wplan;
 
     // Compile the scenario into the pooled rollout plan — a pure function of
     // `(scenario, pair, catalog, cluster, seed)`, so the `plan=` segment of
     // a failure report rebuilds it exactly — and apply the plan-level half
     // of the nudge.
+    let plan = &mut pools.plan;
     let catalog = sut.versions();
     plan.compile(case.scenario, case.from, case.to, &catalog, n, case.seed);
     if let Some(nd) = nudge {
@@ -754,11 +823,23 @@ fn run_suffix(
             RolloutStep::Traffic { chunk, of } => {
                 // Round-robin partition of the during-upgrade workload by op
                 // index; `of` shared across the plan's traffic steps, so the
-                // steps together run each op exactly once, in order.
-                let of = of.max(1) as usize;
-                for (i, op) in during_ops.iter().enumerate() {
-                    if i % of == chunk as usize {
-                        run_op(&driver, sim, op, true, false, ops);
+                // steps together run each op exactly once, in order. Open-
+                // loop cases partition the plan's arrival stream by arrival
+                // index instead — each arrival rendered to a client command
+                // on the fly, never materialized as a batch.
+                let of = u64::from(of.max(1));
+                if open_loop {
+                    for a in wplan.arrivals() {
+                        if a.index % of == u64::from(chunk) {
+                            let op = sut.open_loop_op(a.key, a.client, a.read, case.from);
+                            run_op(&driver, sim, &op, true, false, ops);
+                        }
+                    }
+                } else {
+                    for (i, op) in during_ops.iter().enumerate() {
+                        if i as u64 % of == u64::from(chunk) {
+                            run_op(&driver, sim, op, true, false, ops);
+                        }
                     }
                 }
             }
@@ -808,7 +889,7 @@ fn run_suffix(
     let rollout_len = sim.now().since(upgrade_started).as_millis().max(1);
 
     driver.run_for(sim, QUIESCE);
-    run_ops(&driver, sim, &after_ops, true, true, ops);
+    run_ops(&driver, sim, after_ops, true, true, ops);
     driver.run_for(sim, SETTLE);
 
     // Message-rate comparison: project the baseline-window rate (first op

@@ -9,10 +9,12 @@
 //!   partial upgrade, multi-hop version paths, canary-gated fleets, and
 //!   rolling upgrades under membership churn — each compiled to an explicit,
 //!   validated [`RolloutPlan`] the harness interprets step by step;
-//! - **workloads** ([`WorkloadSource`]): the system's stress operations,
+//! - **workloads** ([`WorkloadSpec`]): the system's stress operations,
 //!   unit tests *translated* into client commands ([`translate`], §6.1.3),
-//!   and unit tests executed in place whose persistent state the upgraded
-//!   cluster must boot from (§6.1.2);
+//!   unit tests executed in place whose persistent state the upgraded
+//!   cluster must boot from (§6.1.2), and seeded open-loop arrival plans
+//!   ([`WorkloadPlan`]) that drive millions of logical clients as pure
+//!   arithmetic event streams over a Zipfian key-popularity model;
 //! - **fault intensities** ([`FaultIntensity`]): deterministic injected
 //!   chaos — message drops/duplicates/delays/reorders, partition windows,
 //!   crash-then-restart — derived per case by [`fault_plan_for`], with the
@@ -56,6 +58,7 @@ mod oracle;
 mod rollout;
 mod scenario;
 mod translator;
+mod workload;
 
 pub use crate::campaign::search::mutate;
 pub use crate::campaign::{
@@ -71,7 +74,10 @@ pub use crate::faults::{
 pub use crate::harness::{CaseDigest, CaseOutcome, CaseResult, CaseRunner, TestCase};
 pub use crate::oracle::{evaluate, Observation, OpResult};
 pub use crate::rollout::{RolloutPlan, RolloutStep, MAX_PATH_LEN, MAX_SETTLE_SHIFT_MS};
-pub use crate::scenario::{Scenario, WorkloadSource};
+pub use crate::scenario::Scenario;
 pub use crate::translator::{translate, Translation};
+pub use crate::workload::{
+    Arrival, Arrivals, OpenLoopSpec, WorkloadPlan, WorkloadSpec, MAX_BURSTS,
+};
 pub use dup_core::VersionId;
 pub use dup_simnet::{CrashPoint, CrashPointKind, Durability, TraceConfig, TraceSlice};

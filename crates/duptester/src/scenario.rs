@@ -1,7 +1,7 @@
-//! Upgrade scenarios and workload sources (paper §6.1.1–§6.1.2).
+//! Upgrade scenarios (paper §6.1.1). Workload sources live in
+//! [`workload`](crate::workload) as [`WorkloadSpec`](crate::WorkloadSpec).
 
 use std::fmt;
-use std::sync::Arc;
 
 /// The upgrade scenarios DUPTester tests systematically: the paper's three
 /// ([`Scenario::paper`]) plus four rollout-plan scenarios
@@ -88,35 +88,6 @@ impl fmt::Display for Scenario {
     }
 }
 
-/// Where the testing workload comes from (§6.1.2).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum WorkloadSource {
-    /// The system's stress-testing operations with default configuration.
-    Stress,
-    /// A unit test translated into client commands by the translator
-    /// (§6.1.3); the string is the unit-test name. The name is interned as
-    /// an `Arc<str>` so the million-plus [`TestCase`]s a lazy campaign
-    /// matrix materializes share one allocation per unit test instead of
-    /// cloning the `String` per case.
-    ///
-    /// [`TestCase`]: crate::harness::TestCase
-    TranslatedUnit(Arc<str>),
-    /// A unit test executed in place against the old version's storage; the
-    /// cluster then starts from the persistent state it left (§6.1.2,
-    /// second scheme). Interned like [`WorkloadSource::TranslatedUnit`].
-    UnitStateHandoff(Arc<str>),
-}
-
-impl fmt::Display for WorkloadSource {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            WorkloadSource::Stress => write!(f, "stress"),
-            WorkloadSource::TranslatedUnit(name) => write!(f, "unit:{name}"),
-            WorkloadSource::UnitStateHandoff(name) => write!(f, "state:{name}"),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,15 +104,6 @@ mod tests {
         assert_eq!(Scenario::MultiHop.to_string(), "multi-hop");
         assert_eq!(Scenario::CanaryThenFleet.to_string(), "canary-then-fleet");
         assert_eq!(Scenario::RollingWithChurn.to_string(), "rolling-with-churn");
-        assert_eq!(
-            WorkloadSource::TranslatedUnit("t".into()).to_string(),
-            "unit:t"
-        );
-        assert_eq!(
-            WorkloadSource::UnitStateHandoff("t".into()).to_string(),
-            "state:t"
-        );
-        assert_eq!(WorkloadSource::Stress.to_string(), "stress");
         assert_eq!(Scenario::paper().len(), 3);
         assert_eq!(Scenario::extended().len(), 7);
     }

@@ -9,7 +9,7 @@
 use dup_core::VersionId;
 use dup_tester::{
     catalog, Campaign, CampaignObserver, CampaignReport, CaseOutcome, CaseStatus, Scenario,
-    TestCase, WorkloadSource,
+    TestCase, WorkloadSpec,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
@@ -76,7 +76,7 @@ fn cassandra_6678_race_reproduces_across_seeds() {
             from: v("1.2.0"),
             to: v("2.0.0"),
             scenario: Scenario::Rolling,
-            workload: WorkloadSource::Stress,
+            workload: WorkloadSpec::Stress,
             seed,
             faults: Default::default(),
             durability: Default::default(),
@@ -149,7 +149,7 @@ fn full_stop_3_4_to_3_5_coord_is_clean_but_rolling_is_not() {
         from: v("3.4.0"),
         to: v("3.5.0"),
         scenario: Scenario::FullStop,
-        workload: WorkloadSource::Stress,
+        workload: WorkloadSpec::Stress,
         seed: 1,
         faults: Default::default(),
         durability: Default::default(),
@@ -171,7 +171,7 @@ fn new_node_join_scenario_runs() {
         from: v("2.1.0"),
         to: v("3.0.0"),
         scenario: Scenario::NewNodeJoin,
-        workload: WorkloadSource::Stress,
+        workload: WorkloadSpec::Stress,
         seed: 1,
         faults: Default::default(),
         durability: Default::default(),
@@ -244,7 +244,7 @@ fn case_digest_is_reproducible() {
         from: v("2.1.0"),
         to: v("3.0.0"),
         scenario: Scenario::Rolling,
-        workload: WorkloadSource::Stress,
+        workload: WorkloadSpec::Stress,
         seed: 7,
         faults: Default::default(),
         durability: Default::default(),

@@ -20,7 +20,7 @@ use dup_core::{ClientOp, NodeSetup, SystemUnderTest, VersionId, WorkloadPhase};
 use dup_simnet::{Ctx, Endpoint, Process, Sim, SimDuration, SimTime, StepResult};
 use dup_tester::{
     fault_plan_for, Campaign, CaseStatus, Durability, FaultIntensity, Scenario, TestCase,
-    WorkloadSource,
+    WorkloadSpec,
 };
 
 fn v(s: &str) -> VersionId {
@@ -209,7 +209,7 @@ fn heavy_torn_crashes_on_same_version_pair_report_zero_upgrade_failures() {
                 from: v("2.1.0"),
                 to: v("2.1.0"),
                 scenario,
-                workload: WorkloadSource::Stress,
+                workload: WorkloadSpec::Stress,
                 seed,
                 faults: FaultIntensity::Heavy,
                 durability: Durability::Torn,
@@ -258,19 +258,20 @@ impl SystemUnderTest for PanickySut {
     fn spawn(&self, _version: VersionId, _setup: &NodeSetup) -> Box<dyn Process> {
         Box::new(Echo)
     }
-    fn stress_workload(
+    fn stress_ops(
         &self,
         seed: u64,
         phase: WorkloadPhase,
         _client_version: VersionId,
-    ) -> Vec<ClientOp> {
+        emit: &mut dyn FnMut(ClientOp),
+    ) {
         // Keyed on the during-upgrade phase: that is the seed-dependent
         // suffix, so exactly one seed's case panics (the before-upgrade
         // phase draws from the shared, seed-independent prefix seed).
         if seed == 2 && phase == WorkloadPhase::DuringUpgrade {
             panic!("deliberate toy panic for seed 2");
         }
-        vec![ClientOp::new(0, "HEALTH")]
+        emit(ClientOp::new(0, "HEALTH"));
     }
 }
 
@@ -345,13 +346,14 @@ impl SystemUnderTest for RunawaySut {
     fn spawn(&self, _version: VersionId, _setup: &NodeSetup) -> Box<dyn Process> {
         Box::new(Spinner)
     }
-    fn stress_workload(
+    fn stress_ops(
         &self,
         _seed: u64,
         _phase: WorkloadPhase,
         _client_version: VersionId,
-    ) -> Vec<ClientOp> {
-        vec![ClientOp::new(0, "HEALTH")]
+        emit: &mut dyn FnMut(ClientOp),
+    ) {
+        emit(ClientOp::new(0, "HEALTH"));
     }
 }
 

@@ -17,7 +17,7 @@ use dup_core::VersionId;
 use dup_simnet::SimTime;
 use dup_tester::{
     fault_plan_for, Campaign, CaseMatrix, Durability, FaultIntensity, Scenario, TestCase,
-    WorkloadSource,
+    WorkloadSpec,
 };
 
 fn v(s: &str) -> VersionId {
@@ -57,7 +57,7 @@ fn case_digest_reproducible_under_faults() {
         from: v("2.1.0"),
         to: v("3.0.0"),
         scenario: Scenario::Rolling,
-        workload: WorkloadSource::Stress,
+        workload: WorkloadSpec::Stress,
         seed: 7,
         faults: FaultIntensity::Heavy,
         durability: Default::default(),
@@ -98,7 +98,7 @@ fn heavy_faults_on_same_version_pair_report_zero_upgrade_failures() {
                 from: v("2.1.0"),
                 to: v("2.1.0"),
                 scenario,
-                workload: WorkloadSource::Stress,
+                workload: WorkloadSpec::Stress,
                 seed,
                 faults: FaultIntensity::Heavy,
                 durability: Default::default(),

@@ -18,8 +18,8 @@
 
 use dup_core::{SystemUnderTest, VersionId};
 use dup_tester::{
-    catalog, Campaign, CaseRunner, CaseSignature, Durability, FaultIntensity, Scenario,
-    SearchConfig, SearchReport, TestCase, TraceConfig, WorkloadSource,
+    catalog, Campaign, CaseRunner, CaseSignature, Durability, FaultIntensity, OpenLoopSpec,
+    Scenario, SearchConfig, SearchReport, TestCase, TraceConfig, WorkloadSpec,
 };
 use std::path::PathBuf;
 
@@ -160,6 +160,66 @@ fn recall_hdfs_mini() {
     assert_recall("hdfs-mini");
 }
 
+/// The workload-axis recall gate (`SEARCH_efficiency.json` v3's third
+/// pass): with the open-loop workload axis enabled — which adds groups
+/// whose guided search draws from the widened operator set, bursts, hot
+/// keys, and churn included — guided must still detect every non-timing
+/// catalog bug within the blind sweep's cases-to-detection, and spend
+/// strictly fewer cases overall.
+#[test]
+fn recall_with_open_loop_workload_axis_guided_vs_blind() {
+    for name in [
+        "cassandra-mini",
+        "hdfs-mini",
+        "kafka-mini",
+        "zookeeper-mini",
+    ] {
+        let sut = system(name);
+        let run = |blind: bool| {
+            Campaign::builder(sut)
+                .scenarios([Scenario::FullStop, Scenario::Rolling])
+                .faults([FaultIntensity::Off])
+                .workloads([OpenLoopSpec::small()])
+                .threads(0)
+                .search(SearchConfig {
+                    budget_per_group: 4,
+                    initial_seeds: vec![1],
+                    blind,
+                    ..SearchConfig::default()
+                })
+                .build()
+                .run_search()
+        };
+        let guided = run(false);
+        let blind = run(true);
+        dump_corpus(&format!("{name}-workload-guided"), &guided);
+        dump_corpus(&format!("{name}-workload-blind"), &blind);
+        for bug in catalog::seeded_bugs() {
+            if bug.system != name || bug.timing_dependent || bug.scenario.is_some() {
+                continue;
+            }
+            let (from, to) = (bug.from_version(), bug.to_version());
+            let g = guided
+                .cases_to_detect(from, to, bug.marker)
+                .unwrap_or_else(|| panic!("guided search missed {}", bug.ticket));
+            let b = blind
+                .cases_to_detect(from, to, bug.marker)
+                .unwrap_or_else(|| panic!("blind sweep missed {}", bug.ticket));
+            assert!(
+                g <= b,
+                "{}: guided took {g} cases, blind took {b}",
+                bug.ticket
+            );
+        }
+        assert!(
+            guided.total_cases() < blind.total_cases(),
+            "{name}: guided must spend strictly fewer cases ({} vs {})",
+            guided.total_cases(),
+            blind.total_cases()
+        );
+    }
+}
+
 #[test]
 fn recall_kafka_mini() {
     assert_recall("kafka-mini");
@@ -259,7 +319,7 @@ fn signature_identical_across_fresh_warm_and_snapshot_runners() {
         from: "2.1.0".parse().unwrap(),
         to: "3.0.0".parse().unwrap(),
         scenario: Scenario::Rolling,
-        workload: WorkloadSource::Stress,
+        workload: WorkloadSpec::Stress,
         seed: 7,
         faults: FaultIntensity::Light,
         durability: Durability::Strict,

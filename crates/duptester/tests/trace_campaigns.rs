@@ -197,7 +197,7 @@ fn single_case_slice_is_reproducible() {
         from: "1.1.0".parse().unwrap(),
         to: "1.2.0".parse().unwrap(),
         scenario: Scenario::Rolling,
-        workload: dup_tester::WorkloadSource::Stress,
+        workload: dup_tester::WorkloadSpec::Stress,
         seed: 1,
         faults: Default::default(),
         durability: Default::default(),

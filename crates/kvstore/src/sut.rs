@@ -42,25 +42,25 @@ impl SystemUnderTest for KvStoreSystem {
         Box::new(KvNode::new(version, setup.clone()))
     }
 
-    fn stress_workload(
+    fn stress_ops(
         &self,
         seed: u64,
         phase: WorkloadPhase,
         _client_version: VersionId,
-    ) -> Vec<ClientOp> {
+        emit: &mut dyn FnMut(ClientOp),
+    ) {
         // XOR a per-system constant so different systems draw different ops
         // from the same campaign seed. Data is not replicated across peers,
         // so reads are routed to the same node the key was written to.
         let mut rng = SimRng::new(seed ^ 0x6b76);
         let n = self.cluster_size();
         let route = |k: u64| (k % u64::from(n)) as u32;
-        let mut ops = Vec::new();
         match phase {
             WorkloadPhase::BeforeUpgrade => {
-                ops.push(ClientOp::new(0, "CREATE_KS stress"));
-                ops.push(ClientOp::new(0, "CREATE_TABLE stress.standard1"));
+                emit(ClientOp::new(0, "CREATE_KS stress"));
+                emit(ClientOp::new(0, "CREATE_TABLE stress.standard1"));
                 for k in 0..10u64 {
-                    ops.push(ClientOp::new(
+                    emit(ClientOp::new(
                         route(k),
                         format!("PUT stress.standard1 key{k} val{k}"),
                     ));
@@ -71,12 +71,12 @@ impl SystemUnderTest for KvStoreSystem {
                 for i in 0..12u64 {
                     if i % 3 == 0 {
                         let k = rng.next_below(10);
-                        ops.push(ClientOp::new(
+                        emit(ClientOp::new(
                             route(k),
                             format!("GET stress.standard1 key{k}"),
                         ));
                     } else {
-                        ops.push(ClientOp::new(
+                        emit(ClientOp::new(
                             route(i),
                             format!("PUT stress.standard1 mid{i} mv{i}"),
                         ));
@@ -85,17 +85,33 @@ impl SystemUnderTest for KvStoreSystem {
             }
             WorkloadPhase::AfterUpgrade => {
                 for k in 0..10u64 {
-                    ops.push(ClientOp::new(
+                    emit(ClientOp::new(
                         route(k),
                         format!("GET stress.standard1 key{k}"),
                     ));
                 }
                 for node in 0..n {
-                    ops.push(ClientOp::new(node, "HEALTH"));
+                    emit(ClientOp::new(node, "HEALTH"));
                 }
             }
         }
-        ops
+    }
+
+    fn open_loop_op(
+        &self,
+        key: u64,
+        client: u64,
+        read: bool,
+        _client_version: VersionId,
+    ) -> ClientOp {
+        // Open-loop keys live beside the stress keys in the stress table;
+        // reads of never-written keys return the benign "ERR not found".
+        let node = (key % u64::from(self.cluster_size())) as u32;
+        if read {
+            ClientOp::new(node, format!("GET stress.standard1 olk{key}"))
+        } else {
+            ClientOp::new(node, format!("PUT stress.standard1 olk{key} c{client}"))
+        }
     }
 
     fn unit_tests(&self) -> Vec<UnitTest> {
@@ -195,6 +211,18 @@ impl SystemUnderTest for KvStoreSystem {
 mod tests {
     use super::*;
 
+    // Test-only compat shim over the streaming op API.
+    fn stress_workload(
+        s: &dyn SystemUnderTest,
+        seed: u64,
+        phase: WorkloadPhase,
+        v: VersionId,
+    ) -> Vec<ClientOp> {
+        let mut ops = Vec::new();
+        s.stress_ops(seed, phase, v, &mut |op| ops.push(op));
+        ops
+    }
+
     #[test]
     fn release_history_is_sorted_and_distinct() {
         let vs = KvStoreSystem::release_history();
@@ -209,10 +237,10 @@ mod tests {
     fn stress_workload_is_deterministic_in_seed() {
         let s = KvStoreSystem;
         let v = VersionId::new(3, 0, 0);
-        let a = s.stress_workload(7, WorkloadPhase::DuringUpgrade, v);
-        let b = s.stress_workload(7, WorkloadPhase::DuringUpgrade, v);
+        let a = stress_workload(&s, 7, WorkloadPhase::DuringUpgrade, v);
+        let b = stress_workload(&s, 7, WorkloadPhase::DuringUpgrade, v);
         assert_eq!(a, b);
-        let c = s.stress_workload(8, WorkloadPhase::DuringUpgrade, v);
+        let c = stress_workload(&s, 8, WorkloadPhase::DuringUpgrade, v);
         assert_ne!(a, c);
     }
 
@@ -220,10 +248,10 @@ mod tests {
     fn workload_phases_have_expected_shape() {
         let s = KvStoreSystem;
         let v = VersionId::new(3, 0, 0);
-        let before = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, v);
+        let before = stress_workload(&s, 1, WorkloadPhase::BeforeUpgrade, v);
         assert!(before.iter().any(|op| op.command.starts_with("CREATE_KS")));
         assert!(before.iter().any(|op| op.command.starts_with("PUT")));
-        let after = s.stress_workload(1, WorkloadPhase::AfterUpgrade, v);
+        let after = stress_workload(&s, 1, WorkloadPhase::AfterUpgrade, v);
         assert!(after.iter().filter(|op| op.command == "HEALTH").count() >= 3);
         assert!(after.iter().any(|op| op.command.starts_with("GET")));
     }

@@ -38,12 +38,13 @@ impl SystemUnderTest for MqSystem {
         Box::new(Broker::new(version, setup.clone()))
     }
 
-    fn stress_workload(
+    fn stress_ops(
         &self,
         _seed: u64,
         phase: WorkloadPhase,
         client_version: VersionId,
-    ) -> Vec<ClientOp> {
+        emit: &mut dyn FnMut(ClientOp),
+    ) {
         // Old client libraries pass DEFAULT (-1) retention on offset commits
         // — the KAFKA-7403 ingredient; 2.1+ clients pass it explicitly.
         let retention = if client_version < VersionId::new(2, 1, 0) {
@@ -51,33 +52,48 @@ impl SystemUnderTest for MqSystem {
         } else {
             "86400000"
         };
-        let mut ops = Vec::new();
         match phase {
             WorkloadPhase::BeforeUpgrade => {
                 for i in 0..6 {
-                    ops.push(ClientOp::new(i % 2, format!("PRODUCE events pre{i}")));
+                    emit(ClientOp::new(i % 2, format!("PRODUCE events pre{i}")));
                 }
-                ops.push(ClientOp::new(0, format!("COMMIT cg events 3 {retention}")));
+                emit(ClientOp::new(0, format!("COMMIT cg events 3 {retention}")));
             }
             WorkloadPhase::DuringUpgrade => {
                 for i in 0..4 {
-                    ops.push(ClientOp::new(i % 2, format!("PRODUCE events mid{i}")));
+                    emit(ClientOp::new(i % 2, format!("PRODUCE events mid{i}")));
                 }
-                ops.push(ClientOp::new(0, format!("COMMIT cg events 8 {retention}")));
+                emit(ClientOp::new(0, format!("COMMIT cg events 8 {retention}")));
             }
             WorkloadPhase::AfterUpgrade => {
                 // Cross-broker fetches verify replication survived the
                 // mixed-version window (KAFKA-10173's casualty).
                 for i in 0..8 {
-                    ops.push(ClientOp::new((i + 1) % 2, format!("FETCH events {i}")));
+                    emit(ClientOp::new((i + 1) % 2, format!("FETCH events {i}")));
                 }
-                ops.push(ClientOp::new(0, format!("COMMIT cg events 9 {retention}")));
-                ops.push(ClientOp::new(0, "OFFSET_GET cg events"));
-                ops.push(ClientOp::new(0, "HEALTH"));
-                ops.push(ClientOp::new(1, "HEALTH"));
+                emit(ClientOp::new(0, format!("COMMIT cg events 9 {retention}")));
+                emit(ClientOp::new(0, "OFFSET_GET cg events"));
+                emit(ClientOp::new(0, "HEALTH"));
+                emit(ClientOp::new(1, "HEALTH"));
             }
         }
-        ops
+    }
+
+    fn open_loop_op(
+        &self,
+        key: u64,
+        client: u64,
+        read: bool,
+        _client_version: VersionId,
+    ) -> ClientOp {
+        // Reads fetch by offset (misses are the benign "ERR no record");
+        // writes produce fresh records tagged by logical client.
+        let node = (key % 2) as u32;
+        if read {
+            ClientOp::new(node, format!("FETCH events {key}"))
+        } else {
+            ClientOp::new(node, format!("PRODUCE events ol{client}"))
+        }
     }
 
     fn unit_tests(&self) -> Vec<UnitTest> {
@@ -119,12 +135,24 @@ mod tests {
         assert_eq!(MqSystem.cluster_size(), 2);
     }
 
+    // Test-only compat shim over the streaming op API.
+    fn stress_workload(
+        s: &dyn SystemUnderTest,
+        seed: u64,
+        phase: WorkloadPhase,
+        v: VersionId,
+    ) -> Vec<ClientOp> {
+        let mut ops = Vec::new();
+        s.stress_ops(seed, phase, v, &mut |op| ops.push(op));
+        ops
+    }
+
     #[test]
     fn old_clients_send_default_retention() {
         let s = MqSystem;
-        let old = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, VersionId::new(1, 0, 0));
+        let old = stress_workload(&s, 1, WorkloadPhase::BeforeUpgrade, VersionId::new(1, 0, 0));
         assert!(old.iter().any(|op| op.command.ends_with(" -1")));
-        let new = s.stress_workload(1, WorkloadPhase::BeforeUpgrade, VersionId::new(2, 3, 0));
+        let new = stress_workload(&s, 1, WorkloadPhase::BeforeUpgrade, VersionId::new(2, 3, 0));
         assert!(!new.iter().any(|op| op.command.ends_with(" -1")));
     }
 

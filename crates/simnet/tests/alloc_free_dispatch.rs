@@ -738,4 +738,64 @@ fn steady_state_dispatch_allocates_nothing() {
         steps_compiled
     );
     assert!(steps_compiled > 0, "plans must compile non-empty schedules");
+
+    // ---- phase 9: open-loop arrival generation + key draw ----------------
+    //
+    // The open-loop workload model's tentpole claim: logical clients are
+    // arithmetic, not state. Compiling a `WorkloadPlan`, nudging it (the
+    // search's workload operators), and streaming every arrival — each one
+    // drawing an interarrival gap, a Zipf rank, a rank→key permutation
+    // step, and a client id — must not touch the allocator on the warm
+    // path, and a million-client plan must occupy exactly the pooled
+    // capacity of a thousand-client one.
+    use dup_tester::{OpenLoopSpec, WorkloadPlan};
+
+    let small = OpenLoopSpec::small();
+    let million = OpenLoopSpec::million();
+    let mut wplan = WorkloadPlan::new();
+    // Warm-up: compile both specs into the same pooled plan and walk the
+    // arrival stream end to end once.
+    wplan.compile(&small, 7, 2_000);
+    let small_footprint = (wplan.segment_count(), wplan.segment_capacity());
+    let mut warm_arrivals = 0u64;
+    for a in wplan.arrivals() {
+        warm_arrivals += 1;
+        std::hint::black_box(a.key);
+    }
+    assert!(warm_arrivals > 0, "warm-up stream must produce arrivals");
+    wplan.compile(&million, 7, 2_000);
+    assert_eq!(
+        (wplan.segment_count(), wplan.segment_capacity()),
+        small_footprint,
+        "10^6 logical clients must not grow the plan's memory footprint"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut arrivals_seen = 0u64;
+    let mut draw_acc = 0u64;
+    for round in 0..4u64 {
+        wplan.compile(&million, round, 2_000);
+        wplan.nudge(&PlanNudge {
+            burst_shift_ms: 3,
+            key_rank_salt: round | 1,
+            arrival_churn_salt: round | 1,
+            ..PlanNudge::default()
+        });
+        wplan.validate().expect("nudged workload plan stays valid");
+        for a in wplan.arrivals() {
+            arrivals_seen += 1;
+            draw_acc = draw_acc.wrapping_add(a.key ^ a.client ^ a.at_us);
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state arrival generation + key draw allocated {} times \
+         over {} arrivals",
+        after - before,
+        arrivals_seen
+    );
+    assert!(arrivals_seen > 0, "measured loop must produce arrivals");
+    std::hint::black_box(draw_acc);
 }

@@ -12,7 +12,7 @@ fn main() {
         from: "1.1.0".parse::<VersionId>().expect("version parses"),
         to: "1.2.0".parse().expect("version parses"),
         scenario: Scenario::Rolling,
-        workload: WorkloadSource::Stress,
+        workload: WorkloadSpec::Stress,
         seed: 1,
         faults: Default::default(),
         durability: Default::default(),

@@ -96,15 +96,33 @@ for expected in (
     "campaign_snapshot/on",
     "rollout_plans/paper",
     "rollout_plans/extended",
+    "open_loop_traffic/1k_clients",
+    "open_loop_traffic/1m_clients",
 ):
     if expected not in results:
         print(f"bench_smoke: warning: {expected} missing from results", file=sys.stderr)
 for name, stats in results.items():
-    if name.split("/")[0] in ("campaign_kvstore", "campaign_scaling", "campaign_snapshot", "rollout_plans"):
+    if name.split("/")[0] in ("campaign_kvstore", "campaign_scaling", "campaign_snapshot", "rollout_plans", "open_loop_traffic"):
         if stats.get("iters", 0) < 2:
             sys.exit(f"bench_smoke: {name} ran {stats.get('iters')} iteration(s); need >=2")
         if "min_ns" not in stats:
             sys.exit(f"bench_smoke: {name} lacks a min — parser/harness drift?")
+
+# Client-count independence: logical clients are arithmetic, so the
+# million-client open-loop case must price like the thousand-client one.
+# Same-box ratio, so it is noise-robust; still only a warning here — the CI
+# gate (env-aware, cpus-keyed tolerance) is the enforcing copy.
+ol_1k = results.get("open_loop_traffic/1k_clients")
+ol_1m = results.get("open_loop_traffic/1m_clients")
+if ol_1k and ol_1m:
+    ratio = ol_1m["mean_ns"] / max(ol_1k["mean_ns"], 1.0)
+    print(f"bench_smoke: open_loop 1m/1k mean ratio {ratio:.2f}")
+    if ratio > 1.25:
+        print(
+            f"bench_smoke: warning: 1m_clients is {ratio:.2f}x 1k_clients "
+            "(>1.25) — client count may be leaking into per-arrival work",
+            file=sys.stderr,
+        )
 
 report = {
     "schema": "bench-smoke-v2",

@@ -44,9 +44,9 @@ pub mod prelude {
         fault_plan_for, Campaign, CampaignBuilder, CampaignConfig, CampaignMetrics,
         CampaignObserver, CampaignReport, CaseOutcome, CaseResult, CaseRunner, CaseSignature,
         CaseStatus, Corpus, CoverageMap, Durability, FailureReport, FaultIntensity,
-        MetricsObserver, MutationOp, NoopObserver, PlanNudge, ProgressObserver, RenderOptions,
-        Scenario, SearchConfig, SearchInput, SearchReport, TestCase, TraceConfig, TraceSlice,
-        WorkloadSource,
+        MetricsObserver, MutationOp, NoopObserver, OpenLoopSpec, PlanNudge, ProgressObserver,
+        RenderOptions, Scenario, SearchConfig, SearchInput, SearchReport, TestCase, TraceConfig,
+        TraceSlice, WorkloadPlan, WorkloadSpec,
     };
 }
 

@@ -4,7 +4,7 @@
 use ds_upgrade::checker::{compare_files, Severity};
 use ds_upgrade::core::VersionId;
 use ds_upgrade::idl::{lower, parse_proto};
-use ds_upgrade::prelude::{CaseOutcome, Scenario, TestCase, WorkloadSource};
+use ds_upgrade::prelude::{CaseOutcome, Scenario, TestCase, WorkloadSpec};
 use ds_upgrade::simnet::{Sim, SimDuration};
 use ds_upgrade::wire::{proto, MessageValue, Value, WireError};
 
@@ -47,7 +47,7 @@ fn consecutive_pair_strategy_vs_no_op_upgrade() {
         from: v("3.11.0"),
         to: v("4.0.0"),
         scenario: Scenario::FullStop,
-        workload: WorkloadSource::TranslatedUnit("testCompactTables".into()),
+        workload: WorkloadSpec::TranslatedUnit("testCompactTables".into()),
         seed: 1,
         faults: Default::default(),
         durability: Default::default(),
@@ -69,7 +69,7 @@ fn translated_unit_test_beats_stress_on_tombstone_bug() {
         from: v("3.0.0"),
         to: v("3.11.0"),
         scenario: Scenario::FullStop,
-        workload: WorkloadSource::Stress,
+        workload: WorkloadSpec::Stress,
         seed: 1,
         faults: Default::default(),
         durability: Default::default(),
@@ -85,7 +85,7 @@ fn translated_unit_test_beats_stress_on_tombstone_bug() {
     );
 
     let translated = TestCase {
-        workload: WorkloadSource::TranslatedUnit("testCachedPreparedStatements".into()),
+        workload: WorkloadSpec::TranslatedUnit("testCachedPreparedStatements".into()),
         ..base
     };
     let outcome = translated.run(&ds_upgrade::kvstore::KvStoreSystem);
@@ -103,7 +103,7 @@ fn unit_state_handoff_exposes_removed_strategy() {
         from: v("3.11.0"),
         to: v("4.0.0"),
         scenario: Scenario::FullStop,
-        workload: WorkloadSource::UnitStateHandoff("testUpdateKeyspace".into()),
+        workload: WorkloadSpec::UnitStateHandoff("testUpdateKeyspace".into()),
         seed: 1,
         faults: Default::default(),
         durability: Default::default(),
@@ -126,7 +126,7 @@ fn full_case_runs_are_deterministic() {
         from: v("1.1.0"),
         to: v("1.2.0"),
         scenario: Scenario::Rolling,
-        workload: WorkloadSource::Stress,
+        workload: WorkloadSpec::Stress,
         seed: 9,
         faults: Default::default(),
         durability: Default::default(),

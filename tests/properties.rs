@@ -5,8 +5,8 @@ use ds_upgrade::idl::{lower, parse_proto};
 use ds_upgrade::simnet::{FaultKind, HostStorage, SimRng, SimTime};
 use ds_upgrade::tester::{
     apply_nudge, fault_plan_for, mutate, Corpus, CorpusEntry, Durability, FaultIntensity,
-    MutationOp, PlanNudge, RolloutPlan, Scenario, SearchInput, MAX_NUDGE_SHIFT_MS,
-    MAX_SETTLE_SHIFT_MS, PLAN_WINDOW_MS,
+    MutationOp, OpenLoopSpec, PlanNudge, RolloutPlan, Scenario, SearchInput, WorkloadPlan,
+    MAX_NUDGE_SHIFT_MS, MAX_SETTLE_SHIFT_MS, PLAN_WINDOW_MS,
 };
 use ds_upgrade::wire::{proto, Frame, MessageValue, Value};
 use proptest::prelude::*;
@@ -324,11 +324,18 @@ proptest! {
             prop_assert!(a.nudge.action_shift_ms.abs() <= bound);
             prop_assert!(a.nudge.crash_shift_ms.abs() <= bound);
             prop_assert!(a.nudge.settle_shift_ms.abs() <= MAX_SETTLE_SHIFT_MS as i64);
+            prop_assert!(a.nudge.burst_shift_ms.abs() <= bound);
             if op == MutationOp::SwapReorderFates {
                 prop_assert_ne!(a.nudge.fate_salt, 0, "fate swap must re-roll");
             }
             if op == MutationOp::NudgeRolloutPlan {
                 prop_assert_ne!(a.nudge.step_swap_salt, 0, "plan nudge must swap");
+            }
+            if op == MutationOp::ReRankHotKeys {
+                prop_assert_ne!(a.nudge.key_rank_salt, 0, "re-rank must re-roll");
+            }
+            if op == MutationOp::MoveArrivalChurn {
+                prop_assert_ne!(a.nudge.arrival_churn_salt, 0, "churn must re-roll");
             }
         }
     }
@@ -482,6 +489,120 @@ proptest! {
         prop_assert!(forward.len() <= entries.len());
         for e in forward.entries() {
             prop_assert!(forward.contains(e.digest));
+        }
+    }
+}
+
+fn arb_open_loop_spec() -> impl Strategy<Value = OpenLoopSpec> {
+    (
+        (1u64..5_000, 1u32..300, 0u8..5, 1u8..8),
+        (1u32..400, 0u16..300, 0u8..101),
+    )
+        .prop_map(
+            |(
+                (clients, rate_per_sec, bursts, burst_factor),
+                (keys, zipf_s_hundredths, read_pct),
+            )| {
+                OpenLoopSpec {
+                    clients,
+                    rate_per_sec,
+                    bursts,
+                    burst_factor,
+                    keys,
+                    zipf_s_hundredths,
+                    read_pct,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// The arrival process is a pure function of `(spec, seed, window)`:
+    /// recompiling — even into a plan previously holding a different spec —
+    /// replays the identical arrival stream, arrival times stay inside the
+    /// window and never decrease, and indices are dense from zero.
+    #[test]
+    fn open_loop_arrival_process_is_pure(
+        spec in arb_open_loop_spec(),
+        other in arb_open_loop_spec(),
+        seed in any::<u64>(),
+        window_ms in 50u64..2_000,
+    ) {
+        let mut plan = WorkloadPlan::new();
+        plan.compile(&spec, seed, window_ms);
+        prop_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+        let first: Vec<_> = plan
+            .arrivals()
+            .map(|a| (a.at_us, a.index, a.client, a.key, a.read))
+            .collect();
+        // Dirty the plan with an unrelated compile, then recompile.
+        plan.compile(&other, seed ^ 1, window_ms / 2 + 1);
+        plan.compile(&spec, seed, window_ms);
+        let second: Vec<_> = plan
+            .arrivals()
+            .map(|a| (a.at_us, a.index, a.client, a.key, a.read))
+            .collect();
+        prop_assert_eq!(&first, &second, "recompile must replay the stream");
+
+        let mut last = 0u64;
+        for (i, &(at_us, index, client, key, _)) in first.iter().enumerate() {
+            prop_assert_eq!(index, i as u64, "indices must be dense");
+            prop_assert!(at_us < plan.window_us(), "arrival past the window");
+            prop_assert!(at_us >= last, "arrival times must be monotone");
+            prop_assert!(client < spec.clients, "client id out of range");
+            prop_assert!(key < u64::from(spec.keys), "key out of range");
+            last = at_us;
+        }
+    }
+
+    /// With no burst segments, every interarrival gap is bounded: the
+    /// integer exponential sampler caps its variate at ~22.2 times the
+    /// mean, so consecutive arrivals are never more than `mean * 23 + 1`
+    /// microseconds apart.
+    #[test]
+    fn open_loop_interarrivals_are_bounded(
+        clients in 1u64..100_000,
+        rate in 1u32..500,
+        seed in any::<u64>(),
+    ) {
+        let spec = OpenLoopSpec { bursts: 0, clients, rate_per_sec: rate, ..OpenLoopSpec::small() };
+        let mut plan = WorkloadPlan::new();
+        plan.compile(&spec, seed, 2_000);
+        let mean = 1_000_000u64 / u64::from(rate);
+        let bound = mean * 23 + 1;
+        let mut last = 0u64;
+        for a in plan.arrivals() {
+            prop_assert!(
+                a.at_us - last <= bound,
+                "gap {} exceeds bound {bound} (mean {mean})",
+                a.at_us - last
+            );
+            last = a.at_us;
+        }
+    }
+
+    /// The rank→key map is a seeded permutation: over the full rank range
+    /// every key appears exactly once, and the permutation is stable in
+    /// `(spec, seed)`.
+    #[test]
+    fn open_loop_rank_permutation_is_bijective(
+        keys in 1u32..600,
+        seed in any::<u64>(),
+    ) {
+        let spec = OpenLoopSpec { keys, ..OpenLoopSpec::small() };
+        let mut plan = WorkloadPlan::new();
+        plan.compile(&spec, seed, 100);
+        let mut seen = vec![false; keys as usize];
+        for rank in 0..u64::from(keys) {
+            let key = plan.key_of_rank(rank);
+            prop_assert!(key < u64::from(keys), "key {key} out of domain");
+            prop_assert!(!seen[key as usize], "key {key} hit twice");
+            seen[key as usize] = true;
+        }
+        let mut again = WorkloadPlan::new();
+        again.compile(&spec, seed, 100);
+        for rank in 0..u64::from(keys) {
+            prop_assert_eq!(plan.key_of_rank(rank), again.key_of_rank(rank));
         }
     }
 }
