@@ -517,6 +517,17 @@ impl FaultDriver<'_> {
         self.pump(sim);
     }
 
+    /// Pump-aware [`Sim::run_until`]: advances to `deadline`, a no-op when
+    /// the deadline already passed (time never rewinds). The open-loop
+    /// traffic steps use this to hold each arrival until its scheduled
+    /// time.
+    fn run_until(&self, sim: &mut Sim, deadline: SimTime) {
+        let wait = deadline.since(sim.now());
+        if wait > SimDuration::ZERO {
+            self.run_for(sim, wait);
+        }
+    }
+
     /// Pump-aware [`Sim::rpc`].
     fn rpc(
         &self,
@@ -824,16 +835,38 @@ fn run_suffix(
                 // Round-robin partition of the during-upgrade workload by op
                 // index; `of` shared across the plan's traffic steps, so the
                 // steps together run each op exactly once, in order. Open-
-                // loop cases partition the plan's arrival stream by arrival
-                // index instead — each arrival rendered to a client command
-                // on the fly, never materialized as a batch.
+                // loop cases partition the plan's *window* into `of`
+                // contiguous time slices instead: step `chunk` replays the
+                // arrivals scheduled inside its slice, advancing the
+                // simulator to each arrival's offset before issuing it — the
+                // schedule, not the responses, decides when the next request
+                // fires, so a burst lands as time-localized load against
+                // whatever rollout step surrounds its slice (and `ShiftBursts`
+                // moves that load between steps). Each arrival is rendered to
+                // a client command on the fly, never materialized as a batch.
                 let of = u64::from(of.max(1));
                 if open_loop {
+                    let slice_us = (wplan.window_us() / of).max(1);
+                    let lo = u64::from(chunk) * slice_us;
+                    let hi = if u64::from(chunk) + 1 == of {
+                        u64::MAX
+                    } else {
+                        lo + slice_us
+                    };
+                    let anchor = sim.now();
                     for a in wplan.arrivals() {
-                        if a.index % of == u64::from(chunk) {
-                            let op = sut.open_loop_op(a.key, a.client, a.read, case.from);
-                            run_op(&driver, sim, &op, true, false, ops);
+                        if a.at_us < lo {
+                            continue;
                         }
+                        if a.at_us >= hi {
+                            break;
+                        }
+                        // The sim clock is millisecond-grained; arrivals
+                        // sharing a millisecond fire back-to-back within it.
+                        let offset = SimDuration::from_millis((a.at_us - lo) / 1_000);
+                        driver.run_until(sim, anchor + offset);
+                        let op = sut.open_loop_op(a.key, a.client, a.read, case.from);
+                        run_op(&driver, sim, &op, true, false, ops);
                     }
                 } else {
                     for (i, op) in during_ops.iter().enumerate() {

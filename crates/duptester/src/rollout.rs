@@ -124,7 +124,10 @@ pub enum RolloutStep {
     /// Run the during-upgrade workload ops whose index is congruent to
     /// `chunk` modulo `of` (so `of` traffic steps with distinct chunks
     /// partition the workload round-robin, exactly like the historical
-    /// rolling driver's chunking).
+    /// rolling driver's chunking). Open-loop workload plans partition by
+    /// *time* instead: step `chunk` replays slice `chunk` of the plan's
+    /// `of`-way-split arrival window in simulated time, so scheduled bursts
+    /// land against the rollout step their slice abuts.
     Traffic {
         /// Which residue class of op indices to run.
         chunk: u32,

@@ -77,6 +77,13 @@ const EXP_MAX_Q16: u64 = (((31 << 16) + 0xFFFF) * LN2_Q16) >> 16;
 /// 32 octaves.
 const MAX_OCTAVES: usize = 32;
 
+/// Dynamic range of the per-octave Zipf masses, in hundredths of an octave
+/// (≈ 2⁴¹): an octave lighter than `heaviest / 2⁴¹` floors at one mass
+/// unit. Keeps the cumulative table inside `u64` while head ratios stay
+/// exact — the truncation only touches a tail whose true share is below
+/// 10⁻¹² of the distribution.
+const ZIPF_RANGE_H: i64 = 4_100;
+
 /// Where the testing workload comes from (§6.1.2): the paper's three
 /// sources plus the open-loop plan axis. Every variant renders into the
 /// failure repro string and [`WorkloadSpec::parse`] round-trips it.
@@ -193,7 +200,16 @@ impl OpenLoopSpec {
             zipf_s_hundredths: tail(fields.next(), 'z')?,
             read_pct: tail(fields.next(), 'm')?,
         };
-        if fields.next().is_some() || spec.clients == 0 || spec.rate_per_sec == 0 || spec.keys == 0
+        // Reject anything `compile` would silently normalize (burst count
+        // over the cap, zero burst factor): two distinct repro strings must
+        // never denote the same plan while hashing to different prefix
+        // seeds.
+        if fields.next().is_some()
+            || spec.clients == 0
+            || spec.rate_per_sec == 0
+            || spec.keys == 0
+            || spec.bursts > MAX_BURSTS
+            || spec.burst_factor == 0
         {
             return None;
         }
@@ -236,8 +252,9 @@ struct Segment {
 pub struct Arrival {
     /// Arrival time, microseconds from the phase-window origin.
     pub at_us: u64,
-    /// Position in the arrival stream (0-based). The rollout plan's
-    /// `Traffic { chunk, of }` steps partition the stream by this index.
+    /// Position in the arrival stream (0-based): the identity axis client
+    /// derivation hashes. The rollout plan's `Traffic { chunk, of }` steps
+    /// partition the stream by `at_us` time slice, not by this index.
     pub index: u64,
     /// Logical client issuing the request: `mix(index ^ churn_salt) mod
     /// clients`.
@@ -320,18 +337,23 @@ impl WorkloadPlan {
         // with mass ∝ 2^(l·(1−s)), truncated at the key-space edge.
         let levels = (64 - (self.keys).leading_zeros() as usize).clamp(1, MAX_OCTAVES);
         self.zipf_levels = levels;
-        // Exponents in hundredths of an octave, shifted so the minimum is 0
-        // (s > 1 makes them negative before the shift).
+        // Exponents in hundredths of an octave, anchored at the *heaviest*
+        // octave so the head — where essentially all the mass lives at
+        // steep exponents — keeps exact ratios; octaves past the
+        // [`ZIPF_RANGE_H`] dynamic range floor at one mass unit.
         let step = 100 - i64::from(spec.zipf_s_hundredths);
-        let e_min = (0..levels as i64).map(|l| l * step).min().unwrap_or(0);
+        let e_max = (0..levels as i64).map(|l| l * step).max().unwrap_or(0);
         let mut cum = 0u64;
         for l in 0..levels {
             let base = (1u64 << l) - 1;
             let size = (self.keys - base).min(1 << l);
-            // Mass = 2^(l·(1−s)) scaled by the truncated octave's fill ratio.
-            let w = exp2_hundredths((l as i64 * step - e_min) as u64);
-            cum += ((w >> 8).max(1)).saturating_mul(size) >> l.min(55);
-            self.zipf_cum[l] = cum.max(1);
+            let h = (l as i64 * step - e_max + ZIPF_RANGE_H).max(0) as u64;
+            // Mass = 2^(l·(1−s)) scaled by the truncated last octave's fill
+            // ratio `size / 2^l` (widened: the product can pass 64 bits).
+            let w = u128::from(exp2_hundredths(h));
+            let mass = ((w * u128::from(size)) >> l) as u64;
+            cum += mass.max(1);
+            self.zipf_cum[l] = cum;
         }
 
         // Segment layout: `bursts` burst slots interleaved with normal
@@ -572,7 +594,11 @@ impl Iterator for Arrivals<'_> {
 /// Bounded: the draw never exceeds `mean · 23` ([`EXP_MAX_Q16`]).
 fn sample_gap(rng: &mut dup_simnet::SimRng, mean_us: u64) -> u64 {
     let u = rng.next_u64();
-    let z = u64::from((u >> 32).leading_zeros().min(31));
+    // The geometric part counts leading zeros of the top 32 bits *as a
+    // 32-bit value* — on the raw u64 the count would start at 32 and the
+    // min(31) would pin every draw to the cap, degenerating the
+    // exponential into a constant.
+    let z = u64::from(((u >> 32) as u32).leading_zeros().min(31));
     let frac = u & 0xFFFF;
     let exp_q16 = (((z << 16) + frac) * LN2_Q16) >> 16;
     debug_assert!(exp_q16 <= EXP_MAX_Q16);
@@ -661,6 +687,11 @@ mod tests {
             "open:c10,r100,b2,x3,k64,z120,m60,extra",
             "open:c10,r100",
             "closed:c10",
+            // Values `compile` would normalize parse as invalid, so two
+            // distinct strings never denote the same plan.
+            "open:c10,r100,b200,x3,k64,z120,m60",
+            "open:c10,r100,b9,x3,k64,z120,m60",
+            "open:c10,r100,b2,x0,k64,z120,m60",
         ] {
             assert_eq!(WorkloadSpec::parse(bad), None, "{bad:?} should not parse");
         }
@@ -848,6 +879,68 @@ mod tests {
                 assert!(gap >= 1);
                 assert!(gap <= mean * 23 + 1, "gap {gap} blows the bound at {mean}");
             }
+        }
+    }
+
+    #[test]
+    fn interarrival_gaps_have_exponential_mean_and_spread() {
+        // The empirical mean of `mean · (-ln U)` is ≈ 1.04 · mean (the
+        // sampler adds half a fractional ulp); anything outside [mean/2,
+        // 2·mean] means the exponential degenerated — e.g. the geometric
+        // part pinning at its cap would inflate the mean ~22×.
+        let mut rng = dup_simnet::SimRng::new(7);
+        let mean = 10_000u64;
+        let n = 4_000u64;
+        let mut sum = 0u64;
+        let (mut below_half, mut above_double) = (0u64, 0u64);
+        for _ in 0..n {
+            let gap = sample_gap(&mut rng, mean);
+            sum += gap;
+            below_half += u64::from(gap < mean / 2);
+            above_double += u64::from(gap > 2 * mean);
+        }
+        let empirical = sum / n;
+        assert!(
+            (mean / 2..=2 * mean).contains(&empirical),
+            "empirical mean gap {empirical} vs requested mean {mean}"
+        );
+        // An exponential has real spread: ~30% of draws land below mean/2
+        // and ~13% above 2·mean. A constant (or near-constant) sampler
+        // fails one side or the other.
+        assert!(
+            below_half > n / 10,
+            "only {below_half}/{n} gaps below half the mean"
+        );
+        assert!(
+            above_double > n / 50,
+            "only {above_double}/{n} gaps above twice the mean"
+        );
+    }
+
+    #[test]
+    fn steep_zipf_keeps_exact_head_ratios() {
+        // At s = 3.0 consecutive octave masses shrink 4× (2^(1−s) = 2⁻²).
+        // The head octaves must keep that ratio exactly — the old
+        // min-anchored table saturated them into equality — and the floored
+        // tail must stay monotone and reachable.
+        let spec = OpenLoopSpec {
+            zipf_s_hundredths: 300,
+            keys: 1 << 20,
+            ..OpenLoopSpec::small()
+        };
+        let p = plan(&spec, 4, 500);
+        p.validate().unwrap();
+        let mass =
+            |l: usize| p.zipf_cum[l] - if l == 0 { 0 } else { p.zipf_cum[l - 1] };
+        for l in 0..8 {
+            let (head, next) = (mass(l), mass(l + 1));
+            assert!(
+                next >= 1 && head / next == 4 && head % next == 0,
+                "octave {l} mass {head} vs {next}: want an exact 4x ratio"
+            );
+        }
+        for l in 0..p.zipf_levels {
+            assert!(mass(l) >= 1, "octave {l} must stay reachable");
         }
     }
 
